@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates Figure 9: top-1 accuracy of three CNN tiers under FP32,
+ * FXP-i-res, FXP-o-res, and uSystolic at EBT 6-12.
+ *
+ * Paper shape to reproduce: FP32 highest and FXP-i-res second everywhere;
+ * uSystolic between FXP-o-res and FXP-i-res with smooth accuracy-vs-EBT
+ * scaling; rate and temporal coding essentially identical at equal EBT;
+ * uGEMM-H identical to uSystolic (resolution unchanged).
+ *
+ * Models are trained in FP32 on first run and cached on disk
+ * (USYS_CACHE_DIR, default ./usys_fig9_cache), so reruns only evaluate.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+#include "common/table.h"
+#include "eval/error_stats.h"
+#include "dnn/data.h"
+#include "dnn/models.h"
+#include "dnn/train.h"
+
+using namespace usys;
+
+namespace {
+
+std::string
+cacheDir()
+{
+    if (const char *env = std::getenv("USYS_CACHE_DIR"))
+        return env;
+    return "usys_fig9_cache";
+}
+
+struct Tier
+{
+    const char *figure;
+    const char *name;
+    std::function<Dataset(std::size_t, u64)> make_data;
+    std::function<std::unique_ptr<Sequential>(int, u64)> build;
+    std::size_t train_count;
+    TrainOpts opts;
+};
+
+void
+runTier(const Tier &tier)
+{
+    std::printf("\n=== Figure %s: %s ===\n", tier.figure, tier.name);
+
+    Dataset train = tier.make_data(tier.train_count, 42);
+    Dataset test = tier.make_data(400, 43);
+    auto model = tier.build(train.classes, 7);
+
+    const std::string cache =
+        cacheDir() + "/" + std::string(tier.figure) + ".weights";
+    std::filesystem::create_directories(cacheDir());
+    if (!loadWeights(*model, cache)) {
+        trainClassifier(*model, train, tier.opts);
+        saveWeights(*model, cache);
+    }
+
+    const double fp32 =
+        evaluateAccuracy(*model, test, {NumericMode::Fp32, 8});
+
+    TablePrinter table({"EBT-cycles", "FXP-o-res %", "uSystolic %",
+                        "FXP-i-res %", "FP32 %"});
+    for (int ebt = 6; ebt <= 12; ++ebt) {
+        const double o_res = evaluateAccuracy(
+            *model, test, {NumericMode::FxpOres, ebt});
+        const double unary = evaluateAccuracy(
+            *model, test, {NumericMode::UnaryRate, ebt});
+        const double i_res = evaluateAccuracy(
+            *model, test, {NumericMode::FxpIres, ebt});
+        char label[32];
+        std::snprintf(label, sizeof(label), "%d-%d", ebt, 1 << (ebt - 1));
+        table.addRow({label, TablePrinter::num(100 * o_res, 1),
+                      TablePrinter::num(100 * unary, 1),
+                      TablePrinter::num(100 * i_res, 1),
+                      TablePrinter::num(100 * fp32, 1)});
+    }
+    table.print();
+
+    // Section V-A cross-checks at one representative EBT.
+    const double rate8 =
+        evaluateAccuracy(*model, test, {NumericMode::UnaryRate, 8});
+    const double temp8 =
+        evaluateAccuracy(*model, test, {NumericMode::UnaryTemporal, 8});
+    const double ugemm8 =
+        evaluateAccuracy(*model, test, {NumericMode::UgemmH, 8});
+    std::printf("EBT 8 cross-check: rate %.1f%% vs temporal %.1f%% "
+                "(paper: almost identical); uGEMM-H %.1f%% (paper: same "
+                "as uSystolic)\n",
+                100 * rate8, 100 * temp8, 100 * ugemm8);
+}
+
+} // namespace
+
+void
+printGemmErrorStats()
+{
+    // Section V-A backing data: GEMM error mean/std ordering
+    // FXP-o-res > uSystolic > FXP-i-res at matched EBT.
+    std::printf("\n=== GEMM error statistics (Section V-A ordering) "
+                "===\n");
+    for (int ebt : {6, 8}) {
+        std::printf("EBT %d (K = 96):\n", ebt);
+        TablePrinter table({"scheme", "mean |err|", "std err", "NRMSE"});
+        for (const auto &row : gemmErrorStats(ebt, 96)) {
+            table.addRow({row.scheme,
+                          TablePrinter::num(row.mean_abs_error, 4),
+                          TablePrinter::num(row.std_error, 4),
+                          TablePrinter::num(row.nrmse, 4)});
+        }
+        table.print();
+    }
+}
+
+int
+main()
+{
+    Tier tiers[] = {
+        {"9a", "digit glyphs, 4-layer CNN (MNIST tier)",
+         [](std::size_t n, u64 s) { return makeDigits(n, s); },
+         buildCnn4, 2000, TrainOpts{8, 32, 0.05f, 0.9f, 1, false}},
+        {"9b", "oriented gratings, ResLite (CIFAR10/ResNet18 tier)",
+         [](std::size_t n, u64 s) { return makeGratings(n, s); },
+         buildResLite, 2000, TrainOpts{8, 32, 0.03f, 0.9f, 1, false}},
+        {"9c", "hard composite glyphs, AlexLite (ImageNet/AlexNet tier)",
+         [](std::size_t n, u64 s) { return makeHardGlyphs(n, s); },
+         buildAlexLite, 2400, TrainOpts{14, 32, 0.02f, 0.9f, 1, false}},
+    };
+    for (const auto &tier : tiers)
+        runTier(tier);
+    printGemmErrorStats();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 11: systolic-array area breakdown (IREG / WREG /
+ * MUL / ACC) plus SRAM for 8- and 16-bit designs, edge and cloud.
+ *
+ * Paper shape to reproduce: BP > BS > UG > UR > UT in array area
+ * (reductions vs BP of 30.9 / 50.9 / 59.0 / 62.5 % for the 8-bit edge),
+ * UR's MUL ~58% smaller than uGEMM-H's bipolar MUL, and on-chip SRAM
+ * dominating total area (91.3% total reduction when eliminated).
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/experiments.h"
+
+using namespace usys;
+
+namespace {
+
+void
+printConfig(bool edge, int bits)
+{
+    std::printf("\n=== Figure 11%s: %s, %d-bit ===\n", edge ? "a" : "b",
+                edge ? "edge (12x14)" : "cloud (256x256)", bits);
+    const auto rows = fig11Area(edge, bits);
+    TablePrinter table({"design", "IREG", "WREG", "MUL", "ACC",
+                        "array mm2", "SRAM mm2", "total mm2",
+                        "array red %", "total red %"});
+    const AreaRow &bp = rows.front();
+    for (const auto &row : rows) {
+        table.addRow(
+            {row.label, TablePrinter::num(row.blocks_mm2.ireg, 4),
+             TablePrinter::num(row.blocks_mm2.wreg, 4),
+             TablePrinter::num(row.blocks_mm2.mul, 4),
+             TablePrinter::num(row.blocks_mm2.acc, 4),
+             TablePrinter::num(row.array_mm2, 4),
+             TablePrinter::num(row.sram_mm2, 3),
+             TablePrinter::num(row.total_mm2, 3),
+             TablePrinter::num(pctReduction(bp.array_mm2, row.array_mm2),
+                               1),
+             TablePrinter::num(pctReduction(bp.total_mm2, row.total_mm2),
+                               1)});
+    }
+    table.print();
+
+    if (edge && bits == 8) {
+        const AreaRow *ug = nullptr, *ur = nullptr;
+        for (const auto &row : rows) {
+            if (row.label.rfind("UG", 0) == 0)
+                ug = &row;
+            if (row.label.rfind("UR", 0) == 0)
+                ur = &row;
+        }
+        std::printf("UR MUL vs UG MUL: %.1f%% smaller (paper 58.2%%); "
+                    "UR total vs UG total: %.1f%% smaller (paper 16.5%%)\n",
+                    pctReduction(ug->blocks_mm2.mul, ur->blocks_mm2.mul),
+                    pctReduction(ug->array_mm2, ur->array_mm2));
+        std::printf("paper array reductions vs BP: BS 30.9, UG 50.9, "
+                    "UR 59.0, UT 62.5 %%\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    for (bool edge : {true, false})
+        for (int bits : {8, 16})
+            printConfig(edge, bits);
+    return 0;
+}

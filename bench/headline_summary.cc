@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates the paper's abstract headline claims for the edge
+ * configuration running 8-bit AlexNet: rate-coded uSystolic vs the
+ * binary parallel design.
+ */
+
+#include <cstdio>
+
+#include "eval/experiments.h"
+
+using namespace usys;
+
+int
+main()
+{
+    const Headline h = headlineSummary();
+    std::printf("=== Headline summary: 8-bit AlexNet, edge ===\n");
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "systolic array area reduction (%)",
+                h.array_area_reduction_pct, 59.0);
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "total on-chip area reduction (%)",
+                h.onchip_area_reduction_pct, 91.3);
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "max on-chip energy efficiency gain (x)",
+                h.max_energy_eff_x, 112.2);
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "max on-chip power efficiency gain (x)",
+                h.max_power_eff_x, 44.8);
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "mean on-chip energy reduction (%)",
+                h.mean_onchip_energy_red_pct, 83.5);
+    std::printf("%-44s measured %8.1f   paper %8.1f\n",
+                "mean on-chip power reduction (%)",
+                h.mean_onchip_power_red_pct, 98.4);
+    return 0;
+}

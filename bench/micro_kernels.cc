@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot kernels: Sobol
+ * generation, cycle-level uMUL stepping, the O(1) product tables, the
+ * functional GEMM engines, and the bit-level systolic array.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.h"
+#include "common/prng.h"
+#include "arch/array.h"
+#include "arch/rtl_array.h"
+#include "mem/dram_timing.h"
+#include "arch/functional.h"
+#include "unary/bitstream.h"
+#include "unary/product_table.h"
+#include "unary/sobol.h"
+#include "unary/umul.h"
+
+namespace usys {
+namespace {
+
+void
+BM_SobolNext(benchmark::State &state)
+{
+    SobolSequence seq(1, int(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(seq.next());
+}
+BENCHMARK(BM_SobolNext)->Arg(7)->Arg(11);
+
+void
+BM_CbsgUmulFullPeriod(benchmark::State &state)
+{
+    const int mag_bits = int(state.range(0));
+    const u32 period = u32(1) << mag_bits;
+    for (auto _ : state) {
+        RateBsg input(period / 3, 1, mag_bits);
+        CbsgUmul mul(period / 2, mag_bits, 0);
+        u32 ones = 0;
+        for (u32 t = 0; t < period; ++t)
+            ones += mul.step(input.nextBit());
+        benchmark::DoNotOptimize(ones);
+    }
+    state.SetItemsProcessed(state.iterations() * period);
+}
+BENCHMARK(BM_CbsgUmulFullPeriod)->Arg(7)->Arg(9);
+
+void
+BM_ProductTableMac(benchmark::State &state)
+{
+    const UnaryProductModel &model = unaryModelFor(8);
+    Prng prng(1);
+    u32 i = 0;
+    for (auto _ : state) {
+        i = (i + 37) & 127;
+        benchmark::DoNotOptimize(model.fullProduct(i, (i * 11) & 127));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProductTableMac);
+
+Matrix<i32>
+randomCodes(int rows, int cols, Prng &prng)
+{
+    Matrix<i32> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(255)) - 127;
+    return m;
+}
+
+void
+BM_FunctionalGemm(benchmark::State &state)
+{
+    const Scheme scheme = Scheme(state.range(0));
+    GemmExecutor exec({scheme, 8, 0});
+    Prng prng(2);
+    auto a = randomCodes(32, 64, prng);
+    auto b = randomCodes(64, 32, prng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.run(a, b));
+    state.SetItemsProcessed(state.iterations() * 32 * 64 * 32);
+}
+BENCHMARK(BM_FunctionalGemm)
+    ->Arg(int(Scheme::BinaryParallel))
+    ->Arg(int(Scheme::USystolicRate))
+    ->Arg(int(Scheme::UgemmHybrid));
+
+void
+BM_CycleLevelArrayFold(benchmark::State &state)
+{
+    ArrayConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.kernel = {Scheme(state.range(0)), 8, 0};
+    SystolicArray array(cfg);
+    Prng prng(3);
+    auto input = randomCodes(16, 8, prng);
+    auto weights = randomCodes(8, 8, prng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.runFold(input, weights));
+}
+BENCHMARK(BM_CycleLevelArrayFold)
+    ->Arg(int(Scheme::BinaryParallel))
+    ->Arg(int(Scheme::USystolicRate));
+
+void
+BM_RtlArrayFold(benchmark::State &state)
+{
+    ArrayConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.kernel = {Scheme::USystolicRate, 8, 6};
+    RtlArray array(cfg);
+    Prng prng(4);
+    auto input = randomCodes(8, 8, prng);
+    auto weights = randomCodes(8, 8, prng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.runFold(input, weights));
+}
+BENCHMARK(BM_RtlArrayFold);
+
+void
+BM_DramDeviceStream(benchmark::State &state)
+{
+    DramDevice dram(ddr3Chip(), 0.4);
+    for (auto _ : state) {
+        dram.reset();
+        Cycles t = 0;
+        for (u64 addr = 0; addr < (u64(1) << 16); addr += 64)
+            t = dram.access(addr, 64, t);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetBytesProcessed(state.iterations() * (u64(1) << 16));
+}
+BENCHMARK(BM_DramDeviceStream);
+
+} // namespace
+} // namespace usys
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dynamic accuracy-energy trade-off via early termination (Sections
+ * II-B3, III-C, V-H): profile the GEMM error of every termination point,
+ * let the policy pick the cheapest EBT meeting an error budget, and show
+ * the resulting energy/runtime on an AlexNet layer — the "battery is
+ * running out" scenario of the system-level discussion.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "arch/early_termination.h"
+#include "dnn/data.h"
+#include "dnn/models.h"
+#include "dnn/train.h"
+#include "hw/energy.h"
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+using namespace usys;
+
+int
+main()
+{
+    const int bits = 8;
+    const GemmLayer layer = alexnetLayers()[2]; // Conv3
+
+    std::printf("early-termination profile (8-bit data, K = %lld):\n",
+                (long long)layer.k());
+    TablePrinter profile({"EBT", "mul cycles", "normalized RMSE",
+                          "runtime ms", "on-chip uJ"});
+    for (const auto &point :
+         profileEarlyTermination(bits, int(layer.k()))) {
+        const KernelConfig kern{Scheme::USystolicRate, bits, point.ebt};
+        const SystemConfig sys = edgeSystem(kern, false);
+        const auto stats = simulateLayer(sys, layer);
+        const auto energy = layerEnergy(sys, stats);
+        profile.addRow({std::to_string(point.ebt),
+                        std::to_string(point.mul_cycles),
+                        TablePrinter::num(point.nrmse, 4),
+                        TablePrinter::num(stats.runtime_s * 1e3, 2),
+                        TablePrinter::num(energy.onchip_uj(), 1)});
+    }
+    profile.print();
+
+    for (double tol : {0.02, 0.05, 0.10}) {
+        const int ebt = chooseEbt(bits, int(layer.k()), tol);
+        std::printf("error budget %.2f -> EBT %d (%u MAC cycles)\n", tol,
+                    ebt, KernelConfig{Scheme::USystolicRate, bits, ebt}
+                             .macCycles());
+    }
+
+    // Mixed-precision schedule: the ISA's per-layer MAC-cycle field lets
+    // every GEMM run at its own EBT. Pick each layer's EBT from the
+    // policy (K-dependent) and compare against uniform schedules on a
+    // trained CNN.
+    std::printf("\nmixed per-layer EBT schedule on the 4-layer CNN:\n");
+    auto train = makeDigits(1500, 42);
+    auto test = makeDigits(300, 43);
+    auto model = buildCnn4(train.classes, 7);
+    TrainOpts opts;
+    opts.epochs = 6;
+    trainClassifier(*model, train, opts);
+
+    // GEMM sublayers of buildCnn4: conv(K=9), conv(K=72), fc(K=256),
+    // fc(K=48); all other sublayers ignore the numeric mode.
+    const int gemm_k[] = {9, 72, 256, 48};
+    std::vector<NumericConfig> mixed(model->layerCount(),
+                                     {NumericMode::UnaryRate, 8});
+    int gemm_idx = 0;
+    const std::size_t gemm_slots[] = {0, 3, 6, 8};
+    for (std::size_t slot : gemm_slots) {
+        const int ebt = chooseEbt(bits, gemm_k[gemm_idx], 0.035);
+        mixed[slot] = {NumericMode::UnaryRate, ebt};
+        std::printf("  sublayer %zu (K=%d): EBT %d\n", slot,
+                    gemm_k[gemm_idx], ebt);
+        ++gemm_idx;
+    }
+
+    auto accuracy_under = [&](const std::vector<NumericConfig> &cfgs) {
+        std::size_t correct = 0;
+        for (std::size_t start = 0; start < test.count(); start += 64) {
+            const std::size_t n = std::min<std::size_t>(
+                64, test.count() - start);
+            Tensor x = test.batch(start, n);
+            const auto preds =
+                argmaxLogits(model->forwardMixed(x, cfgs));
+            for (std::size_t i = 0; i < n; ++i)
+                if (preds[i] == test.labels[start + i])
+                    ++correct;
+        }
+        return double(correct) / double(test.count());
+    };
+
+    const std::vector<NumericConfig> uniform6(
+        model->layerCount(), {NumericMode::UnaryRate, 6});
+    const std::vector<NumericConfig> uniform8(
+        model->layerCount(), {NumericMode::UnaryRate, 8});
+    std::printf("  uniform EBT 6: %.1f%%   uniform EBT 8: %.1f%%   "
+                "mixed: %.1f%%\n",
+                100 * accuracy_under(uniform6),
+                100 * accuracy_under(uniform8),
+                100 * accuracy_under(mixed));
+
+    std::printf("\ntemporal coding cannot early-terminate: truncating the "
+                "tail-coded stream zeroes small values (Section II-B3).\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * End-to-end DNN example: train the 4-layer CNN on the procedural digit
+ * set in FP32, then deploy it on the uSystolic datapath at several
+ * effective bitwidths, reporting the accuracy-vs-cycles trade-off the
+ * paper's Figure 9 curves are built from.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "dnn/data.h"
+#include "dnn/models.h"
+#include "dnn/train.h"
+
+using namespace usys;
+
+int
+main()
+{
+    auto train = makeDigits(2000, 42);
+    auto test = makeDigits(300, 43);
+
+    std::printf("training 4-layer CNN on %zu synthetic digit images...\n",
+                train.count());
+    auto model = buildCnn4(train.classes, 7);
+    TrainOpts opts;
+    opts.epochs = 6;
+    opts.verbose = true;
+    trainClassifier(*model, train, opts);
+
+    const double fp32 =
+        evaluateAccuracy(*model, test, {NumericMode::Fp32, 8});
+    std::printf("FP32 top-1 accuracy: %.1f%%\n\n", 100 * fp32);
+
+    TablePrinter table({"deployment", "mul cycles", "top-1 %"});
+    for (int ebt : {6, 7, 8, 10}) {
+        const double acc = evaluateAccuracy(
+            *model, test, {NumericMode::UnaryRate, ebt});
+        table.addRow({"uSystolic rate EBT " + std::to_string(ebt),
+                      std::to_string(1 << (ebt - 1)),
+                      TablePrinter::num(100 * acc, 1)});
+    }
+    const double temporal = evaluateAccuracy(
+        *model, test, {NumericMode::UnaryTemporal, 8});
+    table.addRow({"uSystolic temporal (8b)", "128",
+                  TablePrinter::num(100 * temporal, 1)});
+    table.print();
+    return 0;
+}

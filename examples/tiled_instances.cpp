@@ -1,0 +1,80 @@
+/**
+ * @file
+ * System-level scalability study (Section V-H): multiple tiled uSystolic
+ * instances sharing one DDR3 channel.
+ *
+ * Each instance's demand bandwidth is its DRAM bytes over its
+ * contention-free runtime; the shared channel saturates when the
+ * aggregate demand reaches the sustained supply. uSystolic's crawling
+ * bytes let tens of instances share the channel where binary parallel
+ * saturates immediately — "low bandwidth empowers better scalability".
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.h"
+#include "sched/simulator.h"
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+using namespace usys;
+
+int
+main()
+{
+    // Demand of one instance, averaged over the AlexNet conv layers.
+    struct Point
+    {
+        const char *label;
+        KernelConfig kern;
+        bool sram;
+    };
+    const Point points[] = {
+        {"Binary Parallel (no SRAM)", {Scheme::BinaryParallel, 8, 0},
+         false},
+        {"Binary Parallel (+SRAM)", {Scheme::BinaryParallel, 8, 0},
+         true},
+        {"Unary-32c", {Scheme::USystolicRate, 8, 6}, false},
+        {"Unary-64c", {Scheme::USystolicRate, 8, 7}, false},
+        {"Unary-128c", {Scheme::USystolicRate, 8, 8}, false},
+    };
+
+    const double supply = ddr3Chip().sustainedGbps();
+    std::printf("shared DDR3 channel: %.1f GB/s sustained\n\n", supply);
+
+    TablePrinter table({"instance design", "demand GB/s", "max instances",
+                        "aggregate GMAC/s at saturation"});
+    for (const auto &point : points) {
+        const auto sys = edgeSystem(point.kern, point.sram);
+        double demand = 0.0, gmacs = 0.0;
+        int conv_layers = 0;
+        for (const auto &layer : alexnetLayers()) {
+            if (layer.type != GemmType::Convolution)
+                continue;
+            const auto stats = simulateLayer(sys, layer);
+            // Demand at full speed: bytes over contention-free time.
+            const double t =
+                double(stats.compute_cycles) / (sys.freq_ghz * 1e9);
+            demand += double(stats.dram_total_bytes) / t * 1e-9;
+            gmacs += double(layer.macs()) / t * 1e-9;
+            ++conv_layers;
+        }
+        demand /= conv_layers;
+        gmacs /= conv_layers;
+        const int instances = std::max(1, int(supply / demand));
+        table.addRow({point.label, TablePrinter::num(demand, 2),
+                      std::to_string(instances),
+                      TablePrinter::num(
+                          gmacs * std::min<double>(instances,
+                                                   supply / demand),
+                          1)});
+    }
+    table.print();
+
+    std::printf("\nthe slow per-instance data movement also hides "
+                "interconnect latency: a MAC interval of 33-129 cycles "
+                "tolerates that much packet-routing variation before any "
+                "instance stalls (Section V-H).\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+#include "arch/array.h"
+
+#include <vector>
+
+#include "arch/pe.h"
+
+namespace usys {
+
+SystolicArray::SystolicArray(const ArrayConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.check();
+}
+
+SystolicArray::FoldResult
+SystolicArray::runFold(const Matrix<i32> &input,
+                       const Matrix<i32> &weights) const
+{
+    const int rows = cfg_.rows;
+    const int cols = cfg_.cols;
+    fatalIf(input.cols() != rows, "runFold: input width != array rows");
+    fatalIf(weights.rows() != rows || weights.cols() != cols,
+            "runFold: weight tile does not match array shape");
+
+    const int m_rows = input.rows();
+    const KernelConfig &kern = cfg_.kernel;
+    const u32 mul = kern.mulCycles();
+    const u32 mac = kern.macCycles();
+
+    // --- Cycle accounting -------------------------------------------------
+    // Weight preload pipelines one array row per cycle from the top.
+    Cycles cycles = Cycles(rows);
+    // Streaming: rows are skewed by one MAC interval each (bottom row
+    // first); the final top-row M-end lands at the end of interval
+    // (m_rows + rows - 2). The rightmost column lags cols-1 cycles.
+    const u64 intervals = u64(m_rows) + rows - 1;
+    cycles += intervals * mac + u64(cols - 1);
+    panicIf(cycles != foldLatency(m_rows),
+            "runFold: schedule disagrees with closed form");
+
+    // --- Lane traces ------------------------------------------------------
+    // Each row's front end emits identical lane signals to every column
+    // (columns only add delay), so generate the per-(row, input-row)
+    // multiplication-cycle traces once.
+    const u32 trace_len = (kern.scheme == Scheme::BinaryParallel) ? 1 : mul;
+    std::vector<std::vector<std::vector<LaneSignals>>> traces(rows);
+    for (int r = 0; r < rows; ++r) {
+        RowFrontEnd fe(kern);
+        traces[r].resize(m_rows);
+        for (int m = 0; m < m_rows; ++m) {
+            fe.loadInput(input(m, r));
+            auto &t = traces[r][m];
+            t.resize(trace_len);
+            for (u32 p = 0; p < trace_len; ++p)
+                t[p] = fe.step(p);
+            fe.endMac();
+        }
+    }
+
+    // --- Numerics ---------------------------------------------------------
+    // Evaluate PE cores in schedule order: for each output row m, the
+    // partial sum climbs from the bottom row to the top, each level one
+    // MAC interval later than the level below (exactly the skewed
+    // hardware schedule).
+    std::vector<std::vector<PeCore>> cores(
+        rows, std::vector<PeCore>(cols, PeCore(kern)));
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            cores[r][c].loadWeight(weights(r, c));
+
+    const int shift =
+        (kern.scheme == Scheme::USystolicRate && kern.et_bits > 0)
+            ? kern.bits - kern.et_bits
+            : 0;
+
+    Matrix<i64> out(m_rows, cols, 0);
+    for (int c = 0; c < cols; ++c) {
+        for (int m = 0; m < m_rows; ++m) {
+            i64 psum = 0;
+            for (int r = rows - 1; r >= 0; --r) {
+                PeCore &core = cores[r][c];
+                const auto &t = traces[r][m];
+                for (u32 p = 0; p < trace_len; ++p)
+                    core.stepMul(t[p], p);
+                psum = core.finishMac(psum, t.empty() ? false
+                                                      : t[0].isign);
+            }
+            // Top-row shifter restores early-terminated magnitude.
+            out(m, c) = psum * (i64(1) << shift);
+        }
+    }
+
+    return FoldResult{std::move(out), cycles};
+}
+
+SystolicGemm::SystolicGemm(const ArrayConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.check();
+}
+
+SystolicGemm::RunResult
+SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
+{
+    fatalIf(a.cols() != b.rows(), "SystolicGemm: shape mismatch");
+    const int m_rows = a.rows();
+    const int k_dim = a.cols();
+    const int n_dim = b.cols();
+    const int rows = cfg_.rows;
+    const int cols = cfg_.cols;
+
+    SystolicArray array(cfg_);
+    RunResult result;
+    result.acc = Matrix<i64>(m_rows, n_dim, 0);
+
+    for (int n0 = 0; n0 < n_dim; n0 += cols) {
+        for (int k0 = 0; k0 < k_dim; k0 += rows) {
+            // Zero-padded tiles model idle PEs on ragged edges.
+            Matrix<i32> in_tile(m_rows, rows, 0);
+            for (int m = 0; m < m_rows; ++m)
+                for (int r = 0; r < rows && k0 + r < k_dim; ++r)
+                    in_tile(m, r) = a(m, k0 + r);
+            Matrix<i32> w_tile(rows, cols, 0);
+            for (int r = 0; r < rows && k0 + r < k_dim; ++r)
+                for (int c = 0; c < cols && n0 + c < n_dim; ++c)
+                    w_tile(r, c) = b(k0 + r, n0 + c);
+
+            auto fold = array.runFold(in_tile, w_tile);
+            result.cycles += fold.cycles;
+            ++result.folds;
+            for (int m = 0; m < m_rows; ++m)
+                for (int c = 0; c < cols && n0 + c < n_dim; ++c)
+                    result.acc(m, n0 + c) += fold.output(m, c);
+        }
+    }
+    return result;
+}
+
+} // namespace usys

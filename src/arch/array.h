@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-level weight-stationary systolic array simulator (Figure 7).
+ *
+ * The simulator is bit- and cycle-faithful to the uSystolic RTL semantics:
+ * weights preload from the top (R cycles), inputs enter at the leftmost
+ * column with a one-MAC-interval skew per row (bottom row first, so
+ * partial sums can travel upward), lane signals (input bit / sign / RREG
+ * random number) propagate rightward with a one-cycle lag per column, and
+ * each PE's OREG merges the partial sum from below at M-end. The top-row
+ * shifters scale early-terminated results back by 2^(N-n).
+ *
+ * Columns exchange no data except the left-to-right registered lane, so
+ * the simulation evaluates rows/columns in a deterministic order that is
+ * provably equivalent to the concurrent hardware schedule; cycle counts
+ * are accumulated from the same schedule.
+ */
+
+#ifndef USYS_ARCH_ARRAY_H
+#define USYS_ARCH_ARRAY_H
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "arch/scheme.h"
+
+namespace usys {
+
+/** Physical array shape plus the PE kernel configuration. */
+struct ArrayConfig
+{
+    int rows = 8;
+    int cols = 8;
+    KernelConfig kernel;
+
+    void
+    check() const
+    {
+        kernel.check();
+        fatalIf(rows < 1 || cols < 1, "ArrayConfig: degenerate shape");
+    }
+};
+
+/** One weight-stationary fold on an R x C array. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(const ArrayConfig &cfg);
+
+    struct FoldResult
+    {
+        Matrix<i64> output; // M x C accumulations (scheme-scaled)
+        Cycles cycles = 0;  // exact fold latency including preload
+    };
+
+    /**
+     * Run one fold: output (M x C) = input (M x R) x weights (R x C).
+     *
+     * @param input M x R matrix of signed codes streamed from the left
+     * @param weights R x C stationary weight tile
+     */
+    FoldResult runFold(const Matrix<i32> &input,
+                       const Matrix<i32> &weights) const;
+
+    /**
+     * Closed-form fold latency; runFold() is asserted against this.
+     * R preload + (M + R - 1) MAC intervals + (C - 1) column-skew drain.
+     */
+    Cycles
+    foldLatency(int m_rows) const
+    {
+        const u64 mac = cfg_.kernel.macCycles();
+        return u64(cfg_.rows) +
+               (u64(m_rows) + cfg_.rows - 1) * mac +
+               u64(cfg_.cols - 1);
+    }
+
+    const ArrayConfig &config() const { return cfg_; }
+
+  private:
+    ArrayConfig cfg_;
+};
+
+/** Full GEMM on the array with weight-stationary K/N tiling. */
+class SystolicGemm
+{
+  public:
+    explicit SystolicGemm(const ArrayConfig &cfg);
+
+    struct RunResult
+    {
+        Matrix<i64> acc;     // M x N accumulations (scheme-scaled)
+        Cycles cycles = 0;   // sum of fold latencies (unpipelined)
+        u64 folds = 0;
+    };
+
+    /**
+     * Compute C = A (M x K) x B (K x N), tiling K over array rows and N
+     * over array columns, accumulating partial sums across K folds.
+     */
+    RunResult run(const Matrix<i32> &a, const Matrix<i32> &b) const;
+
+  private:
+    ArrayConfig cfg_;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_ARRAY_H

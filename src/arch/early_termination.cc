@@ -1,0 +1,51 @@
+#include "arch/early_termination.h"
+
+#include "common/fixed_point.h"
+#include "common/matrix.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "arch/functional.h"
+
+namespace usys {
+
+std::vector<EtProfilePoint>
+profileEarlyTermination(int bits, int k_dim, u64 seed)
+{
+    Prng prng(seed);
+    const int m_rows = 16, n_cols = 16;
+    const i32 max_mag = maxMagnitude(bits);
+
+    Matrix<i32> a(m_rows, k_dim), b(k_dim, n_cols);
+    for (int m = 0; m < m_rows; ++m)
+        for (int k = 0; k < k_dim; ++k)
+            a(m, k) = i32(prng.below(2 * u64(max_mag) + 1)) - max_mag;
+    for (int k = 0; k < k_dim; ++k)
+        for (int n = 0; n < n_cols; ++n)
+            b(k, n) = i32(prng.below(2 * u64(max_mag) + 1)) - max_mag;
+    const auto exact = referenceGemm(a, b);
+
+    std::vector<EtProfilePoint> points;
+    for (int ebt = 2; ebt <= bits; ++ebt) {
+        GemmExecutor exec({Scheme::USystolicRate, bits, ebt});
+        const auto acc = exec.run(a, b);
+        RmseTracker rmse;
+        for (int m = 0; m < m_rows; ++m)
+            for (int n = 0; n < n_cols; ++n)
+                rmse.add(double(exact(m, n)),
+                         double(acc(m, n)) * exec.resultScale());
+        points.push_back(
+            {ebt, u32(1) << (ebt - 1), rmse.normalizedRmse()});
+    }
+    return points;
+}
+
+int
+chooseEbt(int bits, int k_dim, double nrmse_tolerance, u64 seed)
+{
+    for (const auto &point : profileEarlyTermination(bits, k_dim, seed))
+        if (point.nrmse <= nrmse_tolerance)
+            return point.ebt;
+    return bits;
+}
+
+} // namespace usys

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Metric-based early-termination policy (Sections II-B3 / III-C).
+ *
+ * The paper terminates rate-coded bitstreams early to trade accuracy for
+ * energy, choosing the termination point by offline characterization.
+ * This module profiles the normalized GEMM error of every effective
+ * bitwidth on representative random operands and picks the smallest EBT
+ * meeting an error tolerance — the value programmed into the ISA's
+ * MAC-cycle-count field.
+ */
+
+#ifndef USYS_ARCH_EARLY_TERMINATION_H
+#define USYS_ARCH_EARLY_TERMINATION_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Profiled error of one termination point. */
+struct EtProfilePoint
+{
+    int ebt = 0;          // effective bitwidth n
+    u32 mul_cycles = 0;   // 2^(n-1)
+    double nrmse = 0.0;   // normalized GEMM RMSE vs exact products
+};
+
+/**
+ * Profile rate-coded early termination for N-bit data on random GEMMs
+ * with reduction dimension k_dim.
+ */
+std::vector<EtProfilePoint> profileEarlyTermination(int bits, int k_dim,
+                                                    u64 seed = 0xE7);
+
+/**
+ * Smallest EBT whose profiled error meets the tolerance; falls back to
+ * full precision when none does.
+ */
+int chooseEbt(int bits, int k_dim, double nrmse_tolerance,
+              u64 seed = 0xE7);
+
+} // namespace usys
+
+#endif // USYS_ARCH_EARLY_TERMINATION_H

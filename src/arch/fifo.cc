@@ -1,0 +1,82 @@
+#include "arch/fifo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace usys {
+
+namespace {
+
+/**
+ * One trial: deliveries nominally one per interval with Gaussian
+ * latency jitter (in-order), consumer pops every interval after a
+ * depth-element warmup. Returns the number of missed pops.
+ */
+int
+runTrial(u32 mac_cycles, double jitter_std, int items, int depth,
+         Prng &prng)
+{
+    std::vector<Cycles> ready(items);
+    double prev = 0.0;
+    for (int i = 0; i < items; ++i) {
+        const double nominal = double(i) * mac_cycles;
+        double t = nominal + std::max(0.0, prng.gaussian() * jitter_std);
+        t = std::max(t, prev); // in-order delivery
+        prev = t;
+        ready[i] = Cycles(std::llround(t));
+    }
+
+    SyncFifo fifo(depth);
+    int next_delivery = 0;
+    int misses = 0;
+    // Consumer starts after buffering `depth` intervals.
+    for (int i = 0; i < items; ++i) {
+        const Cycles pop_time = Cycles(depth + i) * mac_cycles;
+        while (next_delivery < items && fifo.canPush() &&
+               ready[next_delivery] <= pop_time) {
+            fifo.push(ready[next_delivery]);
+            ++next_delivery;
+        }
+        if (!fifo.pop(pop_time))
+            ++misses;
+    }
+    return misses;
+}
+
+} // namespace
+
+JitterTolerance
+analyzeJitterTolerance(u32 mac_cycles, double jitter_std, int items,
+                       u64 seed)
+{
+    JitterTolerance result;
+    result.mac_cycles = mac_cycles;
+    result.jitter_std_cycles = jitter_std;
+
+    Prng prng(seed);
+    int misses1 = 0;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t)
+        misses1 += runTrial(mac_cycles, jitter_std, items, 1, prng);
+    result.stall_rate_depth1 =
+        double(misses1) / double(trials) / double(items);
+
+    for (int depth = 1; depth <= 64; ++depth) {
+        Prng probe(seed + 1);
+        int misses = 0;
+        for (int t = 0; t < trials; ++t)
+            misses += runTrial(mac_cycles, jitter_std, items, depth,
+                               probe);
+        if (misses == 0) {
+            result.required_depth = depth;
+            return result;
+        }
+    }
+    result.required_depth = 64;
+    return result;
+}
+
+} // namespace usys

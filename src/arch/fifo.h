@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synchronizing FIFOs at the array edges (Figure 7) and the jitter
+ * tolerance analysis behind "long MAC cycles allow to better hide timing
+ * fluctuation of data synchronization in the FIFO, even without on-chip
+ * SRAM" (Section III-A).
+ *
+ * The consumer (a PE row) pops one element per MAC interval; the
+ * producer (memory) delivers with latency jitter. The analysis finds the
+ * FIFO depth that absorbs a given jitter distribution for each scheme's
+ * interval length — a single-entry FIFO suffices for uSystolic where a
+ * binary-parallel design needs jitter-deep buffering.
+ */
+
+#ifndef USYS_ARCH_FIFO_H
+#define USYS_ARCH_FIFO_H
+
+#include <deque>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Timestamped synchronizing FIFO. */
+class SyncFifo
+{
+  public:
+    explicit SyncFifo(int depth) : depth_(depth) {}
+
+    /** True if another element fits. */
+    bool canPush() const { return int(ready_at_.size()) < depth_; }
+
+    /**
+     * Producer side: enqueue an element that becomes visible at
+     * `ready_cycle`.
+     *
+     * @return false (dropped) when the FIFO is full
+     */
+    bool
+    push(Cycles ready_cycle)
+    {
+        if (!canPush())
+            return false;
+        ready_at_.push_back(ready_cycle);
+        return true;
+    }
+
+    /**
+     * Consumer side: pop the oldest element at cycle `now`.
+     *
+     * @return true if an element was available in time
+     */
+    bool
+    pop(Cycles now)
+    {
+        if (ready_at_.empty() || ready_at_.front() > now)
+            return false;
+        ready_at_.pop_front();
+        return true;
+    }
+
+    int depth() const { return depth_; }
+    std::size_t occupancy() const { return ready_at_.size(); }
+
+  private:
+    int depth_;
+    std::deque<Cycles> ready_at_;
+};
+
+/** Result of the Monte-Carlo jitter study. */
+struct JitterTolerance
+{
+    u32 mac_cycles = 0;
+    double jitter_std_cycles = 0.0;
+    int required_depth = 0;   // smallest stall-free depth observed
+    double stall_rate_depth1 = 0.0; // pop-miss rate with a 1-deep FIFO
+};
+
+/**
+ * Find the FIFO depth that absorbs Gaussian delivery jitter for a
+ * consumer popping every `mac_cycles`.
+ *
+ * @param mac_cycles consumer interval (the scheme's MAC latency)
+ * @param jitter_std delivery-latency standard deviation in cycles
+ * @param items streamed elements per trial
+ * @param seed Monte-Carlo seed
+ */
+JitterTolerance analyzeJitterTolerance(u32 mac_cycles, double jitter_std,
+                                       int items = 2048, u64 seed = 0xF1F0);
+
+} // namespace usys
+
+#endif // USYS_ARCH_FIFO_H

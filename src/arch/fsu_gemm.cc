@@ -1,0 +1,58 @@
+#include "arch/fsu_gemm.h"
+
+#include <vector>
+
+#include "unary/bitstream.h"
+#include "unary/uadd.h"
+#include "unary/umul.h"
+
+namespace usys {
+
+FsuGemmExecutor::FsuGemmExecutor(int bits)
+    : bits_(bits)
+{
+    fatalIf(bits < 2 || bits > 10,
+            "FsuGemmExecutor: bits out of range (stream-level model)");
+}
+
+Matrix<double>
+FsuGemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b) const
+{
+    fatalIf(a.cols() != b.rows(), "FsuGemmExecutor: shape mismatch");
+    const int m_rows = a.rows();
+    const int k_dim = a.cols();
+    const int n_cols = b.cols();
+    const u64 period = u64(1) << bits_;
+
+    // Operand streams are generated once and broadcast (the FSU global
+    // interconnect): one bipolar stream per input element row.
+    Matrix<double> out(m_rows, n_cols, 0.0);
+    for (int m = 0; m < m_rows; ++m) {
+        // Materialize this row's input streams once.
+        std::vector<std::vector<u8>> in_streams(k_dim);
+        for (int k = 0; k < k_dim; ++k) {
+            BipolarRateBsg gen(a(m, k), (k % 3) + 3, bits_);
+            in_streams[k] = generateBits(gen, period);
+        }
+        for (int n = 0; n < n_cols; ++n) {
+            // K bipolar uMUL product streams feed the mux tree.
+            std::vector<std::vector<u8>> products(k_dim);
+            for (int k = 0; k < k_dim; ++k) {
+                BipolarUmul mul(b(k, n), bits_);
+                auto &stream = products[k];
+                stream.resize(period);
+                for (u64 t = 0; t < period; ++t)
+                    stream[t] = mul.step(in_streams[k][t] != 0) ? 1 : 0;
+            }
+            // Unary-domain accumulation: scaled adder, then bipolar
+            // decode. The estimate of sum(v_k) is the scaled 1-count
+            // minus the bipolar offset of K streams.
+            const double ones_est =
+                unaryDomainSum(products, (m + n) % 8);
+            out(m, n) = ones_est - double(k_dim) * double(period / 2);
+        }
+    }
+    return out;
+}
+
+} // namespace usys

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Functional model of a fully-streaming unary (FSU) GEMM — the
+ * uGEMM-class datapath of Figure 5a/6: bipolar rate-coded operand
+ * streams, bipolar uMULs, and *unary-domain* accumulation through a
+ * mux-based scaled adder tree (no intermediate binary conversion).
+ *
+ * This is the architecture whose accuracy column Table I rates
+ * "Low-High": the scaled adder divides by the fan-in K, so each output
+ * LSB stands for K product units and the accumulation noise grows with
+ * K — exactly what uSystolic's binary accumulation eliminates. The
+ * Table I bench measures the gap.
+ */
+
+#ifndef USYS_ARCH_FSU_GEMM_H
+#define USYS_ARCH_FSU_GEMM_H
+
+#include "common/matrix.h"
+#include "arch/scheme.h"
+
+namespace usys {
+
+/** Stream-level FSU GEMM executor. */
+class FsuGemmExecutor
+{
+  public:
+    /**
+     * @param bits signed data bitwidth (streams span 2^bits cycles)
+     */
+    explicit FsuGemmExecutor(int bits);
+
+    /**
+     * Estimate C = A (MxK) x B (KxN) through the fully streaming
+     * pipeline. Returns scaled-product estimates comparable to
+     * GemmExecutor's unary accumulations (multiply by 2^(bits-1) for
+     * exact-product units).
+     */
+    Matrix<double> run(const Matrix<i32> &a, const Matrix<i32> &b) const;
+
+    double resultScale() const { return double(u64(1) << (bits_ - 1)); }
+
+  private:
+    int bits_;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_FSU_GEMM_H

@@ -1,0 +1,141 @@
+#include "arch/functional.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/fixed_point.h"
+#include "arch/pe.h"
+
+namespace usys {
+
+const UnaryProductModel &
+unaryModelFor(int signed_bits)
+{
+    static std::mutex mutex;
+    static std::map<int, std::unique_ptr<UnaryProductModel>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = cache[signed_bits];
+    if (!slot) {
+        slot = std::make_unique<UnaryProductModel>(
+            signed_bits, kWeightRngDim, kInputRngDim);
+    }
+    return *slot;
+}
+
+const BipolarProductModel &
+bipolarModelFor(int signed_bits)
+{
+    static std::mutex mutex;
+    static std::map<int, std::unique_ptr<BipolarProductModel>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = cache[signed_bits];
+    if (!slot) {
+        slot = std::make_unique<BipolarProductModel>(
+            signed_bits, kWeightRngDim,
+            kWeightRngDim + kWeightAltRngOffset);
+    }
+    return *slot;
+}
+
+GemmExecutor::GemmExecutor(const KernelConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.check();
+    switch (cfg_.scheme) {
+      case Scheme::USystolicRate:
+      case Scheme::USystolicTemporal:
+        unary_ = &unaryModelFor(cfg_.bits);
+        break;
+      case Scheme::UgemmHybrid:
+        bipolar_ = &bipolarModelFor(cfg_.bits);
+        break;
+      default:
+        break;
+    }
+}
+
+i64
+GemmExecutor::singleProduct(i32 a, i32 b) const
+{
+    switch (cfg_.scheme) {
+      case Scheme::BinaryParallel:
+      case Scheme::BinarySerial:
+        return i64(a) * b;
+      case Scheme::USystolicRate: {
+        const SignMag sa = toSignMag(a);
+        const SignMag sb = toSignMag(b);
+        const u32 cycles = cfg_.mulCycles();
+        const int shift = cfg_.et_bits > 0 ? cfg_.bits - cfg_.et_bits : 0;
+        const i64 count =
+            unary_->rateProduct(sa.magnitude, sb.magnitude, cycles);
+        const i64 mag = count << shift;
+        return (sa.negative != sb.negative) ? -mag : mag;
+      }
+      case Scheme::USystolicTemporal: {
+        const SignMag sa = toSignMag(a);
+        const SignMag sb = toSignMag(b);
+        const i64 count = unary_->fullProduct(sa.magnitude, sb.magnitude);
+        return (sa.negative != sb.negative) ? -count : count;
+      }
+      case Scheme::UgemmHybrid:
+        return bipolar_->scaledProduct(a, b);
+    }
+    return 0;
+}
+
+Matrix<i64>
+GemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b) const
+{
+    fatalIf(a.cols() != b.rows(), "GemmExecutor: shape mismatch");
+    const int m_rows = a.rows();
+    const int k_dim = a.cols();
+    const int n_dim = b.cols();
+    Matrix<i64> out(m_rows, n_dim, 0);
+
+    if (cfg_.scheme == Scheme::BinaryParallel ||
+        cfg_.scheme == Scheme::BinarySerial) {
+        return referenceGemm(a, b);
+    }
+
+    if (cfg_.scheme == Scheme::UgemmHybrid) {
+        for (int m = 0; m < m_rows; ++m)
+            for (int k = 0; k < k_dim; ++k)
+                for (int n = 0; n < n_dim; ++n)
+                    out(m, n) += bipolar_->scaledProduct(a(m, k), b(k, n));
+        return out;
+    }
+
+    // uSystolic rate/temporal: sign-magnitude unipolar products,
+    // binary-accumulated; early termination shifts the count back.
+    const bool rate = cfg_.scheme == Scheme::USystolicRate;
+    const u32 cycles = cfg_.mulCycles();
+    const u32 period = unary_->period();
+    const int shift =
+        (rate && cfg_.et_bits > 0) ? cfg_.bits - cfg_.et_bits : 0;
+    for (int m = 0; m < m_rows; ++m) {
+        for (int k = 0; k < k_dim; ++k) {
+            const SignMag sa = toSignMag(a(m, k));
+            // The delivered ones-count depends only on the input value
+            // and the termination point, so hoist it out of the n loop.
+            const u32 ones = (rate && cycles < period)
+                                 ? unary_->rateOnes(sa.magnitude, cycles)
+                                 : sa.magnitude;
+            for (int n = 0; n < n_dim; ++n) {
+                const SignMag sb = toSignMag(b(k, n));
+                const i64 count =
+                    i64(unary_->countAfterOnes(ones, sb.magnitude))
+                    << shift;
+                out(m, n) += (sa.negative != sb.negative) ? -count : count;
+            }
+        }
+    }
+    return out;
+}
+
+double
+GemmExecutor::resultScale() const
+{
+    return isUnary(cfg_.scheme) ? double(u64(1) << (cfg_.bits - 1)) : 1.0;
+}
+
+} // namespace usys

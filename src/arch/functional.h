@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fast bit-exact functional GEMM engines.
+ *
+ * GemmExecutor computes the same accumulations as the cycle-level
+ * SystolicArray (tests assert exact agreement) but in O(1) per MAC using
+ * the precomputed unary product tables, making full DNN inference through
+ * the unary datapath tractable. Results are returned in scheme-native
+ * accumulator units; resultScale() converts them to exact-product units.
+ */
+
+#ifndef USYS_ARCH_FUNCTIONAL_H
+#define USYS_ARCH_FUNCTIONAL_H
+
+#include <memory>
+
+#include "common/matrix.h"
+#include "arch/scheme.h"
+#include "unary/product_table.h"
+
+namespace usys {
+
+/** Shared, cached product tables keyed by bitwidth. */
+const UnaryProductModel &unaryModelFor(int signed_bits);
+const BipolarProductModel &bipolarModelFor(int signed_bits);
+
+/** Functional GEMM under a kernel configuration. */
+class GemmExecutor
+{
+  public:
+    explicit GemmExecutor(const KernelConfig &cfg);
+
+    /**
+     * Compute the scheme's accumulations for C = A (MxK) x B (KxN).
+     * Binary schemes are exact; unary schemes return binary-accumulated
+     * product counts, shifted back by 2^(N-n) under early termination.
+     */
+    Matrix<i64> run(const Matrix<i32> &a, const Matrix<i32> &b) const;
+
+    /**
+     * Factor converting accumulator units to exact-product units:
+     * value_exact ~= acc * resultScale(). 1 for binary schemes,
+     * 2^(N-1) for the unary schemes.
+     */
+    double resultScale() const;
+
+    /** Scheme-native product of a single MAC (used by tests). */
+    i64 singleProduct(i32 a, i32 b) const;
+
+    const KernelConfig &config() const { return cfg_; }
+
+  private:
+    KernelConfig cfg_;
+    const UnaryProductModel *unary_ = nullptr;
+    const BipolarProductModel *bipolar_ = nullptr;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_FUNCTIONAL_H

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Processing-element building blocks (Figure 7).
+ *
+ * A uSystolic row is split into two reusable pieces:
+ *
+ *  - RowFrontEnd: the leftmost-column machinery of one row — the input
+ *    bitstream generator (IABS/ISIGN + C-I comparator with RNG or CNT) and
+ *    the row's weight-side Sobol RNG. It emits per-cycle lane signals
+ *    (input bit, input sign, random number) that propagate rightward
+ *    through IDFF/RREG with a one-cycle lag per column.
+ *
+ *  - PeCore: the per-PE arithmetic — C-W comparator + AND (uMUL), the
+ *    sign XOR, and the OREG accumulator with M-end partial-sum merge.
+ *
+ * Because the lane signals are identical in every column (just delayed),
+ * a leftmost PE is RowFrontEnd + PeCore and every other PE is the delayed
+ * lane + PeCore. The binary parallel/serial schemes reuse the same
+ * interface so the systolic array simulator is scheme-agnostic.
+ */
+
+#ifndef USYS_ARCH_PE_H
+#define USYS_ARCH_PE_H
+
+#include <optional>
+
+#include "common/fixed_point.h"
+#include "common/types.h"
+#include "arch/scheme.h"
+#include "unary/sobol.h"
+
+namespace usys {
+
+/** Default Sobol dimension of the (row-shared) weight RNG. */
+constexpr int kWeightRngDim = 0;
+/** Default Sobol dimension of the input-side rate BSG. */
+constexpr int kInputRngDim = 1;
+/** Sobol dimension offset of the second (polarity-0) uGEMM-H weight RNG. */
+constexpr int kWeightAltRngOffset = 2;
+
+/** Signals a row lane carries rightward each multiplication cycle. */
+struct LaneSignals
+{
+    bool ibit = false;   // input stream bit (or serial magnitude bit)
+    bool isign = false;  // input sign
+    u32 rnum = 0;        // weight-side random number (RREG chain)
+    u32 rnum_alt = 0;    // second RNG lane, used only by bipolar uGEMM-H
+    i32 ivalue = 0;      // full input value, used only by binary parallel
+};
+
+/** Leftmost-column lane generator for one row. */
+class RowFrontEnd
+{
+  public:
+    /**
+     * @param cfg kernel configuration
+     * @param weight_rng_dim Sobol dimension of the weight-side RNG
+     * @param input_rng_dim Sobol dimension of the input-side RNG
+     */
+    RowFrontEnd(const KernelConfig &cfg, int weight_rng_dim = kWeightRngDim,
+                int input_rng_dim = kInputRngDim)
+        : cfg_(cfg),
+          wrng_(weight_rng_dim, rngBits(cfg)),
+          irng_(input_rng_dim, rngBits(cfg)),
+          wrng_alt_(weight_rng_dim + kWeightAltRngOffset, rngBits(cfg))
+    {}
+
+    /** Latch a new input value (IABS/ISIGN) at a MAC-interval start. */
+    void
+    loadInput(i32 value)
+    {
+        const SignMag sm = toSignMag(value);
+        iabs_ = sm.magnitude;
+        isign_ = sm.negative;
+        ivalue_ = value;
+        // Bipolar offset coding for uGEMM-H.
+        ioffset_ = u32(value + (i32(1) << (cfg_.bits - 1)));
+        // Bitstreams restart every MAC interval.
+        wrng_.reset();
+        irng_.reset();
+        wrng_alt_.reset();
+        cnt_ = 0;
+        consumed_ = 0;
+        consumed_alt_ = 0;
+    }
+
+    /**
+     * Produce this cycle's lane signals.
+     *
+     * @param phase multiplication-cycle index within the MAC interval
+     */
+    LaneSignals
+    step(u32 phase)
+    {
+        LaneSignals lane;
+        lane.isign = isign_;
+        lane.ivalue = ivalue_;
+        switch (cfg_.scheme) {
+          case Scheme::BinaryParallel:
+            lane.ibit = true;
+            break;
+          case Scheme::BinarySerial:
+            lane.ibit = (iabs_ >> phase) & 1;
+            break;
+          case Scheme::USystolicRate:
+          case Scheme::USystolicTemporal: {
+            bool ibit;
+            if (cfg_.scheme == Scheme::USystolicRate) {
+                ibit = irng_.next() < iabs_;
+            } else {
+                // Temporal: 1s at the tail of the full period.
+                const u32 period = u32(1) << (cfg_.bits - 1);
+                ibit = cnt_ >= period - iabs_;
+                ++cnt_;
+            }
+            lane.ibit = ibit;
+            lane.rnum = wrng_.at(consumed_);
+            if (ibit)
+                ++consumed_;
+            break;
+          }
+          case Scheme::UgemmHybrid: {
+            const bool ibit = irng_.next() < ioffset_;
+            lane.ibit = ibit;
+            lane.rnum = wrng_.at(consumed_);
+            lane.rnum_alt = wrng_alt_.at(consumed_alt_);
+            if (ibit)
+                ++consumed_;
+            else
+                ++consumed_alt_;
+            break;
+          }
+        }
+        return lane;
+    }
+
+    /** Reset bitstream state at M-end (next interval restarts streams). */
+    void
+    endMac()
+    {
+        consumed_ = 0;
+        consumed_alt_ = 0;
+    }
+
+  private:
+    static int
+    rngBits(const KernelConfig &cfg)
+    {
+        // Bipolar streams span 2^N cycles; unipolar 2^(N-1).
+        return cfg.scheme == Scheme::UgemmHybrid ? cfg.bits : cfg.bits - 1;
+    }
+
+    KernelConfig cfg_;
+    SobolSequence wrng_;
+    SobolSequence irng_;
+    SobolSequence wrng_alt_;
+    u32 iabs_ = 0;
+    bool isign_ = false;
+    i32 ivalue_ = 0;
+    u32 ioffset_ = 0;
+    u32 cnt_ = 0;
+    u64 consumed_ = 0;
+    u64 consumed_alt_ = 0;
+};
+
+/** Per-PE arithmetic core: uMUL + sign XOR + OREG accumulate. */
+class PeCore
+{
+  public:
+    explicit PeCore(const KernelConfig &cfg) : cfg_(cfg) {}
+
+    /** Latch a stationary weight (WABS/WSIGN). */
+    void
+    loadWeight(i32 value)
+    {
+        const SignMag sm = toSignMag(value);
+        wabs_ = sm.magnitude;
+        wsign_ = sm.negative;
+        wvalue_ = value;
+        woffset_ = u32(value + (i32(1) << (cfg_.bits - 1)));
+        oreg_ = 0;
+    }
+
+    /** One multiplication cycle. */
+    void
+    stepMul(const LaneSignals &lane, u32 phase)
+    {
+        switch (cfg_.scheme) {
+          case Scheme::BinaryParallel:
+            oreg_ = i64(lane.ivalue) * wvalue_;
+            break;
+          case Scheme::BinarySerial:
+            if (lane.ibit)
+                oreg_ += i64(wabs_) << phase;
+            break;
+          case Scheme::USystolicRate:
+          case Scheme::USystolicTemporal: {
+            const bool pbit = lane.ibit && (lane.rnum < wabs_);
+            if (pbit)
+                oreg_ += (lane.isign != wsign_) ? -1 : 1;
+            break;
+          }
+          case Scheme::UgemmHybrid: {
+            const bool pbit = lane.ibit ? (lane.rnum < woffset_)
+                                        : !(lane.rnum_alt < woffset_);
+            if (pbit)
+                ++oreg_;
+            break;
+          }
+        }
+    }
+
+    /**
+     * M-end: merge the partial sum from the PE below, reset the OREG, and
+     * return the value passed upward.
+     *
+     * @param psum_below partial sum arriving from the PE below
+     * @param input_sign sign bit of the finished input (binary serial)
+     */
+    i64
+    finishMac(i64 psum_below, bool input_sign)
+    {
+        i64 value = oreg_;
+        if (cfg_.scheme == Scheme::BinarySerial && (input_sign != wsign_))
+            value = -value;
+        if (cfg_.scheme == Scheme::UgemmHybrid) {
+            // Bipolar count -> signed scaled product (x*w / 2^(N-1)).
+            value -= i64(1) << (cfg_.bits - 1);
+        }
+        oreg_ = 0;
+        return value + psum_below;
+    }
+
+    i64 oreg() const { return oreg_; }
+    i32 weight() const { return wvalue_; }
+
+  private:
+    KernelConfig cfg_;
+    u32 wabs_ = 0;
+    bool wsign_ = false;
+    i32 wvalue_ = 0;
+    u32 woffset_ = 0;
+    i64 oreg_ = 0;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_PE_H

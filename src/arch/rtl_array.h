@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Signal-level referee simulator of the systolic array.
+ *
+ * SystolicArray (array.h) exploits the fact that inter-column traffic is
+ * a one-cycle-delayed left-to-right lane to evaluate columns
+ * independently. RtlArray makes no such argument: it steps *every* PE
+ * every cycle with explicitly registered wires — weight shift chains
+ * down the columns, {valid, bit, sign, random-number, M-end} lanes to
+ * the right, partial-sum registers upward — using standard two-phase
+ * (compute/commit) clocking. Row skew emerges from when each row's
+ * front end is started, not from scheduling arithmetic.
+ *
+ * Its outputs and cycle counts must match SystolicArray exactly
+ * (tests/test_rtl_array.cc), which independently validates the
+ * decomposition and the closed-form fold latency.
+ */
+
+#ifndef USYS_ARCH_RTL_ARRAY_H
+#define USYS_ARCH_RTL_ARRAY_H
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "arch/array.h"
+
+namespace usys {
+
+/** Two-phase clocked whole-array simulator. */
+class RtlArray
+{
+  public:
+    explicit RtlArray(const ArrayConfig &cfg);
+
+    /** Same contract as SystolicArray::runFold. */
+    SystolicArray::FoldResult runFold(const Matrix<i32> &input,
+                                      const Matrix<i32> &weights) const;
+
+  private:
+    ArrayConfig cfg_;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_RTL_ARRAY_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Computing-scheme taxonomy and kernel configuration (Section IV-C2).
+ *
+ * The five evaluated schemes share the weight-stationary data schedule and
+ * differ only in the PE kernel, hence in MAC latency and hardware cost:
+ *
+ *   BinaryParallel   1-cycle bit-parallel MAC (TPU-like)
+ *   BinarySerial     bit-serial multiply over N cycles + 1 accumulate
+ *   USystolicRate    unipolar C-BSG uMUL on sign-magnitude data,
+ *                    rate-coded, early-terminable to EBT n
+ *   USystolicTemporal same but temporal-coded input (no early termination)
+ *   UgemmHybrid      uGEMM-H baseline: bipolar uMUL on signed data,
+ *                    2^N mul cycles, double area
+ */
+
+#ifndef USYS_ARCH_SCHEME_H
+#define USYS_ARCH_SCHEME_H
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace usys {
+
+/** PE computing scheme. */
+enum class Scheme
+{
+    BinaryParallel,
+    BinarySerial,
+    USystolicRate,
+    USystolicTemporal,
+    UgemmHybrid,
+};
+
+/** Short tag used in experiment tables (BP/BS/UR/UT/UG). */
+inline const char *
+schemeTag(Scheme s)
+{
+    switch (s) {
+      case Scheme::BinaryParallel: return "BP";
+      case Scheme::BinarySerial: return "BS";
+      case Scheme::USystolicRate: return "UR";
+      case Scheme::USystolicTemporal: return "UT";
+      case Scheme::UgemmHybrid: return "UG";
+    }
+    return "?";
+}
+
+/** True for the unary schemes (uSystolic and uGEMM-H). */
+inline bool
+isUnary(Scheme s)
+{
+    return s == Scheme::USystolicRate || s == Scheme::USystolicTemporal ||
+           s == Scheme::UgemmHybrid;
+}
+
+/** PE kernel configuration: scheme, bitwidth, early-termination point. */
+struct KernelConfig
+{
+    Scheme scheme = Scheme::BinaryParallel;
+
+    /** Signed data bitwidth N at the memory interface. */
+    int bits = 8;
+
+    /**
+     * Effective bitwidth n for rate-coded early termination (Section
+     * III-C): 2^(n-1) of the 2^(N-1) unary cycles are executed and the
+     * result is scaled back by a left shift of N-n. 0 means full period.
+     * Only meaningful for USystolicRate.
+     */
+    int et_bits = 0;
+
+    /** EBT actually in effect. */
+    int
+    effectiveBits() const
+    {
+        if (scheme == Scheme::USystolicRate && et_bits > 0)
+            return et_bits;
+        return bits;
+    }
+
+    /** Multiplication cycles of one MAC. */
+    u32
+    mulCycles() const
+    {
+        switch (scheme) {
+          case Scheme::BinaryParallel:
+            return 1;
+          case Scheme::BinarySerial:
+            return u32(bits);
+          case Scheme::USystolicRate:
+            return u32(1) << (effectiveBits() - 1);
+          case Scheme::USystolicTemporal:
+            return u32(1) << (bits - 1);
+          case Scheme::UgemmHybrid:
+            return u32(1) << bits;
+        }
+        return 1;
+    }
+
+    /**
+     * Total MAC cycles: multiplication cycles plus one accumulation cycle,
+     * except bit-parallel where multiply and accumulate share the cycle.
+     */
+    u32
+    macCycles() const
+    {
+        if (scheme == Scheme::BinaryParallel)
+            return 1;
+        return mulCycles() + 1;
+    }
+
+    /** Validate invariants; call after construction. */
+    void
+    check() const
+    {
+        fatalIf(bits < 2 || bits > 16, "KernelConfig: bits out of range");
+        // (The functional unary product tables cap at 13 signed bits;
+        // wider unary configs are valid for the timing/cost models.)
+        fatalIf(et_bits != 0 && (et_bits < 2 || et_bits > bits),
+                "KernelConfig: et_bits must be 0 or in [2, bits]");
+        fatalIf(et_bits != 0 && scheme != Scheme::USystolicRate,
+                "KernelConfig: early termination requires rate coding");
+    }
+
+    /** Human-readable tag, e.g. "UR-8b(ebt6)". */
+    std::string
+    name() const
+    {
+        std::string n = schemeTag(scheme);
+        n += "-" + std::to_string(bits) + "b";
+        if (scheme == Scheme::USystolicRate && et_bits > 0 &&
+            et_bits != bits) {
+            n += "(ebt" + std::to_string(et_bits) + ")";
+        }
+        return n;
+    }
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_SCHEME_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * fatal() is for user-recoverable configuration errors (exit(1));
+ * panic() is for internal invariant violations (abort()).
+ */
+
+#ifndef USYS_COMMON_LOGGING_H
+#define USYS_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace usys {
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr. */
+void warn(const std::string &msg);
+
+/** Report a user error (bad configuration / arguments) and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** panic() unless the condition holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** fatal() unless the condition holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace usys
+
+#endif // USYS_COMMON_LOGGING_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal thread-pool-free parallel loop.
+ *
+ * Spawns hardware_concurrency() threads over a contiguous index range.
+ * On single-core hosts this degrades gracefully to a serial loop.
+ */
+
+#ifndef USYS_COMMON_PARALLEL_FOR_H
+#define USYS_COMMON_PARALLEL_FOR_H
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/**
+ * Apply fn(i) for all i in [begin, end) across worker threads.
+ *
+ * @param begin first index
+ * @param end one past the last index
+ * @param fn callable taking a single index
+ */
+template <typename Fn>
+void
+parallelFor(u64 begin, u64 end, Fn &&fn)
+{
+    const u64 n = end > begin ? end - begin : 0;
+    if (n == 0)
+        return;
+
+    unsigned workers = std::thread::hardware_concurrency();
+    workers = std::max(1u, std::min<unsigned>(workers, unsigned(n)));
+    if (workers == 1) {
+        for (u64 i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<u64> next{begin};
+    auto body = [&]() {
+        for (;;) {
+            const u64 i = next.fetch_add(1);
+            if (i >= end)
+                return;
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t)
+        threads.emplace_back(body);
+    body();
+    for (auto &th : threads)
+        th.join();
+}
+
+} // namespace usys
+
+#endif // USYS_COMMON_PARALLEL_FOR_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic PRNG for synthetic data generation and tests.
+ *
+ * This is a software utility generator (xoshiro256**), distinct from the
+ * hardware Sobol/LFSR RNGs modeled in src/unary.
+ */
+
+#ifndef USYS_COMMON_PRNG_H
+#define USYS_COMMON_PRNG_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** xoshiro256** with splitmix64 seeding; reproducible across platforms. */
+class Prng
+{
+  public:
+    explicit Prng(u64 seed = 0x5EEDu) { reseed(seed); }
+
+    /** Reset the generator state from a 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        u64 x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9E3779B97F4A7C15ull;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniform random bits. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4] = {};
+};
+
+} // namespace usys
+
+#endif // USYS_COMMON_PRNG_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight streaming statistics used by tests and experiment drivers.
+ */
+
+#ifndef USYS_COMMON_STATS_H
+#define USYS_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Welford-style online mean/variance with min/max tracking. */
+class OnlineStats
+{
+  public:
+    /** Fold one sample into the running statistics. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / double(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    u64 count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / double(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    u64 count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Streaming root-mean-square error between paired observations. */
+class RmseTracker
+{
+  public:
+    /** Record one (reference, measured) pair. */
+    void
+    add(double reference, double measured)
+    {
+        const double e = measured - reference;
+        err_.add(e);
+        sq_sum_ += e * e;
+        ref_sq_sum_ += reference * reference;
+    }
+
+    u64 count() const { return err_.count(); }
+    double meanError() const { return err_.mean(); }
+    double maxAbsError() const
+    {
+        return std::max(std::abs(err_.min()), std::abs(err_.max()));
+    }
+
+    double
+    rmse() const
+    {
+        return err_.count() ? std::sqrt(sq_sum_ / double(err_.count())) : 0.0;
+    }
+
+    /** RMSE normalized by the reference RMS value. */
+    double
+    normalizedRmse() const
+    {
+        const double ref_rms =
+            err_.count() ? std::sqrt(ref_sq_sum_ / double(err_.count())) : 0.0;
+        return ref_rms > 0.0 ? rmse() / ref_rms : rmse();
+    }
+
+  private:
+    OnlineStats err_;
+    double sq_sum_ = 0.0;
+    double ref_sq_sum_ = 0.0;
+};
+
+/** Percentage reduction of b relative to a: (a - b) / a * 100. */
+inline double
+pctReduction(double a, double b)
+{
+    return a > 0.0 ? (a - b) / a * 100.0 : 0.0;
+}
+
+} // namespace usys
+
+#endif // USYS_COMMON_STATS_H

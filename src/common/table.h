@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-width text table printer for experiment outputs.
+ */
+
+#ifndef USYS_COMMON_TABLE_H
+#define USYS_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace usys {
+
+/** Accumulates rows of strings and prints an aligned ASCII table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Format a double in scientific notation. */
+    static std::string
+    sci(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+        return buf;
+    }
+
+    /** Print the table to the given stream. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < width.size(); ++c) {
+                const std::string &cell = c < row.size() ? row[c] : empty_;
+                std::fprintf(out, "%s%-*s", c ? "  " : "",
+                             int(width[c]), cell.c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+
+        print_row(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        std::string rule(total > 2 ? total - 2 : 0, '-');
+        std::fprintf(out, "%s\n", rule.c_str());
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string empty_;
+};
+
+} // namespace usys
+
+#endif // USYS_COMMON_TABLE_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout the library.
+ */
+
+#ifndef USYS_COMMON_TYPES_H
+#define USYS_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace usys {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation cycle count. */
+using Cycles = std::uint64_t;
+
+} // namespace usys
+
+#endif // USYS_COMMON_TYPES_H

@@ -1,0 +1,107 @@
+#include "dnn/backend.h"
+
+#include <cmath>
+
+#include "common/fixed_point.h"
+#include "arch/functional.h"
+
+namespace usys {
+
+namespace {
+
+float
+maxAbs(const MatF &m)
+{
+    float mx = 0.0f;
+    for (float v : m.data())
+        mx = std::max(mx, std::fabs(v));
+    return mx;
+}
+
+Matrix<i32>
+quantizeMat(const MatF &m, double scale, int bits)
+{
+    Matrix<i32> q(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); ++r)
+        for (int c = 0; c < m.cols(); ++c)
+            q(r, c) = quantize(m(r, c), scale, bits);
+    return q;
+}
+
+MatF
+dequantizeAcc(const Matrix<i64> &acc, double factor)
+{
+    MatF out(acc.rows(), acc.cols());
+    for (int r = 0; r < acc.rows(); ++r)
+        for (int c = 0; c < acc.cols(); ++c)
+            out(r, c) = float(double(acc(r, c)) * factor);
+    return out;
+}
+
+} // namespace
+
+MatF
+gemmFp32(const MatF &a, const MatF &b)
+{
+    fatalIf(a.cols() != b.rows(), "gemmFp32: shape mismatch");
+    MatF c(a.rows(), b.cols(), 0.0f);
+    for (int m = 0; m < a.rows(); ++m) {
+        for (int k = 0; k < a.cols(); ++k) {
+            const float av = a(m, k);
+            if (av == 0.0f)
+                continue;
+            const float *brow = &b(k, 0);
+            float *crow = &c(m, 0);
+            for (int n = 0; n < b.cols(); ++n)
+                crow[n] += av * brow[n];
+        }
+    }
+    return c;
+}
+
+MatF
+gemmWithMode(const MatF &a, const MatF &b, const NumericConfig &cfg)
+{
+    cfg.check();
+    if (cfg.mode == NumericMode::Fp32)
+        return gemmFp32(a, b);
+
+    // Bit allocation per mode. B is the weight operand.
+    int a_bits = cfg.ebt, b_bits = cfg.ebt;
+    if (cfg.mode == NumericMode::FxpOres) {
+        // n-bit output resolution: the inputs share n bits; the weight
+        // gets the extra bit when n is odd (Section V-A).
+        a_bits = cfg.ebt / 2;
+        b_bits = cfg.ebt - a_bits;
+        a_bits = std::max(a_bits, 2);
+        b_bits = std::max(b_bits, 2);
+    }
+
+    const double sa = symmetricScale(maxAbs(a), a_bits);
+    const double sb = symmetricScale(maxAbs(b), b_bits);
+    const auto qa = quantizeMat(a, sa, a_bits);
+    const auto qb = quantizeMat(b, sb, b_bits);
+
+    switch (cfg.mode) {
+      case NumericMode::FxpIres:
+      case NumericMode::FxpOres:
+        return dequantizeAcc(referenceGemm(qa, qb), sa * sb);
+      case NumericMode::UnaryRate:
+      case NumericMode::UnaryTemporal:
+      case NumericMode::UgemmH: {
+        Scheme scheme = Scheme::USystolicRate;
+        if (cfg.mode == NumericMode::UnaryTemporal)
+            scheme = Scheme::USystolicTemporal;
+        if (cfg.mode == NumericMode::UgemmH)
+            scheme = Scheme::UgemmHybrid;
+        GemmExecutor exec({scheme, cfg.ebt, 0});
+        const auto acc = exec.run(qa, qb);
+        return dequantizeAcc(acc, sa * sb * exec.resultScale());
+      }
+      default:
+        break;
+    }
+    panic("gemmWithMode: unhandled mode");
+}
+
+} // namespace usys

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * GEMM backend executing float matrix products under a NumericConfig.
+ *
+ * Every convolution/linear layer lowers to gemmWithMode(activations,
+ * weights): the float operands are symmetrically quantized per tensor,
+ * pushed through the mode's integer datapath (exact binary or bit-exact
+ * unary via the product tables), and dequantized. This makes the Figure 9
+ * accuracy study exercise the same arithmetic as the cycle-level PE.
+ */
+
+#ifndef USYS_DNN_BACKEND_H
+#define USYS_DNN_BACKEND_H
+
+#include "common/matrix.h"
+#include "dnn/numeric.h"
+
+namespace usys {
+
+using MatF = Matrix<float>;
+
+/** C (MxN) = A (MxK) x B (KxN) in float (reference path). */
+MatF gemmFp32(const MatF &a, const MatF &b);
+
+/**
+ * C = A x B under the given numeric mode. B is treated as the weight
+ * operand (receives the extra bit in FXP-o-res, stays stationary in the
+ * unary schemes).
+ */
+MatF gemmWithMode(const MatF &a, const MatF &b, const NumericConfig &cfg);
+
+} // namespace usys
+
+#endif // USYS_DNN_BACKEND_H

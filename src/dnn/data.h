@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Procedural image-classification datasets (DESIGN.md substitution #3).
+ *
+ * Three difficulty tiers stand in for MNIST / CIFAR10 / ImageNet:
+ *  - seven-segment digit glyphs (easy, 10 classes),
+ *  - oriented gratings (medium, 10 classes, heavy noise),
+ *  - low-contrast composite glyphs (hard, 20 classes, very heavy noise).
+ *
+ * All generation is deterministic in the seed, so trained models and the
+ * Figure 9 accuracy numbers are reproducible.
+ */
+
+#ifndef USYS_DNN_DATA_H
+#define USYS_DNN_DATA_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "dnn/tensor.h"
+
+namespace usys {
+
+/** In-memory labeled image set (single channel, size x size). */
+struct Dataset
+{
+    int classes = 0;
+    int size = 0; // square image side
+    std::vector<std::vector<float>> images;
+    std::vector<int> labels;
+
+    std::size_t count() const { return images.size(); }
+
+    /** Assemble samples [start, start+n) into an (n,1,size,size) batch. */
+    Tensor
+    batch(std::size_t start, std::size_t n) const
+    {
+        Tensor t(int(n), 1, size, size);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &img = images[start + i];
+            std::copy(img.begin(), img.end(),
+                      t.raw().begin() + i * img.size());
+        }
+        return t;
+    }
+
+    /** Labels of samples [start, start+n). */
+    std::vector<int>
+    batchLabels(std::size_t start, std::size_t n) const
+    {
+        return {labels.begin() + start, labels.begin() + start + n};
+    }
+};
+
+/** Easy tier: noisy seven-segment digits, 10 classes (MNIST stand-in). */
+Dataset makeDigits(std::size_t count, u64 seed, float noise = 0.25f);
+
+/** Medium tier: noisy oriented gratings, 10 classes (CIFAR stand-in). */
+Dataset makeGratings(std::size_t count, u64 seed, float noise = 0.55f);
+
+/**
+ * Hard tier: contrast-jittered glyphs at near-glyph-amplitude noise
+ * (ImageNet stand-in — FP32 tops out near the paper's ~56% AlexNet tier).
+ */
+Dataset makeHardGlyphs(std::size_t count, u64 seed, float noise = 0.6f);
+
+} // namespace usys
+
+#endif // USYS_DNN_DATA_H

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Minimal DNN layer zoo with float training and mode-switchable
+ * quantized/unary inference.
+ *
+ * forward() takes a NumericConfig so the same trained model can be
+ * evaluated under FP32, fixed-point, or any unary scheme (Figure 9).
+ * backward()/step() implement plain SGD-with-momentum training in float.
+ */
+
+#ifndef USYS_DNN_LAYERS_H
+#define USYS_DNN_LAYERS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "dnn/backend.h"
+#include "dnn/numeric.h"
+#include "dnn/tensor.h"
+
+namespace usys {
+
+/** Base layer: forward under a numeric mode, float backward, SGD step. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Forward pass; caches activations needed by backward. */
+    virtual Tensor forward(const Tensor &x, const NumericConfig &cfg) = 0;
+
+    /** Backward pass (float); returns gradient w.r.t. the input. */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** SGD-with-momentum parameter update. */
+    virtual void step(float, float) {}
+
+    /** Trainable parameter blobs (for (de)serialization). */
+    virtual std::vector<std::vector<float> *> paramBlobs() { return {}; }
+
+    virtual std::string name() const = 0;
+};
+
+/** 2-D convolution via im2col + gemmWithMode. */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+           Prng &init);
+
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(float lr, float momentum) override;
+    std::vector<std::vector<float> *> paramBlobs() override;
+    std::string name() const override { return "conv"; }
+
+    i64 macsPerSample(int in_h, int in_w) const;
+
+  private:
+    int in_ch_, out_ch_, kernel_, stride_, pad_;
+    std::vector<float> weight_; // (K = in_ch*k*k) x out_ch, row-major
+    std::vector<float> bias_;
+    std::vector<float> grad_w_, grad_b_, vel_w_, vel_b_;
+    // Cached forward state.
+    Tensor input_;
+    MatF cols_;
+    int out_h_ = 0, out_w_ = 0;
+};
+
+/** Fully-connected layer (flattens its input). */
+class Linear : public Layer
+{
+  public:
+    Linear(int in_features, int out_features, Prng &init);
+
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(float lr, float momentum) override;
+    std::vector<std::vector<float> *> paramBlobs() override;
+    std::string name() const override { return "linear"; }
+
+  private:
+    int in_f_, out_f_;
+    std::vector<float> weight_; // in_f x out_f
+    std::vector<float> bias_;
+    std::vector<float> grad_w_, grad_b_, vel_w_, vel_b_;
+    Tensor input_;
+    int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
+};
+
+/** Rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    Tensor input_;
+};
+
+/** 2x2 stride-2 max pooling. */
+class MaxPool2d : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "maxpool"; }
+
+  private:
+    Tensor input_;
+    std::vector<u32> argmax_;
+    int out_h_ = 0, out_w_ = 0;
+};
+
+/** Layer pipeline. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(float lr, float momentum) override;
+    std::vector<std::vector<float> *> paramBlobs() override;
+    std::string name() const override { return "sequential"; }
+
+    std::size_t layerCount() const { return layers_.size(); }
+
+    /**
+     * Mixed-precision forward: sublayer i runs under configs[i]. This
+     * is how a per-layer early-termination schedule (the ISA's
+     * MAC-cycle-count field programmed differently per layer) is
+     * evaluated for accuracy.
+     *
+     * @param configs one NumericConfig per sublayer (size layerCount())
+     */
+    Tensor forwardMixed(const Tensor &x,
+                        const std::vector<NumericConfig> &configs);
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** Residual block: out = relu(body(x) + shortcut(x)). */
+class ResidualBlock : public Layer
+{
+  public:
+    /**
+     * Two 3x3 convolutions; a 1x1 projection shortcut is inserted when
+     * the shape changes (stride > 1 or channel growth).
+     */
+    ResidualBlock(int in_ch, int out_ch, int stride, Prng &init);
+
+    Tensor forward(const Tensor &x, const NumericConfig &cfg) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(float lr, float momentum) override;
+    std::vector<std::vector<float> *> paramBlobs() override;
+    std::string name() const override { return "residual"; }
+
+  private:
+    Sequential body_;
+    std::unique_ptr<Conv2d> projection_; // null for identity shortcut
+    Tensor input_;
+    Tensor sum_; // pre-ReLU sum for the backward mask
+};
+
+/**
+ * Softmax cross-entropy over logits (N x classes).
+ *
+ * @param logits network output, H=W=1
+ * @param labels per-sample class indices
+ * @param grad optional out-param receiving dLoss/dLogits
+ * @return mean loss
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<int> &labels,
+                           Tensor *grad = nullptr);
+
+/** Index of the max logit per sample. */
+std::vector<int> argmaxLogits(const Tensor &logits);
+
+} // namespace usys
+
+#endif // USYS_DNN_LAYERS_H

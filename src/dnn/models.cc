@@ -1,0 +1,62 @@
+#include "dnn/models.h"
+
+namespace usys {
+
+std::unique_ptr<Sequential>
+buildCnn4(int classes, u64 seed)
+{
+    Prng init(seed);
+    auto model = std::make_unique<Sequential>();
+    model->add(std::make_unique<Conv2d>(1, 8, 3, 1, 1, init));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>());
+    model->add(std::make_unique<Conv2d>(8, 16, 3, 1, 1, init));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>());
+    model->add(std::make_unique<Linear>(16 * 4 * 4, 48, init));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(48, classes, init));
+    return model;
+}
+
+std::unique_ptr<Sequential>
+buildResLite(int classes, u64 seed)
+{
+    Prng init(seed);
+    auto model = std::make_unique<Sequential>();
+    model->add(std::make_unique<Conv2d>(1, 8, 3, 1, 1, init)); // stem
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<ResidualBlock>(8, 8, 1, init));
+    model->add(std::make_unique<ResidualBlock>(8, 16, 2, init));
+    model->add(std::make_unique<ResidualBlock>(16, 32, 2, init));
+    model->add(std::make_unique<Linear>(32 * 4 * 4, classes, init));
+    return model;
+}
+
+std::unique_ptr<Sequential>
+buildAlexLite(int classes, u64 seed)
+{
+    Prng init(seed);
+    auto model = std::make_unique<Sequential>();
+    model->add(std::make_unique<Conv2d>(1, 8, 5, 1, 2, init)); // conv1
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>());                 // 8x8
+    model->add(std::make_unique<Conv2d>(8, 16, 3, 1, 1, init)); // conv2
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>());                 // 4x4
+    model->add(std::make_unique<Conv2d>(16, 24, 3, 1, 1, init)); // conv3
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Conv2d>(24, 24, 3, 1, 1, init)); // conv4
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Conv2d>(24, 16, 3, 1, 1, init)); // conv5
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>());                 // 2x2
+    model->add(std::make_unique<Linear>(16 * 2 * 2, 64, init)); // fc6
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(64, 48, init));        // fc7
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(48, classes, init));   // fc8
+    return model;
+}
+
+} // namespace usys

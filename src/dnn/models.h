@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Model builders (DESIGN.md substitution #3): scaled-down versions of the
+ * paper's three CNNs with the same topological families.
+ *
+ *  - buildCnn4: 4 weighted layers (conv-conv-fc-fc), the "4-layer CNN for
+ *    MNIST";
+ *  - buildResLite: residual network (stem + 3 residual stages + fc), the
+ *    "ResNet18 for CIFAR10";
+ *  - buildAlexLite: 5 convolutions + 3 fully-connected layers, the
+ *    "AlexNet for ImageNet".
+ */
+
+#ifndef USYS_DNN_MODELS_H
+#define USYS_DNN_MODELS_H
+
+#include <memory>
+
+#include "dnn/layers.h"
+
+namespace usys {
+
+/** 4-layer CNN for 16x16x1 inputs. */
+std::unique_ptr<Sequential> buildCnn4(int classes, u64 seed);
+
+/** Residual CNN (ResNet18-style topology, scaled down). */
+std::unique_ptr<Sequential> buildResLite(int classes, u64 seed);
+
+/** AlexNet-style CNN (5 conv + 3 fc, scaled down). */
+std::unique_ptr<Sequential> buildAlexLite(int classes, u64 seed);
+
+} // namespace usys
+
+#endif // USYS_DNN_MODELS_H

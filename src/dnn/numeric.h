@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Numeric execution modes for DNN inference (Figure 9 candidates).
+ *
+ * FP32       reference floating-point model.
+ * FxpIres    "FXP-i-res": inputs quantized to n bits, exact binary GEMM
+ *            (output resolution 2n).
+ * FxpOres    "FXP-o-res": output resolution n bits, i.e. the two GEMM
+ *            inputs share n bits between them ((n+1)/2 and n/2).
+ * UnaryRate  uSystolic rate-coded unary GEMM at effective bitwidth n
+ *            (2^(n-1) multiplication cycles, binary accumulation).
+ * UnaryTemporal  same with temporal-coded inputs (no early termination).
+ * UgemmH     uGEMM-H bipolar unary GEMM (2^n cycles) — identical
+ *            resolution to UnaryRate, double the hardware/latency.
+ */
+
+#ifndef USYS_DNN_NUMERIC_H
+#define USYS_DNN_NUMERIC_H
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace usys {
+
+/** Arithmetic used for every GEMM in the network. */
+enum class NumericMode
+{
+    Fp32,
+    FxpIres,
+    FxpOres,
+    UnaryRate,
+    UnaryTemporal,
+    UgemmH,
+};
+
+/** Mode plus effective bitwidth (EBT) n. */
+struct NumericConfig
+{
+    NumericMode mode = NumericMode::Fp32;
+    int ebt = 8;
+
+    void
+    check() const
+    {
+        if (mode != NumericMode::Fp32)
+            fatalIf(ebt < 2 || ebt > 12, "NumericConfig: EBT out of range");
+    }
+
+    std::string
+    name() const
+    {
+        switch (mode) {
+          case NumericMode::Fp32: return "FP32";
+          case NumericMode::FxpIres:
+            return "FXP-i-res-" + std::to_string(ebt);
+          case NumericMode::FxpOres:
+            return "FXP-o-res-" + std::to_string(ebt);
+          case NumericMode::UnaryRate:
+            return "uSystolic-rate-" + std::to_string(ebt);
+          case NumericMode::UnaryTemporal:
+            return "uSystolic-temporal-" + std::to_string(ebt);
+          case NumericMode::UgemmH:
+            return "uGEMM-H-" + std::to_string(ebt);
+        }
+        return "?";
+    }
+};
+
+} // namespace usys
+
+#endif // USYS_DNN_NUMERIC_H

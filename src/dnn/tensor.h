@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal NCHW float tensor for the DNN inference/training substrate.
+ */
+
+#ifndef USYS_DNN_TENSOR_H
+#define USYS_DNN_TENSOR_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace usys {
+
+/** Dense float tensor with (N, C, H, W) layout; FC activations use H=W=1. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(int n, int c, int h, int w)
+        : n_(n), c_(c), h_(h), w_(w),
+          data_(std::size_t(n) * c * h * w, 0.0f)
+    {}
+
+    int n() const { return n_; }
+    int c() const { return c_; }
+    int h() const { return h_; }
+    int w() const { return w_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &
+    at(int n, int c, int h, int w)
+    {
+        return data_[idx(n, c, h, w)];
+    }
+
+    float
+    at(int n, int c, int h, int w) const
+    {
+        return data_[idx(n, c, h, w)];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    std::vector<float> &raw() { return data_; }
+    const std::vector<float> &raw() const { return data_; }
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor
+    reshaped(int n, int c, int h, int w) const
+    {
+        panicIf(std::size_t(n) * c * h * w != data_.size(),
+                "Tensor::reshaped: element count mismatch");
+        Tensor t = *this;
+        t.n_ = n;
+        t.c_ = c;
+        t.h_ = h;
+        t.w_ = w;
+        return t;
+    }
+
+    /** Zero all elements. */
+    void
+    zero()
+    {
+        std::fill(data_.begin(), data_.end(), 0.0f);
+    }
+
+  private:
+    std::size_t
+    idx(int n, int c, int h, int w) const
+    {
+        return ((std::size_t(n) * c_ + c) * h_ + h) * w_ + w;
+    }
+
+    int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace usys
+
+#endif // USYS_DNN_TENSOR_H

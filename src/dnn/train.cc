@@ -1,0 +1,105 @@
+#include "dnn/train.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "common/prng.h"
+
+namespace usys {
+
+void
+trainClassifier(Layer &model, const Dataset &data, const TrainOpts &opts)
+{
+    const NumericConfig fp32{NumericMode::Fp32, 8};
+    Prng prng(opts.shuffle_seed);
+    std::vector<std::size_t> order(data.count());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        // Fisher-Yates shuffle.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[prng.below(i)]);
+
+        double loss_sum = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start + opts.batch <= data.count();
+             start += opts.batch) {
+            Tensor x(opts.batch, 1, data.size, data.size);
+            std::vector<int> labels(opts.batch);
+            for (int i = 0; i < opts.batch; ++i) {
+                const auto &img = data.images[order[start + i]];
+                std::copy(img.begin(), img.end(),
+                          x.raw().begin() + std::size_t(i) * img.size());
+                labels[i] = data.labels[order[start + i]];
+            }
+            Tensor logits = model.forward(x, fp32);
+            Tensor grad;
+            loss_sum += softmaxCrossEntropy(logits, labels, &grad);
+            model.backward(grad);
+            model.step(opts.lr, opts.momentum);
+            ++batches;
+        }
+        if (opts.verbose) {
+            std::fprintf(stderr, "epoch %d: loss %.4f\n", epoch,
+                         loss_sum / double(batches));
+        }
+    }
+}
+
+double
+evaluateAccuracy(Layer &model, const Dataset &data,
+                 const NumericConfig &cfg, std::size_t max_samples)
+{
+    const std::size_t total =
+        max_samples ? std::min(max_samples, data.count()) : data.count();
+    const std::size_t chunk = 64;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < total; start += chunk) {
+        const std::size_t n = std::min(chunk, total - start);
+        Tensor x = data.batch(start, n);
+        const Tensor logits = model.forward(x, cfg);
+        const auto preds = argmaxLogits(logits);
+        for (std::size_t i = 0; i < n; ++i)
+            if (preds[i] == data.labels[start + i])
+                ++correct;
+    }
+    return double(correct) / double(total);
+}
+
+bool
+saveWeights(Layer &model, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    for (auto *blob : model.paramBlobs()) {
+        const u64 n = blob->size();
+        out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+        out.write(reinterpret_cast<const char *>(blob->data()),
+                  std::streamsize(n * sizeof(float)));
+    }
+    return bool(out);
+}
+
+bool
+loadWeights(Layer &model, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    for (auto *blob : model.paramBlobs()) {
+        u64 n = 0;
+        in.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!in || n != blob->size())
+            return false;
+        in.read(reinterpret_cast<char *>(blob->data()),
+                std::streamsize(n * sizeof(float)));
+        if (!in)
+            return false;
+    }
+    return true;
+}
+
+} // namespace usys

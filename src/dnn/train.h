@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SGD training, evaluation under any numeric mode, and weight caching.
+ */
+
+#ifndef USYS_DNN_TRAIN_H
+#define USYS_DNN_TRAIN_H
+
+#include <string>
+
+#include "dnn/data.h"
+#include "dnn/layers.h"
+
+namespace usys {
+
+/** Training hyperparameters. */
+struct TrainOpts
+{
+    int epochs = 8;
+    int batch = 32;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    u64 shuffle_seed = 1;
+    bool verbose = false;
+};
+
+/** Train a classifier in FP32 with SGD + momentum and cross-entropy. */
+void trainClassifier(Layer &model, const Dataset &data,
+                     const TrainOpts &opts);
+
+/**
+ * Top-1 accuracy of the model on a dataset under a numeric mode.
+ *
+ * @param max_samples cap on evaluated samples (0 = all)
+ */
+double evaluateAccuracy(Layer &model, const Dataset &data,
+                        const NumericConfig &cfg,
+                        std::size_t max_samples = 0);
+
+/** Serialize all parameter blobs to a flat binary file. */
+bool saveWeights(Layer &model, const std::string &path);
+
+/** Load parameters saved by saveWeights; false on size mismatch. */
+bool loadWeights(Layer &model, const std::string &path);
+
+} // namespace usys
+
+#endif // USYS_DNN_TRAIN_H

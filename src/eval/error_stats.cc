@@ -1,0 +1,54 @@
+#include "eval/error_stats.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+#include "common/stats.h"
+#include "dnn/backend.h"
+
+namespace usys {
+
+std::vector<GemmErrorStats>
+gemmErrorStats(int ebt, int k_dim, u64 seed)
+{
+    Prng prng(seed);
+    const int m_rows = 12, n_cols = 12;
+    MatF a(m_rows, k_dim), b(k_dim, n_cols);
+    for (auto &v : a.data())
+        v = float(prng.gaussian());
+    for (auto &v : b.data())
+        v = float(prng.gaussian());
+    const MatF ref = gemmFp32(a, b);
+
+    const struct
+    {
+        const char *name;
+        NumericMode mode;
+    } modes[] = {
+        {"FXP-o-res", NumericMode::FxpOres},
+        {"uSystolic-rate", NumericMode::UnaryRate},
+        {"uSystolic-temporal", NumericMode::UnaryTemporal},
+        {"uGEMM-H", NumericMode::UgemmH},
+        {"FXP-i-res", NumericMode::FxpIres},
+    };
+
+    std::vector<GemmErrorStats> out;
+    for (const auto &m : modes) {
+        const MatF got = gemmWithMode(a, b, {m.mode, ebt});
+        OnlineStats err, abs_err;
+        RmseTracker rmse;
+        for (int r = 0; r < m_rows; ++r) {
+            for (int c = 0; c < n_cols; ++c) {
+                const double e = double(got(r, c)) - ref(r, c);
+                err.add(e);
+                abs_err.add(std::abs(e));
+                rmse.add(ref(r, c), got(r, c));
+            }
+        }
+        out.push_back({m.name, abs_err.mean(), err.stddev(),
+                       rmse.normalizedRmse()});
+    }
+    return out;
+}
+
+} // namespace usys

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GEMM error statistics driver for the Section V-A claim: "both the mean
+ * and standard deviation of the error for GEMMs rank as FXP-o-res <
+ * uSystolic < FXP-i-res" (smaller error for i-res; the paper lists the
+ * rank in increasing accuracy).
+ */
+
+#ifndef USYS_EVAL_ERROR_STATS_H
+#define USYS_EVAL_ERROR_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Error statistics of one numeric scheme on random GEMMs. */
+struct GemmErrorStats
+{
+    std::string scheme;
+    double mean_abs_error = 0.0; // |error| averaged over outputs
+    double std_error = 0.0;      // standard deviation of the error
+    double nrmse = 0.0;          // normalized RMSE
+};
+
+/**
+ * Measure FXP-o-res / uSystolic-rate / uSystolic-temporal / uGEMM-H /
+ * FXP-i-res GEMM error against FP32 on random operands.
+ *
+ * @param ebt effective bitwidth n
+ * @param k_dim reduction dimension of the probed GEMMs
+ */
+std::vector<GemmErrorStats> gemmErrorStats(int ebt, int k_dim,
+                                           u64 seed = 0x5CA1E);
+
+} // namespace usys
+
+#endif // USYS_EVAL_ERROR_STATS_H

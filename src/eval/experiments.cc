@@ -1,0 +1,204 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+namespace usys {
+
+namespace {
+
+SystemConfig
+systemFor(const Candidate &cand, bool edge)
+{
+    return edge ? edgeSystem(cand.kern, cand.with_sram)
+                : cloudSystem(cand.kern, cand.with_sram);
+}
+
+} // namespace
+
+std::vector<Candidate>
+paperCandidates(int bits)
+{
+    std::vector<Candidate> cands;
+    cands.push_back({"Binary Parallel",
+                     {Scheme::BinaryParallel, bits, 0}, true});
+    cands.push_back({"Binary Serial",
+                     {Scheme::BinarySerial, bits, 0}, true});
+    // Unary-32c/64c/128c: 2^(n-1)-cycle rate-coded multiplication, 32 and
+    // 64 early-terminated from the 128-cycle full period (8-bit naming is
+    // kept for 16-bit sweeps as in the paper's figures).
+    cands.push_back({"Unary-32c", {Scheme::USystolicRate, bits, 6}, false});
+    cands.push_back({"Unary-64c", {Scheme::USystolicRate, bits, 7}, false});
+    cands.push_back({"Unary-128c", {Scheme::USystolicRate, bits, 8},
+                     false});
+    cands.push_back({"uGEMM-H", {Scheme::UgemmHybrid, bits, 0}, false});
+    return cands;
+}
+
+std::vector<Candidate>
+bandwidthCandidates(int bits)
+{
+    auto cands = paperCandidates(bits);
+    // Figure 10 additionally shows the binary designs without SRAM, to
+    // demonstrate that only uSystolic can afford the elimination.
+    cands.push_back({"Binary Parallel (no SRAM)",
+                     {Scheme::BinaryParallel, bits, 0}, false});
+    cands.push_back({"Binary Serial (no SRAM)",
+                     {Scheme::BinarySerial, bits, 0}, false});
+    return cands;
+}
+
+std::vector<LayerRow>
+sweepAlexnet(bool edge, const std::vector<Candidate> &cands)
+{
+    std::vector<LayerRow> rows;
+    for (const auto &layer : alexnetLayers()) {
+        for (const auto &cand : cands) {
+            const SystemConfig sys = systemFor(cand, edge);
+            LayerRow row;
+            row.layer = layer.name;
+            row.candidate = cand.label;
+            row.stats = simulateLayer(sys, layer);
+            row.energy = layerEnergy(sys, row.stats);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<AreaRow>
+fig11Area(bool edge, int bits)
+{
+    const struct
+    {
+        const char *label;
+        Scheme scheme;
+        bool sram;
+    } entries[] = {
+        {"BP", Scheme::BinaryParallel, true},
+        {"BS", Scheme::BinarySerial, true},
+        {"UG", Scheme::UgemmHybrid, false},
+        {"UR", Scheme::USystolicRate, false},
+        {"UT", Scheme::USystolicTemporal, false},
+    };
+
+    std::vector<AreaRow> rows;
+    for (const auto &e : entries) {
+        const KernelConfig kern{e.scheme, bits, 0};
+        const SystemConfig sys =
+            edge ? edgeSystem(kern, e.sram) : cloudSystem(kern, e.sram);
+        const ArrayCost cost = arrayCost(sys.array);
+        AreaRow row;
+        row.label = std::string(e.label) + "-" + std::to_string(bits) + "b";
+        row.blocks_mm2 = cost.area_mm2;
+        row.array_mm2 = cost.area_mm2.total();
+        row.sram_mm2 = sys.sram.present ? 3.0 * sys.sram.cost().area_mm2
+                                        : 0.0;
+        row.total_mm2 = row.array_mm2 + row.sram_mm2;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<EfficiencyRow>
+fig14Efficiency(bool edge, int bits, const std::vector<GemmLayer> &layers)
+{
+    const auto cands = paperCandidates(bits);
+    const Candidate *baselines[2] = {&cands[0], &cands[1]};
+
+    // Per-layer on-chip energy/power for every candidate.
+    std::vector<std::vector<EnergyReport>> reports(cands.size());
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+        const SystemConfig sys = systemFor(cands[c], edge);
+        for (const auto &layer : layers) {
+            reports[c].push_back(
+                layerEnergy(sys, simulateLayer(sys, layer)));
+        }
+    }
+
+    std::vector<EfficiencyRow> rows;
+    for (int b = 0; b < 2; ++b) {
+        for (std::size_t c = 2; c < cands.size(); ++c) {
+            EfficiencyRow row;
+            row.candidate = cands[c].label;
+            row.baseline = baselines[b]->label;
+            double ee = 0.0, pe = 0.0;
+            const auto &base = reports[b];
+            for (std::size_t l = 0; l < layers.size(); ++l) {
+                ee += base[l].onchip_uj() / reports[c][l].onchip_uj();
+                pe += base[l].onchip_power_mw() /
+                      reports[c][l].onchip_power_mw();
+            }
+            row.energy_eff_x = ee / double(layers.size());
+            row.power_eff_x = pe / double(layers.size());
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+Headline
+headlineSummary()
+{
+    Headline h;
+    const int bits = 8;
+
+    // Array and on-chip area: rate-coded uSystolic (no SRAM) vs binary
+    // parallel (with SRAM), edge configuration.
+    const auto areas = fig11Area(true, bits);
+    const AreaRow *bp = &areas[0];
+    const AreaRow *ur = nullptr;
+    for (const auto &row : areas)
+        if (row.label.rfind("UR", 0) == 0)
+            ur = &row;
+    h.array_area_reduction_pct =
+        100.0 * (1.0 - ur->array_mm2 / bp->array_mm2);
+    h.onchip_area_reduction_pct =
+        100.0 * (1.0 - ur->total_mm2 / bp->total_mm2);
+
+    // Energy/power over 8-bit AlexNet, edge: unary candidates vs binary
+    // parallel, per-layer.
+    const auto cands = paperCandidates(bits);
+    const auto rows = sweepAlexnet(true, cands);
+    double sum_e = 0.0, sum_p = 0.0;
+    int count = 0;
+    for (const auto &row : rows) {
+        if (row.candidate.rfind("Unary", 0) != 0)
+            continue;
+        // Find the matching Binary Parallel row for this layer.
+        for (const auto &base : rows) {
+            if (base.layer != row.layer ||
+                base.candidate != "Binary Parallel") {
+                continue;
+            }
+            const double ee =
+                base.energy.onchip_uj() / row.energy.onchip_uj();
+            const double pe = base.energy.onchip_power_mw() /
+                              row.energy.onchip_power_mw();
+            h.max_energy_eff_x = std::max(h.max_energy_eff_x, ee);
+            h.max_power_eff_x = std::max(h.max_power_eff_x, pe);
+            sum_e += 1.0 - 1.0 / ee;
+            sum_p += 1.0 - 1.0 / pe;
+            ++count;
+        }
+    }
+    h.mean_onchip_energy_red_pct = 100.0 * sum_e / count;
+    h.mean_onchip_power_red_pct = 100.0 * sum_p / count;
+    return h;
+}
+
+double
+meanUtilization(bool edge, int bits, const std::vector<GemmLayer> &layers)
+{
+    const KernelConfig kern{Scheme::BinaryParallel, bits, 0};
+    const SystemConfig sys =
+        edge ? edgeSystem(kern, true) : cloudSystem(kern, true);
+    double sum = 0.0;
+    for (const auto &layer : layers)
+        sum += tileLayer(sys.array, layer).utilization;
+    return sum / double(layers.size());
+}
+
+} // namespace usys

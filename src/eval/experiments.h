@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Experiment drivers regenerating the paper's evaluation artifacts
+ * (Figures 10-14 and the headline claims). Each driver returns structured
+ * rows that the bench binaries print and the tests assert invariants on.
+ *
+ * The candidate set follows Section V-B: after the bandwidth study, the
+ * hardware comparison fixes binary designs *with* SRAM against unary
+ * designs *without* SRAM (crawling bytes).
+ */
+
+#ifndef USYS_EVAL_EXPERIMENTS_H
+#define USYS_EVAL_EXPERIMENTS_H
+
+#include <string>
+#include <vector>
+
+#include "hw/energy.h"
+#include "hw/pe_cost.h"
+#include "sched/simulator.h"
+#include "workloads/mlperf.h"
+
+namespace usys {
+
+/** One evaluated design point. */
+struct Candidate
+{
+    std::string label; // e.g. "Binary Parallel", "Unary-32c"
+    KernelConfig kern;
+    bool with_sram = true;
+};
+
+/**
+ * The Figure 10-14 candidate list at a given bitwidth: Binary Parallel,
+ * Binary Serial (both with SRAM), Unary-32c/64c/128c (rate-coded early
+ * termination, no SRAM), uGEMM-H (no SRAM).
+ */
+std::vector<Candidate> paperCandidates(int bits);
+
+/** SRAM-ablation variants used by Figure 10 (binary without SRAM, etc.). */
+std::vector<Candidate> bandwidthCandidates(int bits);
+
+/** One (layer, candidate) simulation result. */
+struct LayerRow
+{
+    std::string layer;
+    std::string candidate;
+    LayerStats stats;
+    EnergyReport energy;
+};
+
+/** Simulate every layer x candidate on AlexNet. */
+std::vector<LayerRow> sweepAlexnet(bool edge,
+                                   const std::vector<Candidate> &cands);
+
+/** Figure 11 row: per-scheme array area breakdown plus SRAM. */
+struct AreaRow
+{
+    std::string label;
+    BlockAreas blocks_mm2;  // IREG/WREG/MUL/ACC
+    double array_mm2 = 0.0;
+    double sram_mm2 = 0.0;  // 0 when SRAM eliminated
+    double total_mm2 = 0.0;
+};
+
+/** Figure 11: area breakdown for one configuration. */
+std::vector<AreaRow> fig11Area(bool edge, int bits);
+
+/** Figure 14 row: mean per-layer energy/power efficiency improvements. */
+struct EfficiencyRow
+{
+    std::string candidate;
+    std::string baseline;   // "Binary Parallel" or "Binary Serial"
+    double energy_eff_x = 0.0; // mean per-layer E_base / E_unary (on-chip)
+    double power_eff_x = 0.0;  // mean per-layer P_base / P_unary (on-chip)
+};
+
+/**
+ * Figure 14: on-chip efficiency improvements of the unary candidates
+ * over the binary baselines for a layer set.
+ */
+std::vector<EfficiencyRow>
+fig14Efficiency(bool edge, int bits, const std::vector<GemmLayer> &layers);
+
+/** Headline numbers from the abstract (8-bit AlexNet, edge). */
+struct Headline
+{
+    double array_area_reduction_pct = 0.0;  // paper: 59.0
+    double onchip_area_reduction_pct = 0.0; // paper: 91.3
+    double max_energy_eff_x = 0.0;          // paper: up to 112.2
+    double max_power_eff_x = 0.0;           // paper: up to 44.8
+    double mean_onchip_energy_red_pct = 0.0; // paper: 83.5
+    double mean_onchip_power_red_pct = 0.0;  // paper: 98.4
+};
+
+Headline headlineSummary();
+
+/** Mean MAC-slot utilization of a layer set (Section V-G). */
+double meanUtilization(bool edge, int bits,
+                       const std::vector<GemmLayer> &layers);
+
+} // namespace usys
+
+#endif // USYS_EVAL_EXPERIMENTS_H

@@ -1,0 +1,52 @@
+#include "eval/network.h"
+
+namespace usys {
+
+NetworkStats
+simulateNetwork(const SystemConfig &sys,
+                const std::vector<GemmLayer> &layers)
+{
+    NetworkStats net;
+    u64 resident_ofm_bytes = 0; // previous layer's output still buffered
+
+    for (const auto &layer : layers) {
+        NetworkLayerResult result;
+        result.name = layer.name;
+        result.stats = simulateLayer(sys, layer);
+
+        // Producer-consumer chaining: if the previous layer's OFM is
+        // still resident in the (double-buffered) IFM SRAM, this
+        // layer's cold DRAM fetch of its unique IFM disappears.
+        const u64 unique_ifm =
+            u64(layer.ifmElems()) * u64(sys.elemBytes());
+        if (sys.sram.present && resident_ofm_bytes > 0 &&
+            unique_ifm <= sys.sram.bytes) {
+            const u64 saved =
+                std::min(result.stats.dram_bytes[VarIfm], unique_ifm);
+            result.stats.dram_bytes[VarIfm] -= saved;
+            result.stats.dram_total_bytes -= saved;
+            result.ifm_from_sram = true;
+            net.interlayer_saved_bytes += saved;
+            // Recompute the achieved DRAM bandwidth for the report.
+            result.stats.dram_bw_gbps =
+                double(result.stats.dram_total_bytes) /
+                result.stats.runtime_s * 1e-9;
+        }
+
+        const u64 ofm_bytes =
+            u64(layer.ofmElems()) * u64(sys.outBytes());
+        resident_ofm_bytes =
+            (sys.sram.present && ofm_bytes <= sys.sram.bytes) ? ofm_bytes
+                                                              : 0;
+
+        result.energy = layerEnergy(sys, result.stats);
+        net.runtime_s += result.stats.runtime_s;
+        net.onchip_uj += result.energy.onchip_uj();
+        net.dram_uj += result.energy.dram_uj;
+        net.dram_bytes += result.stats.dram_total_bytes;
+        net.layers.push_back(std::move(result));
+    }
+    return net;
+}
+
+} // namespace usys

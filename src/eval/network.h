@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Network-level simulation: run a whole layer list end to end,
+ * accounting for inter-layer data movement — the OFM of layer i is the
+ * IFM of layer i+1. With SRAM present and the OFM resident, the next
+ * layer's cold IFM fetch is free; without SRAM every activation round
+ * trips DRAM (the cost uSystolic pays for eliminating the buffer).
+ */
+
+#ifndef USYS_EVAL_NETWORK_H
+#define USYS_EVAL_NETWORK_H
+
+#include <vector>
+
+#include "hw/energy.h"
+#include "sched/simulator.h"
+
+namespace usys {
+
+/** Per-layer record within a network run. */
+struct NetworkLayerResult
+{
+    std::string name;
+    LayerStats stats;
+    EnergyReport energy;
+    bool ifm_from_sram = false; // cold fetch avoided (producer resident)
+};
+
+/** Whole-network roll-up. */
+struct NetworkStats
+{
+    std::vector<NetworkLayerResult> layers;
+    double runtime_s = 0.0;
+    double onchip_uj = 0.0;
+    double dram_uj = 0.0;
+    u64 dram_bytes = 0;
+    u64 interlayer_saved_bytes = 0; // activations kept on-chip
+
+    double total_uj() const { return onchip_uj + dram_uj; }
+};
+
+/**
+ * Simulate `layers` back to back on one system. Layers are assumed to be
+ * a producer-consumer chain (each layer's input is the previous layer's
+ * output, modulo non-GEMM ops like pooling that only shrink it).
+ */
+NetworkStats simulateNetwork(const SystemConfig &sys,
+                             const std::vector<GemmLayer> &layers);
+
+} // namespace usys
+
+#endif // USYS_EVAL_NETWORK_H

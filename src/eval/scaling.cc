@@ -1,0 +1,58 @@
+#include "eval/scaling.h"
+
+#include <algorithm>
+
+namespace usys {
+
+std::vector<ScalingPoint>
+scaleInstances(const SystemConfig &sys, const GemmLayer &layer,
+               const std::vector<int> &counts)
+{
+    const LayerStats one = simulateLayer(sys, layer);
+    // Demand at full speed: the instance's DRAM bytes over its
+    // contention-free runtime.
+    const double solo_time =
+        double(one.compute_cycles) / (sys.freq_ghz * 1e9);
+    const double demand =
+        double(one.dram_total_bytes) / solo_time * 1e-9;
+    const double supply = sys.dram.sustainedGbps();
+    const double solo_gmacs = double(layer.macs()) / solo_time * 1e-9;
+
+    std::vector<ScalingPoint> points;
+    for (int n : counts) {
+        ScalingPoint p;
+        p.instances = n;
+        p.per_instance_demand_gbps = demand;
+        p.slowdown = std::max(1.0, double(n) * demand / supply);
+        p.aggregate_gmacs = double(n) * solo_gmacs / p.slowdown;
+        points.push_back(p);
+    }
+    return points;
+}
+
+int
+maxInstancesBeforeSaturation(const SystemConfig &sys,
+                             const GemmLayer &layer,
+                             double slowdown_limit)
+{
+    for (int n = 1; n <= 1 << 16; n *= 2) {
+        const auto points = scaleInstances(sys, layer, {n});
+        if (points[0].slowdown > slowdown_limit) {
+            // Binary search the last good count in (n/2, n).
+            int lo = std::max(1, n / 2), hi = n;
+            while (lo + 1 < hi) {
+                const int mid = (lo + hi) / 2;
+                if (scaleInstances(sys, layer, {mid})[0].slowdown >
+                    slowdown_limit) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            return lo;
+        }
+    }
+    return 1 << 16;
+}
+
+} // namespace usys

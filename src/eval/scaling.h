@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multi-instance scalability model (Section V-H): N identical array
+ * instances share one DDR3 channel with fair arbitration; each instance
+ * slows down by the ratio of aggregate demand to supply once the channel
+ * saturates.
+ */
+
+#ifndef USYS_EVAL_SCALING_H
+#define USYS_EVAL_SCALING_H
+
+#include <vector>
+
+#include "sched/simulator.h"
+
+namespace usys {
+
+/** Aggregate behavior of N instances on one layer. */
+struct ScalingPoint
+{
+    int instances = 0;
+    double per_instance_demand_gbps = 0.0;
+    double slowdown = 1.0;          // >= 1 once the channel saturates
+    double aggregate_gmacs = 0.0;   // total useful throughput
+};
+
+/**
+ * Sweep the instance count for one system/layer pair.
+ *
+ * @param counts instance counts to evaluate
+ */
+std::vector<ScalingPoint>
+scaleInstances(const SystemConfig &sys, const GemmLayer &layer,
+               const std::vector<int> &counts);
+
+/** Largest instance count whose slowdown stays below the threshold. */
+int maxInstancesBeforeSaturation(const SystemConfig &sys,
+                                 const GemmLayer &layer,
+                                 double slowdown_limit = 1.05);
+
+} // namespace usys
+
+#endif // USYS_EVAL_SCALING_H

@@ -1,0 +1,44 @@
+#include "hw/energy.h"
+
+namespace usys {
+
+EnergyReport
+layerEnergy(const SystemConfig &sys, const LayerStats &stats)
+{
+    EnergyReport r;
+    r.runtime_s = stats.runtime_s;
+
+    const ArrayCost array = arrayCost(sys.array);
+
+    // Array dynamic: active MAC slots plus weight-tile register loads.
+    const double mac_pj =
+        double(stats.active_mac_slots) * array.e_per_mac_slot_pj;
+    const double wload_pj =
+        double(stats.tiling.folds) * sys.array.rows * sys.array.cols *
+        array.e_weight_load_pj;
+    r.array_dyn_uj = (mac_pj + wload_pj) * 1e-6;
+    r.array_leak_uj = array.leak_mw * 1e3 * stats.runtime_s; // mW*s -> uJ
+
+    if (sys.sram.present) {
+        const SramMacroCost macro = sys.sram.cost();
+        r.sram_dyn_uj =
+            double(stats.sram_total_bytes) * macro.pj_per_byte * 1e-6;
+        // Three variable buffers leak for the whole runtime.
+        r.sram_leak_uj = 3.0 * macro.leakage_mw * 1e3 * stats.runtime_s;
+    }
+
+    r.dram_uj =
+        double(stats.dram_total_bytes) * sys.dram.pj_per_byte * 1e-6;
+    return r;
+}
+
+double
+onchipAreaMm2(const SystemConfig &sys)
+{
+    double area = arrayCost(sys.array).area_mm2.total();
+    if (sys.sram.present)
+        area += 3.0 * sys.sram.cost().area_mm2;
+    return area;
+}
+
+} // namespace usys

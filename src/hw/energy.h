@@ -1,0 +1,54 @@
+/**
+ * @file
+ * System energy/power roll-up (Figures 13-14).
+ *
+ * Combines the array cost model, the CACTI-lite SRAM model, and the DRAM
+ * model with trace statistics from the performance simulator. Following
+ * the paper: on-chip = systolic array + SRAM (dynamic + leakage); total
+ * adds the DRAM *dynamic access* energy only.
+ */
+
+#ifndef USYS_HW_ENERGY_H
+#define USYS_HW_ENERGY_H
+
+#include "hw/pe_cost.h"
+#include "sched/simulator.h"
+
+namespace usys {
+
+/** Energy/power summary of one layer execution. */
+struct EnergyReport
+{
+    double runtime_s = 0.0;
+
+    double array_dyn_uj = 0.0;
+    double array_leak_uj = 0.0;
+    double sram_dyn_uj = 0.0;
+    double sram_leak_uj = 0.0;
+    double dram_uj = 0.0;
+
+    double array_uj() const { return array_dyn_uj + array_leak_uj; }
+    double sram_uj() const { return sram_dyn_uj + sram_leak_uj; }
+    double onchip_uj() const { return array_uj() + sram_uj(); }
+    double total_uj() const { return onchip_uj() + dram_uj; }
+
+    double onchip_power_mw() const
+    {
+        return onchip_uj() * 1e-3 / runtime_s;
+    }
+    double total_power_mw() const { return total_uj() * 1e-3 / runtime_s; }
+
+    /** Energy-delay products (uJ * s). */
+    double edp_onchip() const { return onchip_uj() * runtime_s; }
+    double edp_total() const { return total_uj() * runtime_s; }
+};
+
+/** Energy/power of one simulated layer. */
+EnergyReport layerEnergy(const SystemConfig &sys, const LayerStats &stats);
+
+/** Total on-chip area: array + (3x) SRAM buffers, in mm^2. */
+double onchipAreaMm2(const SystemConfig &sys);
+
+} // namespace usys
+
+#endif // USYS_HW_ENERGY_H

@@ -1,0 +1,31 @@
+#include "hw/fsu_cost.h"
+
+#include "hw/tech32.h"
+
+namespace usys {
+
+FsuCost
+fsuInstanceCost(const std::vector<GemmLayer> &layers, int bits)
+{
+    FsuCost cost;
+    for (const auto &layer : layers)
+        cost.weights += layer.weightElems();
+
+    cost.storage_mb =
+        double(cost.weights) * bits / 8.0 / (1024.0 * 1024.0);
+
+    // Every weight sits in a bits-wide flip-flop bank...
+    const double storage_ge = double(cost.weights) * regGe(bits);
+    cost.storage_area_mm2 = storage_ge * kGateAreaUm2 * 1e-6;
+    // ...next to one unipolar uMUL (comparator + AND; the RNG is shared
+    // per dot-product via broadcast).
+    const double mul_ge =
+        double(cost.weights) * (comparatorGe(bits - 1) + kAnd2Ge);
+    cost.mul_area_mm2 = mul_ge * kGateAreaUm2 * 1e-6;
+
+    cost.total_area_mm2 = cost.storage_area_mm2 + cost.mul_area_mm2;
+    cost.leak_w = (storage_ge + mul_ge) * kLeakUwPerGe * 1e-6;
+    return cost;
+}
+
+} // namespace usys

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fully-streaming unary (FSU) baseline cost model — the uGEMM-class
+ * architecture of Figure 5a / footnote 2.
+ *
+ * An FSU design dedicates one physical multiplier per (weight, output)
+ * pair of a *fixed* GEMM configuration and stores every weight in flip
+ * flops next to its multiplier: no data scheduling, but no reuse either.
+ * The model quantifies why the paper excludes FSU from the evaluation —
+ * AlexNet alone needs 61.1 M weights in DFFs, orders of magnitude beyond
+ * the 24 MB cloud-TPU SRAM — and feeds the Table I comparison bench.
+ */
+
+#ifndef USYS_HW_FSU_COST_H
+#define USYS_HW_FSU_COST_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "sched/layer.h"
+
+namespace usys {
+
+/** Cost summary of an FSU instance fitted to one set of layers. */
+struct FsuCost
+{
+    i64 weights = 0;          // flip-flop-resident weight count
+    double storage_mb = 0.0;  // weight storage in MB
+    double storage_area_mm2 = 0.0; // DFF area for the weights alone
+    double mul_area_mm2 = 0.0;     // one uMUL per weight
+    double total_area_mm2 = 0.0;
+    double leak_w = 0.0;
+};
+
+/**
+ * Cost of one FSU instance dedicated to the given layers at the given
+ * bitwidth. A multi-model deployment needs one instance per distinct
+ * configuration (the generalizability failure of Table I).
+ */
+FsuCost fsuInstanceCost(const std::vector<GemmLayer> &layers, int bits);
+
+} // namespace usys
+
+#endif // USYS_HW_FSU_COST_H

@@ -1,0 +1,204 @@
+#include "hw/pe_cost.h"
+
+#include "hw/tech32.h"
+
+namespace usys {
+
+namespace {
+
+/** Headroom bits of the uSystolic reduced-resolution OREG. */
+constexpr int kUnaryAccHeadroom = 4;
+
+/** Average input-bit density (post-ReLU activations are mid-range). */
+constexpr double kEnableDensity = 0.5;
+
+/** Average OREG increment toggle width (low-order bits of a counter). */
+constexpr double kOregToggleBits = 3.0;
+
+/**
+ * Unary datapaths toggle far fewer nodes per cycle than the 0.5-density
+ * register model assumes: the C-W comparator output and the uMUL AND
+ * change rarely, and the OREG increments by at most one. This factor
+ * derates the unary per-cycle dynamic energy accordingly (calibrated to
+ * Figure 13's energy reductions).
+ */
+constexpr double kUnaryActivityScale = 0.3;
+
+/**
+ * Placement/routing congestion inflates per-PE area as arrays grow — the
+ * superquadratic scaling of Section I. Bit-parallel datapaths with wide
+ * operand buses congest fastest; unary PEs with single-wire lanes
+ * congest least (the paper's scalability argument). Normalized to 1 at
+ * the 168-PE edge array.
+ */
+constexpr double kCongestionRefPes = 168.0;
+
+double
+congestionExponent(Scheme s)
+{
+    switch (s) {
+      case Scheme::BinaryParallel: return 0.26;
+      case Scheme::BinarySerial: return 0.24;
+      case Scheme::UgemmHybrid: return 0.22;
+      case Scheme::USystolicRate:
+      case Scheme::USystolicTemporal: return 0.20;
+    }
+    return 0.22;
+}
+
+double
+congestionFactor(Scheme s, double n_pes)
+{
+    return std::max(
+        1.0, std::pow(n_pes / kCongestionRefPes, congestionExponent(s)));
+}
+
+/** GE -> um^2, leakage. */
+BlockAreas
+toUm2(const BlockAreas &ge)
+{
+    return ge.scaled(kGateAreaUm2);
+}
+
+} // namespace
+
+PeCost
+peCost(const KernelConfig &kern, bool leftmost)
+{
+    kern.check();
+    const int bits = kern.bits;
+    const int mag = bits - 1;
+    PeCost cost;
+    BlockAreas ge;
+
+    switch (kern.scheme) {
+      case Scheme::BinaryParallel: {
+        ge.ireg = regGe(bits);           // value pipeline to the right
+        ge.wreg = regGe(bits);
+        ge.mul = multiplierGe(bits);
+        ge.acc = adderGe(2 * bits) + regGe(2 * bits); // full-res psum
+        cost.e_mul_cycle_pj = multOpPj(bits) + regWritePj(bits);
+        cost.e_mac_finish_pj =
+            addOpPj(2 * bits) + 0.5 * regWritePj(2 * bits);
+        break;
+      }
+      case Scheme::BinarySerial: {
+        // Input serialized LSB-first (Stripes-style); shift-accumulate.
+        // The wide shifted-partial accumulator and its sequencing control
+        // are why BS has the largest ACC of all schemes (Section V-C).
+        ge.ireg = regGe(bits) + bits * kMux2Ge; // value + serializer
+        ge.wreg = regGe(bits);
+        ge.mul = bits * kAnd2Ge + 6.0;          // gating + control
+        const int acc_bits = 2 * bits + 8;
+        ge.acc = adderGe(acc_bits) + regGe(acc_bits) +
+                 acc_bits * kMux2Ge + 40.0;     // shifted psum + sequencer
+        cost.e_mul_cycle_pj = kEnableDensity *
+                                  (addOpPj(acc_bits) +
+                                   regWritePj(acc_bits)) +
+                              bits * kGateOpPj;
+        cost.e_mac_finish_pj = addOpPj(acc_bits) + regWritePj(acc_bits);
+        break;
+      }
+      case Scheme::USystolicRate:
+      case Scheme::USystolicTemporal: {
+        const bool temporal = kern.scheme == Scheme::USystolicTemporal;
+        if (leftmost) {
+            // IABS + ISIGN + IDFF.
+            ge.ireg = regGe(mag) + regGe(1) + regGe(1);
+            // Weight RNG + input BSG (RNG or CNT) + C-W + C-I + AND.
+            ge.mul = sobolRngGe(mag) +
+                     (temporal ? counterGe(mag) : sobolRngGe(mag)) +
+                     2 * comparatorGe(mag) + kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                // input BSG advance every cycle
+                (temporal ? 0.3 * regWritePj(mag) : rngStepPj(mag)) +
+                cmpOpPj(mag) + // C-I
+                // weight RNG advances only on input 1-bits
+                kEnableDensity * rngStepPj(mag) +
+                kEnableDensity * cmpOpPj(mag) + // C-W
+                regWritePj(1) +                 // IDFF
+                kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        } else {
+            // IDFF + ISIGN pipeline only (spatial-temporal reuse).
+            ge.ireg = regGe(2);
+            // RREG + C-W + AND.
+            ge.mul = regGe(mag) + comparatorGe(mag) + kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                kEnableDensity * regWritePj(mag) + // RREG toggles on new
+                regWritePj(1) +                    // IDFF
+                kEnableDensity * cmpOpPj(mag) +
+                kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        }
+        ge.wreg = regGe(mag) + regGe(1); // WABS + WSIGN
+        const int acc_bits = bits + kUnaryAccHeadroom;
+        ge.acc = adderGe(acc_bits) + regGe(acc_bits) + kXor2Ge +
+                 2 * kMux2Ge;
+        cost.e_mac_finish_pj = addOpPj(acc_bits) + regWritePj(acc_bits);
+        break;
+      }
+      case Scheme::UgemmHybrid: {
+        // Bipolar uMUL on signed data: full-width streams (2^N cycles)
+        // and dual-polarity C-BSG, i.e. two RNG/RREG/comparator lanes.
+        if (leftmost) {
+            ge.ireg = regGe(bits) + regGe(1); // value + IDFF
+            ge.mul = 2 * sobolRngGe(bits) + sobolRngGe(bits) +
+                     3 * comparatorGe(bits) + kXor2Ge + kMux2Ge;
+            cost.e_mul_cycle_pj =
+                rngStepPj(bits) + cmpOpPj(bits) + // input BSG
+                rngStepPj(bits) +                 // one polarity advances
+                cmpOpPj(bits) + regWritePj(1) + 2 * kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        } else {
+            ge.ireg = regGe(2);
+            ge.mul = 2 * regGe(bits) + 2 * comparatorGe(bits) +
+                     kXor2Ge + kMux2Ge;
+            cost.e_mul_cycle_pj =
+                regWritePj(bits) + // one RREG lane updates per cycle
+                regWritePj(1) + cmpOpPj(bits) + 2 * kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        }
+        ge.wreg = regGe(bits); // signed weight, no sign-magnitude split
+        const int acc_bits = bits + kUnaryAccHeadroom;
+        ge.acc = adderGe(acc_bits) + regGe(acc_bits) + 8.0; // offset sub
+        cost.e_mac_finish_pj =
+            addOpPj(acc_bits) + regWritePj(acc_bits) + addOpPj(acc_bits);
+        break;
+      }
+    }
+
+    if (isUnary(kern.scheme))
+        cost.e_mul_cycle_pj *= kUnaryActivityScale;
+
+    cost.area_um2 = toUm2(ge);
+    cost.leak_uw = ge.total() * kLeakUwPerGe;
+    return cost;
+}
+
+ArrayCost
+arrayCost(const ArrayConfig &cfg)
+{
+    cfg.check();
+    const PeCost left = peCost(cfg.kernel, true);
+    const PeCost rest = peCost(cfg.kernel, false);
+    const double n_left = double(cfg.rows);
+    const double n_rest = double(cfg.rows) * (cfg.cols - 1);
+
+    ArrayCost out;
+    const double congestion =
+        congestionFactor(cfg.kernel.scheme, n_left + n_rest);
+    BlockAreas um2 = left.area_um2.scaled(n_left);
+    um2 += rest.area_um2.scaled(n_rest);
+    out.area_mm2 = um2.scaled(1e-6 * congestion);
+    out.leak_mw = (left.leak_uw * n_left + rest.leak_uw * n_rest) * 1e-3 *
+                  congestion;
+    out.e_per_mac_slot_pj =
+        (left.ePerMacPj(cfg.kernel) * n_left +
+         rest.ePerMacPj(cfg.kernel) * n_rest) /
+        (n_left + n_rest);
+    out.e_weight_load_pj = regWritePj(cfg.kernel.bits);
+    return out;
+}
+
+} // namespace usys

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-scheme PE and array hardware cost models (Figure 11 breakdown).
+ *
+ * Blocks follow the paper's accounting: for binary PEs, IREG/WREG/MUL/ACC
+ * map directly onto Figure 2; for uSystolic, IREG = IABS/IDFF/ISIGN,
+ * WREG = WABS/WSIGN, MUL = RNG/CNT/RREG/C-W/C-I/AND, ACC = the rest.
+ * Leftmost-column PEs carry the bitstream generators; the other C-1
+ * columns reuse the streams through IDFF/RREG (spatial-temporal reuse),
+ * which is where uSystolic's area advantage over uGEMM-H's broadcast
+ * duplication comes from.
+ */
+
+#ifndef USYS_HW_PE_COST_H
+#define USYS_HW_PE_COST_H
+
+#include "common/types.h"
+#include "arch/array.h"
+#include "arch/scheme.h"
+
+namespace usys {
+
+/** Area split of one PE (or an array) into the Figure 11 blocks. */
+struct BlockAreas
+{
+    double ireg = 0.0;
+    double wreg = 0.0;
+    double mul = 0.0;
+    double acc = 0.0;
+
+    double total() const { return ireg + wreg + mul + acc; }
+
+    BlockAreas &
+    operator+=(const BlockAreas &o)
+    {
+        ireg += o.ireg;
+        wreg += o.wreg;
+        mul += o.mul;
+        acc += o.acc;
+        return *this;
+    }
+
+    BlockAreas
+    scaled(double f) const
+    {
+        return BlockAreas{ireg * f, wreg * f, mul * f, acc * f};
+    }
+};
+
+/** Cost summary of one PE. */
+struct PeCost
+{
+    BlockAreas area_um2;
+    double leak_uw = 0.0;
+    /** Dynamic energy of one multiplication cycle (pJ). */
+    double e_mul_cycle_pj = 0.0;
+    /** Dynamic energy of the M-end accumulate/merge (pJ). */
+    double e_mac_finish_pj = 0.0;
+
+    /** Dynamic energy of one full MAC (pJ). */
+    double
+    ePerMacPj(const KernelConfig &kern) const
+    {
+        return e_mul_cycle_pj * kern.mulCycles() + e_mac_finish_pj;
+    }
+};
+
+/**
+ * Cost of one PE.
+ *
+ * @param kern kernel configuration
+ * @param leftmost true for column-0 PEs (carry the BSGs/RNGs)
+ */
+PeCost peCost(const KernelConfig &kern, bool leftmost);
+
+/** Whole-array cost summary. */
+struct ArrayCost
+{
+    BlockAreas area_mm2;   // summed over all PEs
+    double leak_mw = 0.0;
+    /** Average per-PE dynamic energy of one MAC slot (pJ). */
+    double e_per_mac_slot_pj = 0.0;
+    /** Dynamic energy of one full weight-preload (all folds' tiles, pJ/elem). */
+    double e_weight_load_pj = 0.0;
+};
+
+/** Aggregate PE costs over an R x C array (leftmost column amortized). */
+ArrayCost arrayCost(const ArrayConfig &cfg);
+
+} // namespace usys
+
+#endif // USYS_HW_PE_COST_H

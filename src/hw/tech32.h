@@ -1,0 +1,99 @@
+/**
+ * @file
+ * 32 nm / 400 MHz technology constants (Design Compiler substitute).
+ *
+ * All logic costs are expressed in gate equivalents (GE, one NAND2) and
+ * converted to um^2 / uW / pJ with the constants below. Values are chosen
+ * to sit inside the range published for 32 nm standard-cell libraries and
+ * are deliberately exposed as named constants: the paper's results are
+ * about *relative* costs of PE structures, which gate counts determine,
+ * and EXPERIMENTS.md records how close the relative numbers land.
+ */
+
+#ifndef USYS_HW_TECH32_H
+#define USYS_HW_TECH32_H
+
+#include <algorithm>
+#include <cmath>
+
+namespace usys {
+
+/**
+ * Placed area of one gate equivalent (NAND2) in um^2, including routing
+ * tracks and placement utilization (i.e. what Design Compiler reports for
+ * a placed-and-routed block, not raw cell area). Calibrated against the
+ * paper's Figure 11 array areas.
+ */
+constexpr double kGateAreaUm2 = 4.0;
+
+/** Logic leakage per gate equivalent in uW (32 nm HP cells). */
+constexpr double kLeakUwPerGe = 0.006;
+
+/** Gate-equivalent counts of standard primitives. */
+constexpr double kDffGe = 5.0;
+constexpr double kFaGe = 6.0;
+constexpr double kAnd2Ge = 1.0;
+constexpr double kXor2Ge = 2.0;
+constexpr double kMux2Ge = 2.0;
+
+/** n-bit register. */
+inline double regGe(int n) { return n * kDffGe; }
+
+/** n-bit ripple-carry adder. */
+inline double adderGe(int n) { return n * kFaGe; }
+
+/** n-bit magnitude comparator. */
+inline double comparatorGe(int n) { return 4.0 * n; }
+
+/**
+ * Routing-congestion factor of bit-parallel multipliers: area and power
+ * grow superquadratically with width (Section I), normalized to 1 at
+ * 8 bits.
+ */
+inline double
+multiplierRoutingFactor(int n)
+{
+    return std::pow(double(n) / 8.0, 0.35);
+}
+
+/** n x n array multiplier (partial products + carry-save reduction). */
+inline double
+multiplierGe(int n)
+{
+    const double core = 8.2 * n * n - 12.0 * n;
+    return core * multiplierRoutingFactor(n);
+}
+
+/** n-bit Sobol RNG: register + LSZ detector + XOR bank + direction mux. */
+inline double sobolRngGe(int n) { return 12.0 * n; }
+
+/** n-bit binary counter. */
+inline double counterGe(int n) { return 7.0 * n; }
+
+// --- Dynamic energy per operation (pJ) ------------------------------------
+
+/** One n x n multiply. */
+inline double
+multOpPj(int n)
+{
+    return 0.004 * n * n * multiplierRoutingFactor(n);
+}
+
+/** One n-bit add. */
+inline double addOpPj(int n) { return 0.0035 * n; }
+
+/** One n-bit register write. */
+inline double regWritePj(int n) { return 0.0015 * n; }
+
+/** One n-bit compare. */
+inline double cmpOpPj(int n) { return 0.002 * n; }
+
+/** One Sobol RNG advance (XOR network + register update). */
+inline double rngStepPj(int n) { return 0.002 * n + regWritePj(n); }
+
+/** One AND/XOR gate toggle. */
+constexpr double kGateOpPj = 0.0002;
+
+} // namespace usys
+
+#endif // USYS_HW_TECH32_H

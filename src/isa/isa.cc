@@ -1,0 +1,107 @@
+#include "isa/isa.h"
+
+#include "sched/tiling.h"
+
+namespace usys {
+
+namespace {
+
+// lo word: op[3:0] rows[13:4] cols[23:14] mac[55:24] base[63:56] (low 8)
+// hi word: m_rows[31:0] base[63:32] (high 24, stored <<8 internally)
+constexpr int kOpShift = 0;
+constexpr int kRowsShift = 4;
+constexpr int kColsShift = 14;
+constexpr int kMacShift = 24;
+constexpr u64 kTenBits = 0x3FF;
+
+} // namespace
+
+EncodedInstruction
+encodeInstruction(const Instruction &inst)
+{
+    fatalIf(inst.rows > 512 || inst.cols > 512,
+            "encodeInstruction: tile exceeds 512x512");
+    EncodedInstruction word;
+    word.lo = (u64(inst.op) & 0xF) << kOpShift |
+              (u64(inst.rows) & kTenBits) << kRowsShift |
+              (u64(inst.cols) & kTenBits) << kColsShift |
+              (u64(inst.mac_cycles) & 0xFFFFFFFF) << kMacShift;
+    word.hi = u64(inst.m_rows) | (u64(inst.base) << 32);
+    return word;
+}
+
+Instruction
+decodeInstruction(const EncodedInstruction &word)
+{
+    Instruction inst;
+    inst.op = Opcode((word.lo >> kOpShift) & 0xF);
+    inst.rows = u16((word.lo >> kRowsShift) & kTenBits);
+    inst.cols = u16((word.lo >> kColsShift) & kTenBits);
+    inst.mac_cycles = u32((word.lo >> kMacShift) & 0xFFFFFFFF);
+    inst.m_rows = u32(word.hi & 0xFFFFFFFF);
+    inst.base = u32(word.hi >> 32);
+    return inst;
+}
+
+std::vector<Instruction>
+buildProgram(const ArrayConfig &array, const GemmLayer &layer)
+{
+    layer.check();
+    const Tiling tiling = tileLayer(array, layer);
+    const u32 mac = array.kernel.macCycles();
+
+    std::vector<Instruction> program;
+    u32 tile = 0;
+    for (i64 f = 0; f < tiling.folds; ++f, ++tile) {
+        Instruction load;
+        load.op = Opcode::LoadWeights;
+        load.rows = u16(array.rows);
+        load.cols = u16(array.cols);
+        load.mac_cycles = mac;
+        load.base = tile;
+        program.push_back(load);
+
+        Instruction stream;
+        stream.op = Opcode::StreamCompute;
+        stream.rows = u16(array.rows);
+        stream.cols = u16(array.cols);
+        stream.m_rows = u32(tiling.m);
+        stream.mac_cycles = mac;
+        stream.base = tile;
+        program.push_back(stream);
+    }
+    program.push_back(Instruction{Opcode::Barrier, 0, 0, 0, mac, 0});
+    program.push_back(Instruction{Opcode::Halt, 0, 0, 0, mac, 0});
+    return program;
+}
+
+ProgramStats
+interpretProgram(const std::vector<Instruction> &program)
+{
+    ProgramStats stats;
+    for (const auto &inst : program) {
+        ++stats.instructions;
+        switch (inst.op) {
+          case Opcode::LoadWeights:
+            // Weights pipeline down one array row per cycle.
+            stats.cycles += inst.rows;
+            ++stats.weight_tiles;
+            break;
+          case Opcode::StreamCompute:
+            // Skewed streaming plus the column drain; the MAC-cycle
+            // field sets the interval length (Section III-D).
+            stats.cycles += (u64(inst.m_rows) + inst.rows - 1) *
+                                inst.mac_cycles +
+                            u64(inst.cols - 1);
+            stats.streamed_rows += inst.m_rows;
+            break;
+          case Opcode::Barrier:
+            break; // drains are already accounted per stream
+          case Opcode::Halt:
+            return stats;
+        }
+    }
+    return stats;
+}
+
+} // namespace usys

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * uSystolic ISA support (Section III-D).
+ *
+ * The ISA mirrors a TPU-style CISC stream — weight preload and input
+ * streaming instructions with deterministic timing — augmented with a
+ * MAC-cycle-count field so the sequencer knows when each multi-cycle
+ * unary MAC terminates (the early-termination knob is programmed here).
+ * Instructions encode to two 64-bit words; the interpreter's cycle
+ * accounting matches the performance simulator exactly (tested).
+ */
+
+#ifndef USYS_ISA_ISA_H
+#define USYS_ISA_ISA_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "arch/array.h"
+#include "sched/layer.h"
+
+namespace usys {
+
+/** Instruction opcodes. */
+enum class Opcode : u8
+{
+    LoadWeights = 0x1,   // preload an R x C weight tile
+    StreamCompute = 0x2, // stream M input rows, accumulate, drain
+    Barrier = 0x3,       // wait for outstanding drains
+    Halt = 0xF,
+};
+
+/** Decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    u16 rows = 0;       // tile rows (<= 512)
+    u16 cols = 0;       // tile cols (<= 512)
+    u32 m_rows = 0;     // streamed input rows (StreamCompute)
+    u32 mac_cycles = 1; // Section III-D: MAC termination cycle count
+    u32 base = 0;       // operand base address (tile id)
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** Packed 128-bit instruction word. */
+struct EncodedInstruction
+{
+    u64 lo = 0;
+    u64 hi = 0;
+
+    bool operator==(const EncodedInstruction &o) const = default;
+};
+
+/** Pack an instruction into its binary encoding. */
+EncodedInstruction encodeInstruction(const Instruction &inst);
+
+/** Unpack a binary instruction word. */
+Instruction decodeInstruction(const EncodedInstruction &word);
+
+/**
+ * Lower one GEMM layer onto the array as an instruction stream:
+ * alternating LoadWeights / StreamCompute per fold, then Barrier + Halt.
+ */
+std::vector<Instruction> buildProgram(const ArrayConfig &array,
+                                      const GemmLayer &layer);
+
+/** Result of interpreting a program. */
+struct ProgramStats
+{
+    Cycles cycles = 0;
+    u64 weight_tiles = 0;
+    u64 streamed_rows = 0;
+    u64 instructions = 0;
+};
+
+/**
+ * Execute a program's timing on an idealized (contention-free) array.
+ * The cycle count equals the performance simulator's compute_cycles.
+ */
+ProgramStats interpretProgram(const std::vector<Instruction> &program);
+
+} // namespace usys
+
+#endif // USYS_ISA_ISA_H

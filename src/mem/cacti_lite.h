@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CACTI-lite: first-order analytical SRAM cost model (CACTI 7 substitute).
+ *
+ * Captures the terms the paper's evaluation actually depends on:
+ *  - area grows slightly super-linearly with capacity (bank/H-tree
+ *    overhead), so large cloud buffers are less dense than edge buffers;
+ *  - leakage power is proportional to area (high-performance 32 nm cells
+ *    leak heavily — the paper's "SRAM leakage dominates" observations);
+ *  - dynamic energy per byte grows mildly with capacity (longer lines).
+ *
+ * Constants are calibrated to land in the range CACTI 7 reports for
+ * 32 nm SRAM; see DESIGN.md (substitution #2).
+ */
+
+#ifndef USYS_MEM_CACTI_LITE_H
+#define USYS_MEM_CACTI_LITE_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Cost summary of one SRAM macro. */
+struct SramMacroCost
+{
+    double area_mm2 = 0.0;
+    double leakage_mw = 0.0;
+    double pj_per_byte = 0.0; // dynamic read/write energy
+};
+
+/** Reference design point: 64 KB macro at 32 nm. */
+constexpr double kSramRefBytes = 64.0 * 1024.0;
+constexpr double kSramRefAreaUm2PerByte = 7.4;
+constexpr double kSramAreaCapacityExponent = 0.2;
+constexpr double kSramLeakageMwPerMm2 = 120.0;
+constexpr double kSramRefPjPerByte = 0.22;
+constexpr double kSramEnergyCapacityExponent = 0.25;
+
+/** Analytical SRAM macro cost at 32 nm. */
+inline SramMacroCost
+cactiLiteSram(u64 bytes)
+{
+    SramMacroCost cost;
+    if (bytes == 0)
+        return cost;
+    const double ratio = double(bytes) / kSramRefBytes;
+    const double area_per_byte =
+        kSramRefAreaUm2PerByte * std::pow(ratio, kSramAreaCapacityExponent);
+    cost.area_mm2 = area_per_byte * double(bytes) * 1e-6;
+    cost.leakage_mw = cost.area_mm2 * kSramLeakageMwPerMm2;
+    cost.pj_per_byte =
+        kSramRefPjPerByte * std::pow(ratio, kSramEnergyCapacityExponent);
+    return cost;
+}
+
+} // namespace usys
+
+#endif // USYS_MEM_CACTI_LITE_H

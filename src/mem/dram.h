@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Off-chip DRAM model: 22 nm 1 GB DDR3 chip, 8 banks, 8192-bit pages
+ * (Section IV-C3).
+ *
+ * The model exposes a sustained bandwidth (peak derated by page locality
+ * and bank-conflict efficiency) used by the contention calculation, and a
+ * per-byte dynamic access energy. Following the paper, DRAM static power
+ * is excluded — only dynamic access energy enters the totals.
+ */
+
+#ifndef USYS_MEM_DRAM_H
+#define USYS_MEM_DRAM_H
+
+#include "common/types.h"
+
+namespace usys {
+
+/** DDR3 device + channel configuration. */
+struct DramConfig
+{
+    double peak_gbps = 12.8;    // DDR3-1600, 64-bit channel
+    int banks = 8;
+    u64 page_bits = 8192;
+    double pj_per_byte = 160.0; // activation + IO dynamic energy
+
+    /**
+     * Row-locality efficiency: fraction of peak sustained by the mix of
+     * streaming (page-hit) and tile-boundary (page-miss) accesses.
+     */
+    double efficiency = 0.85;
+
+    double sustainedGbps() const { return peak_gbps * efficiency; }
+
+    /** Sustained bytes per accelerator cycle at the given clock. */
+    double
+    bytesPerCycle(double freq_ghz) const
+    {
+        return sustainedGbps() / freq_ghz;
+    }
+};
+
+/** The single DDR3 chip shared by all configurations in the paper. */
+inline DramConfig
+ddr3Chip()
+{
+    return DramConfig{};
+}
+
+} // namespace usys
+
+#endif // USYS_MEM_DRAM_H

@@ -1,0 +1,79 @@
+#include "mem/dram_timing.h"
+
+#include <algorithm>
+
+namespace usys {
+
+namespace {
+
+/** Activation energy per page open (pJ), DDR3 at 22 nm. */
+constexpr double kActivationPj = 900.0;
+
+/** Column access + IO energy per byte (pJ/B). */
+constexpr double kColumnPjPerByte = 120.0;
+
+/** tRP + tRCD in nanoseconds (DDR3-1600 typical). */
+constexpr double kRowMissNs = 27.5;
+
+} // namespace
+
+DramDevice::DramDevice(const DramConfig &cfg, double freq_ghz)
+    : cfg_(cfg), page_bytes_(cfg.page_bits / 8)
+{
+    // Peak bandwidth expressed per accelerator cycle.
+    bus_bytes_per_cycle_ =
+        u32(std::max(1.0, cfg.peak_gbps / freq_ghz));
+    row_miss_penalty_ = u32(kRowMissNs * freq_ghz) + 1;
+    banks_.resize(std::size_t(cfg.banks));
+}
+
+Cycles
+DramDevice::access(u64 addr, u32 bytes, Cycles now)
+{
+    // Page-interleaved bank mapping: consecutive pages hit different
+    // banks, rows stack above them.
+    const u64 page = addr / page_bytes_;
+    const std::size_t bank_idx = std::size_t(page % banks_.size());
+    const i64 row = i64(page / banks_.size());
+    Bank &bank = banks_[bank_idx];
+
+    // Clamp the burst to the page boundary; callers split larger runs.
+    const u64 page_off = addr % page_bytes_;
+    bytes = u32(std::min<u64>(bytes, page_bytes_ - page_off));
+
+    Cycles start = std::max(now, std::max(bank.ready_at, bus_free_at_));
+    if (bank.open_row != row) {
+        start += row_miss_penalty_;
+        bank.open_row = row;
+        ++activations_;
+    }
+    const Cycles burst =
+        (bytes + bus_bytes_per_cycle_ - 1) / bus_bytes_per_cycle_;
+    const Cycles done = start + std::max<Cycles>(burst, 1);
+
+    bank.ready_at = done;
+    bus_free_at_ = done;
+    bytes_ += bytes;
+    return done;
+}
+
+double
+DramDevice::energyPj() const
+{
+    return double(activations_) * kActivationPj +
+           double(bytes_) * kColumnPjPerByte;
+}
+
+void
+DramDevice::reset()
+{
+    for (auto &bank : banks_) {
+        bank.open_row = -1;
+        bank.ready_at = 0;
+    }
+    bus_free_at_ = 0;
+    activations_ = 0;
+    bytes_ = 0;
+}
+
+} // namespace usys

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cycle-level DDR3 device timing model.
+ *
+ * Models the structure the paper configures (Section IV-C3): 8 banks,
+ * 8192-bit (1 KiB) pages, one 64-bit channel. Each bank tracks its open
+ * row; a row miss pays precharge + activate before the column burst, and
+ * all banks share the data bus. Timing is expressed in accelerator
+ * cycles (400 MHz), energy in pJ split into activation and column/IO
+ * components. The roofline model in sched/simulator is validated against
+ * this device by the trace engine.
+ */
+
+#ifndef USYS_MEM_DRAM_TIMING_H
+#define USYS_MEM_DRAM_TIMING_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "mem/dram.h"
+
+namespace usys {
+
+/** Per-request timing/energy state of a DDR3 device. */
+class DramDevice
+{
+  public:
+    /**
+     * @param cfg static DRAM configuration
+     * @param freq_ghz accelerator clock the timings are expressed in
+     */
+    explicit DramDevice(const DramConfig &cfg, double freq_ghz = 0.4);
+
+    /**
+     * Issue one read/write burst.
+     *
+     * @param addr byte address
+     * @param bytes burst length (clamped to one page)
+     * @param now earliest issue cycle
+     * @return cycle at which the burst completes
+     */
+    Cycles access(u64 addr, u32 bytes, Cycles now);
+
+    /** Cycle at which all issued traffic has drained. */
+    Cycles drainCycle() const { return bus_free_at_; }
+
+    /** Total page activations (row misses). */
+    u64 activations() const { return activations_; }
+
+    /** Total bytes transferred. */
+    u64 bytesTransferred() const { return bytes_; }
+
+    /** Dynamic energy in pJ (activation + column/IO). */
+    double energyPj() const;
+
+    /** Reset all state (new simulation). */
+    void reset();
+
+    u64 pageBytes() const { return page_bytes_; }
+
+  private:
+    DramConfig cfg_;
+    u64 page_bytes_;
+    u32 bus_bytes_per_cycle_;
+    u32 row_miss_penalty_; // tRP + tRCD in accelerator cycles
+
+    struct Bank
+    {
+        i64 open_row = -1;
+        Cycles ready_at = 0;
+    };
+    std::vector<Bank> banks_;
+    Cycles bus_free_at_ = 0;
+    u64 activations_ = 0;
+    u64 bytes_ = 0;
+};
+
+} // namespace usys
+
+#endif // USYS_MEM_DRAM_TIMING_H

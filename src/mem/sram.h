@@ -1,0 +1,67 @@
+/**
+ * @file
+ * On-chip SRAM buffer model (Section IV-C3).
+ *
+ * Eyeriss/TPU-style shared global buffer split evenly into three
+ * double-buffered variable buffers (weight / IFM / OFM), each banked to
+ * reduce conflicts. The model provides sustained bandwidth for the
+ * contention calculation and CACTI-lite costs for area/energy.
+ */
+
+#ifndef USYS_MEM_SRAM_H
+#define USYS_MEM_SRAM_H
+
+#include "common/types.h"
+#include "mem/cacti_lite.h"
+
+namespace usys {
+
+/** Per-variable SRAM buffer configuration. */
+struct SramConfig
+{
+    bool present = true;
+    u64 bytes = 64 * 1024; // capacity per variable buffer
+    int banks = 16;
+    int bank_port_bytes = 4; // bytes per bank per cycle
+
+    /** Sustained bytes/cycle (all banks busy, conflict-derated). */
+    double
+    bytesPerCycle() const
+    {
+        if (!present)
+            return 0.0;
+        // Interleaved sequential streams keep ~90% of the banks busy.
+        return 0.9 * double(banks) * bank_port_bytes;
+    }
+
+    /** CACTI-lite cost of this buffer. */
+    SramMacroCost cost() const { return cactiLiteSram(present ? bytes : 0); }
+};
+
+/** Eyeriss-derived edge buffer: 192 KB total, 64 KB per variable. */
+inline SramConfig
+edgeSram()
+{
+    return SramConfig{true, 64 * 1024, 16, 4};
+}
+
+/** TPU-derived cloud buffer: 24 MB total, 8 MB per variable. */
+inline SramConfig
+cloudSram()
+{
+    return SramConfig{true, u64(8) * 1024 * 1024, 16, 32};
+}
+
+/** SRAM removed (uSystolic's crawling-byte operating point). */
+inline SramConfig
+noSram()
+{
+    SramConfig cfg;
+    cfg.present = false;
+    cfg.bytes = 0;
+    return cfg;
+}
+
+} // namespace usys
+
+#endif // USYS_MEM_SRAM_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cycle-level banked SRAM buffer timing.
+ *
+ * Word-interleaved banks, one access per bank per cycle. Used by the
+ * trace engine to account for bank conflicts that the roofline model
+ * folds into a flat efficiency factor.
+ */
+
+#ifndef USYS_MEM_SRAM_TIMING_H
+#define USYS_MEM_SRAM_TIMING_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/sram.h"
+
+namespace usys {
+
+/** Per-request timing state of one banked SRAM buffer. */
+class SramDevice
+{
+  public:
+    explicit SramDevice(const SramConfig &cfg)
+        : cfg_(cfg), banks_(std::size_t(std::max(1, cfg.banks)), 0)
+    {}
+
+    /**
+     * Issue one word access.
+     *
+     * @param addr byte address within the buffer
+     * @param now earliest issue cycle
+     * @return completion cycle (start + 1)
+     */
+    Cycles
+    access(u64 addr, Cycles now)
+    {
+        if (!cfg_.present)
+            return now; // absent buffer: the caller routes to DRAM
+        const std::size_t bank =
+            std::size_t(addr / u64(cfg_.bank_port_bytes)) % banks_.size();
+        Cycles start = std::max(now, banks_[bank]);
+        banks_[bank] = start + 1;
+        ++accesses_;
+        conflict_cycles_ += start - now;
+        return start + 1;
+    }
+
+    u64 accesses() const { return accesses_; }
+    u64 conflictCycles() const { return conflict_cycles_; }
+
+    void
+    reset()
+    {
+        std::fill(banks_.begin(), banks_.end(), 0);
+        accesses_ = 0;
+        conflict_cycles_ = 0;
+    }
+
+  private:
+    SramConfig cfg_;
+    std::vector<Cycles> banks_; // per-bank next-free cycle
+    u64 accesses_ = 0;
+    u64 conflict_cycles_ = 0;
+};
+
+} // namespace usys
+
+#endif // USYS_MEM_SRAM_TIMING_H

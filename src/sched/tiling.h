@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Weight-stationary tiling of a GEMM layer onto an R x C array.
+ *
+ * K folds over array rows, N folds over array columns; each fold streams
+ * all M input rows. Fold latency matches the cycle-level SystolicArray
+ * (tests assert this), so the performance simulator and the bit-level
+ * simulator share one timing model.
+ */
+
+#ifndef USYS_SCHED_TILING_H
+#define USYS_SCHED_TILING_H
+
+#include "common/types.h"
+#include "arch/array.h"
+#include "sched/layer.h"
+
+namespace usys {
+
+/** Static tiling summary of one layer on one array. */
+struct Tiling
+{
+    i64 m = 0;          // streamed input rows per fold
+    i64 k = 0;          // reduction dimension
+    i64 n = 0;          // output columns
+    i64 folds_k = 0;    // ceil(K / R)
+    i64 folds_n = 0;    // ceil(N / C)
+    i64 folds = 0;
+    Cycles fold_cycles = 0;    // latency of one fold
+    Cycles compute_cycles = 0; // contention-free layer latency
+    double utilization = 0.0;  // real MACs / provisioned PE-MAC slots
+
+    /**
+     * Optimistic latency if each fold's weight preload is overlapped
+     * with the previous fold's streaming through a double-buffered
+     * weight path (a TPU-style optimization neither the paper nor
+     * SCALE-Sim applies; quantified in the ablation bench).
+     */
+    Cycles pipelined_compute_cycles = 0;
+};
+
+/** Compute the weight-stationary tiling of `layer` on `array`. */
+inline Tiling
+tileLayer(const ArrayConfig &array, const GemmLayer &layer)
+{
+    Tiling t;
+    t.m = layer.m();
+    t.k = layer.k();
+    t.n = layer.n();
+    t.folds_k = (t.k + array.rows - 1) / array.rows;
+    t.folds_n = (t.n + array.cols - 1) / array.cols;
+    t.folds = t.folds_k * t.folds_n;
+
+    SystolicArray sim(array);
+    t.fold_cycles = sim.foldLatency(int(std::min<i64>(t.m, 1 << 30)));
+    t.compute_cycles = u64(t.folds) * t.fold_cycles;
+    // Overlapped preload pays the R-cycle weight load only once; every
+    // later fold hides it under the previous fold's streaming (the
+    // streaming phase is always >= R cycles for M >= 1).
+    t.pipelined_compute_cycles =
+        t.compute_cycles - u64(t.folds - 1) * u64(array.rows);
+
+    const double provisioned =
+        double(t.folds) * array.rows * array.cols * double(t.m);
+    t.utilization =
+        provisioned > 0 ? double(layer.macs()) / provisioned : 0.0;
+    return t;
+}
+
+} // namespace usys
+
+#endif // USYS_SCHED_TILING_H

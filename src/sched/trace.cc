@@ -1,0 +1,186 @@
+#include "sched/trace.h"
+
+#include <algorithm>
+
+#include "mem/dram_timing.h"
+#include "mem/sram_timing.h"
+#include "sched/tiling.h"
+
+namespace usys {
+
+namespace {
+
+/**
+ * Flat address map: [weights | IFM (im2col space) | OFM]. Weights are
+ * laid out fold-major (each R x C tile contiguous in its streaming
+ * order) — the layout a systolic-array compiler emits so weight preload
+ * is a sequential DRAM burst.
+ */
+struct AddressMap
+{
+    u64 w_base = 0;
+    u64 i_base = 0;
+    u64 o_base = 0;
+
+    AddressMap(const GemmLayer &layer, u64 in_b)
+    {
+        w_base = 0;
+        i_base = u64(layer.weightElems()) * in_b;
+        o_base = i_base + u64(layer.m() * layer.k()) * in_b;
+    }
+};
+
+/** Issue a contiguous run as page-bounded bursts. */
+Cycles
+issueRun(DramDevice &dram, u64 addr, u64 bytes, Cycles now)
+{
+    Cycles done = now;
+    while (bytes > 0) {
+        const u64 chunk =
+            std::min<u64>(bytes, dram.pageBytes() -
+                                     addr % dram.pageBytes());
+        done = dram.access(addr, u32(chunk), now);
+        addr += chunk;
+        bytes -= chunk;
+    }
+    return done;
+}
+
+} // namespace
+
+TraceStats
+traceLayer(const SystemConfig &sys, const GemmLayer &layer)
+{
+    layer.check();
+    const Tiling tiling = tileLayer(sys.array, layer);
+    const u64 in_b = u64(sys.elemBytes());
+    const u64 out_b = u64(sys.outBytes());
+    const i64 rows = sys.array.rows;
+    const i64 cols = sys.array.cols;
+    const u32 mac = sys.array.kernel.macCycles();
+    const i64 k_dim = tiling.k;
+    const i64 n_dim = tiling.n;
+    const i64 m_rows = tiling.m;
+
+    const AddressMap map(layer, in_b);
+    DramDevice dram(sys.dram, sys.freq_ghz);
+    SramDevice sram_w(sys.sram), sram_i(sys.sram), sram_o(sys.sram);
+    const bool has_sram = sys.sram.present;
+    const bool ifm_fits =
+        u64(layer.ifmElems()) * in_b <= sys.sram.bytes;
+
+    TraceStats stats;
+    stats.compute_cycles = tiling.compute_cycles;
+
+    Cycles t = 0;
+    Cycles prefetch_done = 0; // DRAM delivery of the upcoming fold
+    bool ifm_resident = false;
+
+    for (i64 fn = 0; fn < tiling.folds_n; ++fn) {
+        for (i64 fk = 0; fk < tiling.folds_k; ++fk) {
+            const Cycles fold_start = std::max(t, prefetch_done);
+            const u64 k0 = u64(fk) * rows;
+            const u64 n0 = u64(fn) * cols;
+
+            // --- DRAM fill for this fold (issued here; with SRAM the
+            // double buffer lets it overlap the *previous* fold, which
+            // the prefetch_done handoff models). Weight tiles are always
+            // cold; the IFM is refetched per N-fold group unless it fits.
+            Cycles fill_done = fold_start;
+            {
+                // Fold-major weight layout: one sequential tile burst.
+                const u64 fold_idx = u64(fn) * u64(tiling.folds_k) +
+                                     u64(fk);
+                const u64 tile_bytes = u64(rows) * u64(cols) * in_b;
+                const u64 addr = map.w_base + fold_idx * tile_bytes;
+                fill_done = std::max(
+                    fill_done,
+                    issueRun(dram, addr, tile_bytes, fold_start));
+            }
+            const bool need_ifm_fill = !has_sram ||
+                                       !ifm_fits || !ifm_resident;
+            if (has_sram && need_ifm_fill && fk == 0) {
+                // Stream the (unique) IFM into the buffer once per
+                // N-fold group.
+                const u64 bytes = u64(layer.ifmElems()) * in_b;
+                fill_done = std::max(
+                    fill_done,
+                    issueRun(dram, map.i_base, bytes, fold_start));
+                ifm_resident = ifm_fits;
+            }
+
+            // --- Array-side schedule: weight preload then skewed
+            // streaming, one request per row at its scheduled beat.
+            Cycles data_done = fold_start;
+            for (i64 k = 0; k < rows; ++k) {
+                const Cycles beat = fold_start + Cycles(k);
+                if (has_sram) {
+                    data_done = std::max(
+                        data_done,
+                        sram_w.access((k0 + k) * u64(n_dim) * in_b,
+                                      beat));
+                }
+            }
+            const Cycles stream_start = fold_start + Cycles(rows);
+            for (i64 m = 0; m < m_rows; ++m) {
+                const Cycles beat = stream_start + Cycles(m) * mac;
+                const u64 addr =
+                    map.i_base + (u64(m) * u64(k_dim) + k0) * in_b;
+                const u64 len = std::min<u64>(u64(rows),
+                                              u64(k_dim) - k0) * in_b;
+                if (has_sram) {
+                    data_done = std::max(data_done,
+                                         sram_i.access(addr, beat));
+                } else {
+                    data_done = std::max(
+                        data_done, issueRun(dram, addr, len, beat));
+                }
+            }
+            // OFM drains on the final K-fold.
+            if (fk == tiling.folds_k - 1) {
+                for (i64 m = 0; m < m_rows; ++m) {
+                    const Cycles beat =
+                        stream_start + Cycles(m + rows - 1) * mac;
+                    const u64 addr =
+                        map.o_base + (u64(m) * u64(n_dim) + n0) * out_b;
+                    const u64 len =
+                        std::min<u64>(u64(cols), u64(n_dim) - n0) *
+                        out_b;
+                    if (has_sram) {
+                        data_done = std::max(data_done,
+                                             sram_o.access(addr, beat));
+                    } else {
+                        data_done = std::max(
+                            data_done, issueRun(dram, addr, len, beat));
+                    }
+                }
+            }
+
+            const Cycles compute_done =
+                fold_start + tiling.fold_cycles;
+            t = std::max(compute_done, data_done);
+            // With SRAM, the fill for the next fold overlaps this one;
+            // without it, the fill *was* the array-side traffic.
+            prefetch_done = has_sram ? fill_done : t;
+        }
+    }
+
+    stats.total_cycles = std::max<Cycles>(t, stats.compute_cycles);
+    stats.stall_cycles = stats.total_cycles - stats.compute_cycles;
+    stats.overhead_pct = 100.0 * double(stats.stall_cycles) /
+                         double(stats.compute_cycles);
+    stats.runtime_s = double(stats.total_cycles) / (sys.freq_ghz * 1e9);
+    stats.dram_bytes = dram.bytesTransferred();
+    stats.dram_activations = dram.activations();
+    stats.dram_energy_pj = dram.energyPj();
+    stats.dram_bw_gbps =
+        double(stats.dram_bytes) / stats.runtime_s * 1e-9;
+    stats.sram_accesses =
+        sram_w.accesses() + sram_i.accesses() + sram_o.accesses();
+    stats.sram_conflict_cycles = sram_w.conflictCycles() +
+                                 sram_i.conflictCycles() +
+                                 sram_o.conflictCycles();
+    return stats;
+}
+
+} // namespace usys

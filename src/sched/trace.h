@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace-driven memory simulation (uSystolic-Sim's trace profiling path).
+ *
+ * Where sched/simulator.cc applies an analytic roofline, the trace engine
+ * replays the weight-stationary schedule request-by-request against the
+ * cycle-level banked SRAM and DDR3 devices: weight-tile rows issue one
+ * per preload beat, IFM rows one per MAC interval, OFM rows at the
+ * drains, and (with SRAM present) the next fold's DRAM fill overlaps the
+ * current fold's compute, exactly like the double-buffered hardware.
+ * Tests validate the roofline against this engine.
+ */
+
+#ifndef USYS_SCHED_TRACE_H
+#define USYS_SCHED_TRACE_H
+
+#include "common/types.h"
+#include "sched/simulator.h"
+
+namespace usys {
+
+/** Results of the trace-driven simulation of one layer. */
+struct TraceStats
+{
+    Cycles compute_cycles = 0; // contention-free schedule
+    Cycles total_cycles = 0;   // with per-request memory stalls
+    Cycles stall_cycles = 0;
+    double overhead_pct = 0.0;
+    double runtime_s = 0.0;
+
+    u64 dram_bytes = 0;
+    u64 dram_activations = 0;  // DDR3 page opens
+    double dram_energy_pj = 0.0;
+    double dram_bw_gbps = 0.0;
+
+    u64 sram_accesses = 0;
+    u64 sram_conflict_cycles = 0;
+};
+
+/** Replay one layer's schedule through the cycle-level memory devices. */
+TraceStats traceLayer(const SystemConfig &sys, const GemmLayer &layer);
+
+} // namespace usys
+
+#endif // USYS_SCHED_TRACE_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stochastic cross-correlation (SCC) metric of Alaghi & Hayes (ICCD'13).
+ *
+ * SCC measures the similarity of two bitstreams; zero SCC is necessary and
+ * sufficient for accurate unary multiplication (Section II-B2). C-BSG is
+ * designed to force SCC toward zero, which the tests verify.
+ */
+
+#ifndef USYS_UNARY_SCC_H
+#define USYS_UNARY_SCC_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/**
+ * Compute SCC of two equal-length bitstreams.
+ *
+ * SCC = (p11 - p1*p2) / (min(p1,p2) - p1*p2)        if p11 > p1*p2
+ *     = (p11 - p1*p2) / (p1*p2 - max(p1+p2-1, 0))   otherwise
+ *
+ * Returns 0 when the normalizer degenerates (streams of constant value).
+ */
+inline double
+stochasticCrossCorrelation(const std::vector<u8> &x, const std::vector<u8> &y)
+{
+    const std::size_t n = std::min(x.size(), y.size());
+    if (n == 0)
+        return 0.0;
+
+    u64 c1 = 0, c2 = 0, c11 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        c1 += x[i];
+        c2 += y[i];
+        c11 += u64(x[i] & y[i]);
+    }
+    const double p1 = double(c1) / double(n);
+    const double p2 = double(c2) / double(n);
+    const double p11 = double(c11) / double(n);
+    const double prod = p1 * p2;
+    const double delta = p11 - prod;
+
+    double norm;
+    if (delta > 0)
+        norm = std::min(p1, p2) - prod;
+    else
+        norm = prod - std::max(p1 + p2 - 1.0, 0.0);
+
+    if (norm <= 1e-12)
+        return 0.0;
+    return delta / norm;
+}
+
+} // namespace usys
+
+#endif // USYS_UNARY_SCC_H

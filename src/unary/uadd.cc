@@ -1,0 +1,52 @@
+#include "unary/uadd.h"
+
+namespace usys {
+
+double
+unaryDomainSum(const std::vector<std::vector<u8>> &streams,
+               int select_rng_dim)
+{
+    fatalIf(streams.empty(), "unaryDomainSum: no streams");
+    const std::size_t period = streams[0].size();
+    const int fan_in = int(streams.size());
+    ScaledUnaryAdder adder(fan_in, select_rng_dim);
+
+    u64 out_ones = 0;
+    std::vector<u8> bits(streams.size());
+    for (std::size_t t = 0; t < period; ++t) {
+        for (std::size_t s = 0; s < streams.size(); ++s)
+            bits[s] = streams[s][t];
+        out_ones += adder.step(bits);
+    }
+    return double(out_ones) * fan_in;
+}
+
+u64
+binaryDomainSum(const std::vector<std::vector<u8>> &streams)
+{
+    u64 sum = 0;
+    for (const auto &stream : streams)
+        for (u8 bit : stream)
+            sum += bit;
+    return sum;
+}
+
+u64
+nonScaledUnarySum(const std::vector<std::vector<u8>> &streams)
+{
+    fatalIf(streams.empty(), "nonScaledUnarySum: no streams");
+    const std::size_t period = streams[0].size();
+    const int fan_in = int(streams.size());
+    NonScaledUnaryAdder adder(fan_in);
+
+    u64 out_ones = 0;
+    std::vector<u8> bits(streams.size());
+    for (std::size_t t = 0; t < period; ++t) {
+        for (std::size_t s = 0; s < streams.size(); ++s)
+            bits[s] = streams[s][t];
+        out_ones += adder.step(bits);
+    }
+    return out_ones * u64(fan_in) + adder.residue();
+}
+
+} // namespace usys

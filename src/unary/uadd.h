@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unary-domain accumulation units.
+ *
+ * uGEMM-class FSU architectures aggregate product bitstreams *in the
+ * unary domain* with scaled adders (a mux tree picks one input stream
+ * per cycle, so the output represents the average of the inputs). This
+ * is exactly what uSystolic replaces with binary accumulation: the mux
+ * subsampling adds variance that grows with fan-in, and for
+ * temporal-coded signed data it collapses entirely (Sections II-B4 and
+ * III-A). These models exist so the claim is measurable — see
+ * tests/test_uadd.cc and the accuracy benches.
+ */
+
+#ifndef USYS_UNARY_UADD_H
+#define USYS_UNARY_UADD_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "unary/sobol.h"
+
+namespace usys {
+
+/**
+ * Mux-based scaled adder: each cycle outputs one uniformly-selected
+ * input bit, so E[out] = mean(inputs). Hardware: a fan-in-wide mux and
+ * a (shared) selection RNG.
+ */
+class ScaledUnaryAdder
+{
+  public:
+    /**
+     * @param fan_in number of input streams
+     * @param select_rng_dim Sobol dimension driving the selector
+     */
+    ScaledUnaryAdder(int fan_in, int select_rng_dim = 3)
+        : fan_in_(fan_in),
+          select_(select_rng_dim, selectBits(fan_in))
+    {
+        fatalIf(fan_in < 1, "ScaledUnaryAdder: empty fan-in");
+    }
+
+    /**
+     * One cycle: pick an input bit.
+     *
+     * @param bits one bit per input stream (size >= fan_in)
+     * @return the selected output bit
+     */
+    bool
+    step(const std::vector<u8> &bits)
+    {
+        // Modulo fold keeps non-power-of-two fan-ins uniform enough for
+        // the accuracy study.
+        const u32 pick = select_.next() % u32(fan_in_);
+        return bits[pick] != 0;
+    }
+
+    void reset() { select_.reset(); }
+
+    int fanIn() const { return fan_in_; }
+
+  private:
+    static int
+    selectBits(int fan_in)
+    {
+        int bits = 1;
+        while ((1 << bits) < fan_in)
+            ++bits;
+        return bits;
+    }
+
+    int fan_in_;
+    SobolSequence select_;
+};
+
+/**
+ * Accumulate K product streams of length `period` in the unary domain
+ * (mux tree) and return the *scaled* sum estimate: ones(out) * K gives
+ * the estimated total 1-count of all inputs.
+ *
+ * @param streams K equal-length 0/1 streams
+ * @return estimated sum of all input 1-counts
+ */
+double unaryDomainSum(const std::vector<std::vector<u8>> &streams,
+                      int select_rng_dim = 3);
+
+/** Exact binary-domain accumulation of the same streams (uSystolic). */
+u64 binaryDomainSum(const std::vector<std::vector<u8>> &streams);
+
+/**
+ * Non-scaled unary adder (uGEMM's uADD, the "High" end of Table I's FSU
+ * accuracy range): a parallel counter sums the K input bits each cycle
+ * into a binary residue, and a comparator emits floor-accumulated
+ * output bits so the *output stream* carries sum/K with bounded (not
+ * fan-in-growing) error. Costs a log2(K)-bit adder per cycle — unary in
+ * interface, binary in substance, which is why uSystolic goes all the
+ * way to binary accumulation.
+ */
+class NonScaledUnaryAdder
+{
+  public:
+    explicit NonScaledUnaryAdder(int fan_in) : fan_in_(fan_in)
+    {
+        fatalIf(fan_in < 1, "NonScaledUnaryAdder: empty fan-in");
+    }
+
+    /**
+     * One cycle: absorb all input bits, emit one output bit whenever
+     * the residue crosses the fan-in (so ones(out) ~ sum(ones)/K with
+     * error < 1 output bit at any point in the stream).
+     */
+    bool
+    step(const std::vector<u8> &bits)
+    {
+        for (int i = 0; i < fan_in_; ++i)
+            residue_ += bits[std::size_t(i)];
+        if (residue_ >= u64(fan_in_)) {
+            residue_ -= u64(fan_in_);
+            return true;
+        }
+        return false;
+    }
+
+    void reset() { residue_ = 0; }
+
+    u64 residue() const { return residue_; }
+    int fanIn() const { return fan_in_; }
+
+  private:
+    int fan_in_;
+    u64 residue_ = 0;
+};
+
+/**
+ * Accumulate K streams with the non-scaled adder; returns the estimated
+ * total 1-count (ones(out) * K + final residue).
+ */
+u64 nonScaledUnarySum(const std::vector<std::vector<u8>> &streams);
+
+} // namespace usys
+
+#endif // USYS_UNARY_UADD_H

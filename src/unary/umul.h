@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cycle-level unary multipliers.
+ *
+ * CbsgUmul is the unipolar uMUL of Figure 4 (conditional bitstream
+ * generation): the input bit enables the stationary weight's RNG, so the
+ * weight stream consumes one low-discrepancy sample per input 1-bit and
+ * the product appears as the output 1-count.
+ *
+ * BipolarUmul is the signed multiplier used by the uGEMM-H baseline: both
+ * operands are bipolar-coded, the output bit is the XNOR of the operand
+ * bits, and C-BSG is applied on both input polarities (two RNGs), which is
+ * why it costs twice the area and twice the cycles of the sign-magnitude
+ * unipolar path (Section II-B2).
+ */
+
+#ifndef USYS_UNARY_UMUL_H
+#define USYS_UNARY_UMUL_H
+
+#include "common/types.h"
+#include "unary/sobol.h"
+
+namespace usys {
+
+/** Unipolar uMUL with conditional bitstream generation. */
+class CbsgUmul
+{
+  public:
+    /**
+     * @param wabs stationary weight magnitude in [0, 2^mag_bits)
+     * @param mag_bits magnitude bitwidth (stream length 2^mag_bits)
+     * @param rng_dimension Sobol dimension of the weight RNG
+     */
+    CbsgUmul(u32 wabs, int mag_bits, int rng_dimension = 0)
+        : wabs_(wabs), rng_(rng_dimension, mag_bits)
+    {}
+
+    /**
+     * Advance one cycle.
+     *
+     * @param input_bit this cycle's input stream bit (the RNG enable)
+     * @return the product stream bit
+     */
+    bool
+    step(bool input_bit)
+    {
+        if (!input_bit)
+            return false;
+        return rng_.next() < wabs_;
+    }
+
+    /** Restart the multiplier (weight stays stationary). */
+    void reset() { rng_.reset(); }
+
+    u32 weightMagnitude() const { return wabs_; }
+
+  private:
+    u32 wabs_;
+    SobolSequence rng_;
+};
+
+/** Bipolar uMUL (uGEMM-H): XNOR with dual-polarity C-BSG. */
+class BipolarUmul
+{
+  public:
+    /**
+     * @param w stationary signed weight in [-2^(bits-1), 2^(bits-1))
+     * @param bits signed bitwidth (stream length 2^bits)
+     * @param rng_dim_one Sobol dimension consumed on input bit 1
+     * @param rng_dim_zero Sobol dimension consumed on input bit 0
+     */
+    BipolarUmul(i32 w, int bits, int rng_dim_one = 0, int rng_dim_zero = 1)
+        : w_offset_(u32(w + (i32(1) << (bits - 1)))),
+          rng_one_(rng_dim_one, bits),
+          rng_zero_(rng_dim_zero, bits)
+    {}
+
+    /**
+     * Advance one cycle.
+     *
+     * @param input_bit this cycle's bipolar input stream bit
+     * @return the bipolar product stream bit (XNOR of input and weight bits)
+     */
+    bool
+    step(bool input_bit)
+    {
+        if (input_bit)
+            return rng_one_.next() < w_offset_;
+        return !(rng_zero_.next() < w_offset_);
+    }
+
+    void
+    reset()
+    {
+        rng_one_.reset();
+        rng_zero_.reset();
+    }
+
+  private:
+    u32 w_offset_;
+    SobolSequence rng_one_;
+    SobolSequence rng_zero_;
+};
+
+} // namespace usys
+
+#endif // USYS_UNARY_UMUL_H

@@ -1,0 +1,22 @@
+#include "workloads/alexnet.h"
+
+namespace usys {
+
+std::vector<GemmLayer>
+alexnetLayers()
+{
+    std::vector<GemmLayer> layers;
+    // 227x227x3 input; pooling between stages is not a GEMM and is
+    // reflected only in the next layer's input size.
+    layers.push_back(GemmLayer::conv("Conv1", 227, 227, 3, 11, 11, 4, 96));
+    layers.push_back(GemmLayer::conv("Conv2", 31, 31, 96, 5, 5, 1, 256));
+    layers.push_back(GemmLayer::conv("Conv3", 15, 15, 256, 3, 3, 1, 384));
+    layers.push_back(GemmLayer::conv("Conv4", 15, 15, 384, 3, 3, 1, 384));
+    layers.push_back(GemmLayer::conv("Conv5", 15, 15, 384, 3, 3, 1, 256));
+    layers.push_back(GemmLayer::matmul("FC6", 1, 9216, 4096));
+    layers.push_back(GemmLayer::matmul("FC7", 1, 4096, 4096));
+    layers.push_back(GemmLayer::matmul("FC8", 1, 4096, 1000));
+    return layers;
+}
+
+} // namespace usys

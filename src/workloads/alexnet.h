@@ -1,0 +1,24 @@
+/**
+ * @file
+ * AlexNet GEMM layers (the paper's layerwise workload, Section IV-C1).
+ */
+
+#ifndef USYS_WORKLOADS_ALEXNET_H
+#define USYS_WORKLOADS_ALEXNET_H
+
+#include <vector>
+
+#include "sched/layer.h"
+
+namespace usys {
+
+/**
+ * The eight AlexNet GEMM layers (Conv1-5, FC6-8), ImageNet dims.
+ * Padding is folded into the input size (e.g. Conv2's pad-2 27x27 input
+ * appears as 31x31).
+ */
+std::vector<GemmLayer> alexnetLayers();
+
+} // namespace usys
+
+#endif // USYS_WORKLOADS_ALEXNET_H

@@ -1,0 +1,93 @@
+#include "workloads/layer_parse.h"
+
+#include <sstream>
+
+#include "workloads/alexnet.h"
+#include "workloads/mlperf.h"
+
+namespace usys {
+
+namespace {
+
+/** Split on a delimiter, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string piece;
+    while (std::getline(ss, piece, delim))
+        if (!piece.empty())
+            out.push_back(piece);
+    return out;
+}
+
+std::optional<std::vector<i64>>
+parseInts(const std::string &csv)
+{
+    std::vector<i64> values;
+    for (const auto &field : split(csv, ',')) {
+        try {
+            std::size_t used = 0;
+            const long long v = std::stoll(field, &used);
+            if (used != field.size() || v <= 0)
+                return std::nullopt;
+            values.push_back(v);
+        } catch (...) {
+            return std::nullopt;
+        }
+    }
+    return values;
+}
+
+} // namespace
+
+std::optional<GemmLayer>
+parseLayerSpec(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        return std::nullopt;
+    const std::string kind = spec.substr(0, colon);
+    const auto ints = parseInts(spec.substr(colon + 1));
+    if (!ints)
+        return std::nullopt;
+
+    if (kind == "conv" && ints->size() == 7) {
+        const auto &v = *ints;
+        if (v[0] < v[3] || v[1] < v[4])
+            return std::nullopt;
+        return GemmLayer::conv(spec, int(v[0]), int(v[1]), int(v[2]),
+                               int(v[3]), int(v[4]), int(v[5]),
+                               int(v[6]));
+    }
+    if (kind == "matmul" && ints->size() == 3) {
+        const auto &v = *ints;
+        return GemmLayer::matmul(spec, int(v[0]), int(v[1]), int(v[2]));
+    }
+    return std::nullopt;
+}
+
+std::vector<GemmLayer>
+parseLayerList(const std::string &specs)
+{
+    std::vector<GemmLayer> layers;
+    for (const auto &spec : split(specs, ';')) {
+        if (spec == "alexnet") {
+            for (auto &layer : alexnetLayers())
+                layers.push_back(std::move(layer));
+            continue;
+        }
+        if (spec == "mlperf") {
+            for (auto &layer : mlperfLayers())
+                layers.push_back(std::move(layer));
+            continue;
+        }
+        auto layer = parseLayerSpec(spec);
+        fatalIf(!layer, "unparseable layer spec: " + spec);
+        layers.push_back(std::move(*layer));
+    }
+    return layers;
+}
+
+} // namespace usys

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Textual GEMM layer specifications for the CLI tool and config files.
+ *
+ * Grammar:
+ *   conv:IH,IW,IC,WH,WW,S,OC     e.g. conv:31,31,96,5,5,1,256
+ *   matmul:M,K,N                 e.g. matmul:1,9216,4096
+ *   alexnet                      the 8 AlexNet layers
+ *   mlperf                       the full MLPerf-like suite
+ * Multiple specs separated by ';'.
+ */
+
+#ifndef USYS_WORKLOADS_LAYER_PARSE_H
+#define USYS_WORKLOADS_LAYER_PARSE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/layer.h"
+
+namespace usys {
+
+/** Parse one spec; std::nullopt on malformed input. */
+std::optional<GemmLayer> parseLayerSpec(const std::string &spec);
+
+/** Parse a ';'-separated list, expanding the named workloads. */
+std::vector<GemmLayer> parseLayerList(const std::string &specs);
+
+} // namespace usys
+
+#endif // USYS_WORKLOADS_LAYER_PARSE_H

@@ -1,0 +1,223 @@
+#include "workloads/mlperf.h"
+
+#include "workloads/alexnet.h"
+
+namespace usys {
+
+namespace {
+
+/** Convolution with symmetric padding folded into the input size. */
+GemmLayer
+pconv(std::string name, int hw, int ic, int kk, int stride, int oc,
+      int pad)
+{
+    const int in = hw + 2 * pad;
+    return GemmLayer::conv(std::move(name), in, in, ic, kk, kk, stride,
+                           oc);
+}
+
+MlperfModel
+alphaGoZero()
+{
+    // 19x19 board, 17 input planes, 256-filter residual tower (19 blocks)
+    // plus policy/value heads.
+    MlperfModel m{"AlphaGoZero", {}};
+    m.layers.push_back(pconv("stem", 19, 17, 3, 1, 256, 1));
+    for (int b = 0; b < 19; ++b) {
+        m.layers.push_back(
+            pconv("res" + std::to_string(b) + "a", 19, 256, 3, 1, 256, 1));
+        m.layers.push_back(
+            pconv("res" + std::to_string(b) + "b", 19, 256, 3, 1, 256, 1));
+    }
+    m.layers.push_back(pconv("policy_conv", 19, 256, 1, 1, 2, 0));
+    m.layers.push_back(GemmLayer::matmul("policy_fc", 1, 2 * 19 * 19, 362));
+    m.layers.push_back(pconv("value_conv", 19, 256, 1, 1, 1, 0));
+    m.layers.push_back(GemmLayer::matmul("value_fc1", 1, 19 * 19, 256));
+    m.layers.push_back(GemmLayer::matmul("value_fc2", 1, 256, 1));
+    return m;
+}
+
+MlperfModel
+googlenet()
+{
+    // GoogLeNet (Inception v1): stem + 9 inception modules. Each module
+    // contributes its 1x1 / 3x3-reduce+3x3 / 5x5-reduce+5x5 / pool-proj
+    // convolutions.
+    MlperfModel m{"GoogLeNet", {}};
+    m.layers.push_back(pconv("conv1", 224, 3, 7, 2, 64, 3));
+    m.layers.push_back(pconv("conv2_reduce", 56, 64, 1, 1, 64, 0));
+    m.layers.push_back(pconv("conv2", 56, 64, 3, 1, 192, 1));
+
+    struct Inception
+    {
+        const char *name;
+        int hw, ic, c1, c3r, c3, c5r, c5, pp;
+    };
+    const Inception mods[] = {
+        {"3a", 28, 192, 64, 96, 128, 16, 32, 32},
+        {"3b", 28, 256, 128, 128, 192, 32, 96, 64},
+        {"4a", 14, 480, 192, 96, 208, 16, 48, 64},
+        {"4b", 14, 512, 160, 112, 224, 24, 64, 64},
+        {"4c", 14, 512, 128, 128, 256, 24, 64, 64},
+        {"4d", 14, 512, 112, 144, 288, 32, 64, 64},
+        {"4e", 14, 528, 256, 160, 320, 32, 128, 128},
+        {"5a", 7, 832, 256, 160, 320, 32, 128, 128},
+        {"5b", 7, 832, 384, 192, 384, 48, 128, 128},
+    };
+    for (const auto &im : mods) {
+        const std::string p = std::string("inc") + im.name + "_";
+        m.layers.push_back(pconv(p + "1x1", im.hw, im.ic, 1, 1, im.c1, 0));
+        m.layers.push_back(
+            pconv(p + "3x3r", im.hw, im.ic, 1, 1, im.c3r, 0));
+        m.layers.push_back(pconv(p + "3x3", im.hw, im.c3r, 3, 1, im.c3, 1));
+        m.layers.push_back(
+            pconv(p + "5x5r", im.hw, im.ic, 1, 1, im.c5r, 0));
+        m.layers.push_back(pconv(p + "5x5", im.hw, im.c5r, 5, 1, im.c5, 2));
+        m.layers.push_back(
+            pconv(p + "pool", im.hw, im.ic, 1, 1, im.pp, 0));
+    }
+    m.layers.push_back(GemmLayer::matmul("fc", 1, 1024, 1000));
+    return m;
+}
+
+MlperfModel
+resnet50()
+{
+    MlperfModel m{"ResNet50", {}};
+    m.layers.push_back(pconv("conv1", 224, 3, 7, 2, 64, 3));
+
+    struct Stage
+    {
+        int hw, in_ch, mid, out_ch, blocks;
+    };
+    const Stage stages[] = {
+        {56, 64, 64, 256, 3},
+        {28, 256, 128, 512, 4},
+        {14, 512, 256, 1024, 6},
+        {7, 1024, 512, 2048, 3},
+    };
+    int stage_id = 2;
+    for (const auto &st : stages) {
+        int ic = st.in_ch;
+        for (int b = 0; b < st.blocks; ++b) {
+            const std::string p =
+                "s" + std::to_string(stage_id) + "b" + std::to_string(b);
+            const int stride = (b == 0 && stage_id > 2) ? 2 : 1;
+            const int in_hw = stride == 2 ? st.hw * 2 : st.hw;
+            m.layers.push_back(
+                pconv(p + "_1x1a", in_hw, ic, 1, stride, st.mid, 0));
+            m.layers.push_back(
+                pconv(p + "_3x3", st.hw, st.mid, 3, 1, st.mid, 1));
+            m.layers.push_back(
+                pconv(p + "_1x1b", st.hw, st.mid, 1, 1, st.out_ch, 0));
+            if (b == 0) {
+                m.layers.push_back(pconv(p + "_proj", in_hw, ic, 1,
+                                         stride, st.out_ch, 0));
+            }
+            ic = st.out_ch;
+        }
+        ++stage_id;
+    }
+    m.layers.push_back(GemmLayer::matmul("fc", 1, 2048, 1000));
+    return m;
+}
+
+MlperfModel
+ncf()
+{
+    // Neural collaborative filtering: embedding-fed MLP, batch 256.
+    MlperfModel m{"NCF", {}};
+    m.layers.push_back(GemmLayer::matmul("mlp1", 256, 256, 256));
+    m.layers.push_back(GemmLayer::matmul("mlp2", 256, 256, 128));
+    m.layers.push_back(GemmLayer::matmul("mlp3", 256, 128, 64));
+    m.layers.push_back(GemmLayer::matmul("mlp4", 256, 64, 32));
+    m.layers.push_back(GemmLayer::matmul("predict", 256, 32, 1));
+    return m;
+}
+
+MlperfModel
+seqCnn()
+{
+    // Text-sentiment CNN: 1-D convolutions over a length-400 sequence of
+    // 128-d embeddings (windows 3/4/5), then dense layers.
+    MlperfModel m{"seqCNN", {}};
+    m.layers.push_back(GemmLayer::conv("conv_w3", 400, 1, 128, 3, 1, 1,
+                                       128));
+    m.layers.push_back(GemmLayer::conv("conv_w4", 400, 1, 128, 4, 1, 1,
+                                       128));
+    m.layers.push_back(GemmLayer::conv("conv_w5", 400, 1, 128, 5, 1, 1,
+                                       128));
+    m.layers.push_back(GemmLayer::matmul("fc1", 1, 384, 256));
+    m.layers.push_back(GemmLayer::matmul("fc2", 1, 256, 2));
+    return m;
+}
+
+MlperfModel
+seqLstm()
+{
+    // Text-sentiment LSTM: per-step gate GEMM x_t/h_t -> 4H, hidden 512,
+    // embedding 128, 25 unrolled steps.
+    MlperfModel m{"seqLSTM", {}};
+    for (int t = 0; t < 25; ++t) {
+        m.layers.push_back(GemmLayer::matmul(
+            "step" + std::to_string(t) + "_gates", 1, 128 + 512,
+            4 * 512));
+    }
+    m.layers.push_back(GemmLayer::matmul("fc", 1, 512, 2));
+    return m;
+}
+
+MlperfModel
+transformer()
+{
+    // Base Transformer encoder: 6 layers, d_model 512, 8 heads, FFN 2048,
+    // sequence length 256.
+    MlperfModel m{"Transformer", {}};
+    const int seq = 256, d = 512, heads = 8, dk = d / heads, ffn = 2048;
+    for (int l = 0; l < 6; ++l) {
+        const std::string p = "enc" + std::to_string(l) + "_";
+        m.layers.push_back(GemmLayer::matmul(p + "q", seq, d, d));
+        m.layers.push_back(GemmLayer::matmul(p + "k", seq, d, d));
+        m.layers.push_back(GemmLayer::matmul(p + "v", seq, d, d));
+        // Attention score and context GEMMs, one per head.
+        for (int h = 0; h < heads; ++h) {
+            m.layers.push_back(GemmLayer::matmul(
+                p + "scores_h" + std::to_string(h), seq, dk, seq));
+            m.layers.push_back(GemmLayer::matmul(
+                p + "ctx_h" + std::to_string(h), seq, seq, dk));
+        }
+        m.layers.push_back(GemmLayer::matmul(p + "proj", seq, d, d));
+        m.layers.push_back(GemmLayer::matmul(p + "ffn1", seq, d, ffn));
+        m.layers.push_back(GemmLayer::matmul(p + "ffn2", seq, ffn, d));
+    }
+    return m;
+}
+
+} // namespace
+
+std::vector<MlperfModel>
+mlperfSuite()
+{
+    std::vector<MlperfModel> suite;
+    suite.push_back(alphaGoZero());
+    suite.push_back(MlperfModel{"AlexNet", alexnetLayers()});
+    suite.push_back(googlenet());
+    suite.push_back(resnet50());
+    suite.push_back(ncf());
+    suite.push_back(seqCnn());
+    suite.push_back(seqLstm());
+    suite.push_back(transformer());
+    return suite;
+}
+
+std::vector<GemmLayer>
+mlperfLayers()
+{
+    std::vector<GemmLayer> all;
+    for (auto &model : mlperfSuite())
+        for (auto &layer : model.layers)
+            all.push_back(layer);
+    return all;
+}
+
+} // namespace usys

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MLPerf-like GEMM layer suite (Section IV-C1).
+ *
+ * The paper sweeps the full MLPerf inference benchmark (1094 GEMM layers
+ * across 8 models). We regenerate the same *diversity* — large and small
+ * convolutions, 1x1 bottlenecks, tall/thin and single-row matmuls — from
+ * the published architectures of the same 8 models (substitution #4 in
+ * DESIGN.md): AlphaGoZero, AlexNet, GoogLeNet, ResNet50, neural
+ * collaborative filtering, sentimental_seqCNN, sentimental_seqLSTM, and
+ * Transformer.
+ */
+
+#ifndef USYS_WORKLOADS_MLPERF_H
+#define USYS_WORKLOADS_MLPERF_H
+
+#include <string>
+#include <vector>
+
+#include "sched/layer.h"
+
+namespace usys {
+
+/** One benchmark model: name + its GEMM layers. */
+struct MlperfModel
+{
+    std::string name;
+    std::vector<GemmLayer> layers;
+};
+
+/** The eight-model suite. */
+std::vector<MlperfModel> mlperfSuite();
+
+/** All layers of the suite flattened. */
+std::vector<GemmLayer> mlperfLayers();
+
+} // namespace usys
+
+#endif // USYS_WORKLOADS_MLPERF_H

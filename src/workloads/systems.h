@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Edge and cloud system presets (Section IV-C2/C3).
+ *
+ * Edge: Eyeriss-derived 12x14 array with 3 x 64 KB buffers.
+ * Cloud: TPU-derived 256x256 array with 3 x 8 MB buffers.
+ * Both run at 400 MHz over the same DDR3 chip; SRAM can be removed to
+ * model uSystolic's crawling-byte operating point.
+ */
+
+#ifndef USYS_WORKLOADS_SYSTEMS_H
+#define USYS_WORKLOADS_SYSTEMS_H
+
+#include "sched/simulator.h"
+
+namespace usys {
+
+/** Eyeriss-shaped edge system. */
+inline SystemConfig
+edgeSystem(const KernelConfig &kern, bool with_sram)
+{
+    SystemConfig sys;
+    sys.array = ArrayConfig{12, 14, kern};
+    sys.freq_ghz = 0.4;
+    sys.sram = with_sram ? edgeSram() : noSram();
+    // 16-bit designs double the SRAM to hold the same element count
+    // (Section V-C).
+    sys.sram.bytes *= u64(sys.elemBytes());
+    sys.dram = ddr3Chip();
+    return sys;
+}
+
+/** TPU-shaped cloud system. */
+inline SystemConfig
+cloudSystem(const KernelConfig &kern, bool with_sram)
+{
+    SystemConfig sys;
+    sys.array = ArrayConfig{256, 256, kern};
+    sys.freq_ghz = 0.4;
+    sys.sram = with_sram ? cloudSram() : noSram();
+    sys.sram.bytes *= u64(sys.elemBytes());
+    sys.dram = ddr3Chip();
+    return sys;
+}
+
+/**
+ * The paper's headline comparison points: binary designs keep SRAM,
+ * unary designs drop it (Section V-B).
+ */
+inline SystemConfig
+defaultSystem(const KernelConfig &kern, bool edge)
+{
+    const bool with_sram = !isUnary(kern.scheme);
+    return edge ? edgeSystem(kern, with_sram)
+                : cloudSystem(kern, with_sram);
+}
+
+} // namespace usys
+
+#endif // USYS_WORKLOADS_SYSTEMS_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the common utilities: fixed-point helpers, PRNG,
+ * matrices, streaming statistics, parallel loops, and table formatting.
+ */
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.h"
+#include "common/matrix.h"
+#include "common/parallel_for.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace usys {
+namespace {
+
+TEST(FixedPoint, SignMagnitudeRoundtrip)
+{
+    for (i32 v : {-127, -1, 0, 1, 99, 127}) {
+        const SignMag sm = toSignMag(v);
+        EXPECT_EQ(sm.toSigned(), v);
+        EXPECT_EQ(sm.negative, v < 0);
+    }
+    EXPECT_EQ(toSignMag(-5).magnitude, 5u);
+}
+
+TEST(FixedPoint, QuantizeClampsToMagnitudeRange)
+{
+    EXPECT_EQ(maxMagnitude(8), 127);
+    EXPECT_EQ(quantize(1000.0, 1.0, 8), 127);
+    EXPECT_EQ(quantize(-1000.0, 1.0, 8), -127);
+    EXPECT_EQ(quantize(0.4, 1.0, 8), 0);
+    EXPECT_EQ(quantize(0.6, 1.0, 8), 1);
+    EXPECT_DOUBLE_EQ(dequantize(quantize(5.0, 0.5, 8), 0.5), 5.0);
+}
+
+TEST(FixedPoint, SymmetricAndPow2Scales)
+{
+    EXPECT_DOUBLE_EQ(symmetricScale(127.0, 8), 1.0);
+    EXPECT_DOUBLE_EQ(symmetricScale(0.0, 8), 1.0);
+    EXPECT_DOUBLE_EQ(pow2Scale(0.7), 1.0);
+    EXPECT_DOUBLE_EQ(pow2Scale(1.1), 2.0);
+    EXPECT_DOUBLE_EQ(pow2Scale(0.25), 0.25);
+}
+
+TEST(Prng, DeterministicAndReseedable)
+{
+    Prng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+    a.reseed(42);
+    Prng fresh(42);
+    EXPECT_EQ(a.next(), fresh.next());
+}
+
+TEST(Prng, UniformBoundsAndMoments)
+{
+    Prng prng(7);
+    OnlineStats uni, gauss;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = prng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        uni.add(u);
+        gauss.add(prng.gaussian());
+    }
+    EXPECT_NEAR(uni.mean(), 0.5, 0.02);
+    EXPECT_NEAR(gauss.mean(), 0.0, 0.05);
+    EXPECT_NEAR(gauss.stddev(), 1.0, 0.05);
+}
+
+TEST(Prng, BelowCoversRange)
+{
+    Prng prng(9);
+    std::set<u64> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(prng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Matrix, AccessAndEquality)
+{
+    Matrix<i32> m(2, 3, 5);
+    EXPECT_EQ(m.at(1, 2), 5);
+    m(0, 1) = 9;
+    EXPECT_EQ(m.at(0, 1), 9);
+    Matrix<i32> n(2, 3, 5);
+    EXPECT_FALSE(m == n);
+    n(0, 1) = 9;
+    EXPECT_TRUE(m == n);
+}
+
+TEST(Matrix, BoundsCheckedAccessPanics)
+{
+    Matrix<i32> m(2, 2);
+    EXPECT_EXIT(m.at(2, 0), ::testing::KilledBySignal(SIGABRT), "");
+    EXPECT_EXIT(m.at(0, -1), ::testing::KilledBySignal(SIGABRT), "");
+}
+
+TEST(Matrix, ReferenceGemmKnownValues)
+{
+    Matrix<i32> a(2, 2), b(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    const auto c = referenceGemm(a, b);
+    EXPECT_EQ(c(0, 0), 19);
+    EXPECT_EQ(c(0, 1), 22);
+    EXPECT_EQ(c(1, 0), 43);
+    EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(Stats, OnlineMomentsMatchClosedForm)
+{
+    OnlineStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, RmseTracker)
+{
+    RmseTracker t;
+    t.add(10.0, 13.0);
+    t.add(10.0, 7.0);
+    EXPECT_DOUBLE_EQ(t.rmse(), 3.0);
+    EXPECT_DOUBLE_EQ(t.meanError(), 0.0);
+    EXPECT_DOUBLE_EQ(t.maxAbsError(), 3.0);
+    EXPECT_DOUBLE_EQ(t.normalizedRmse(), 0.3);
+    EXPECT_DOUBLE_EQ(pctReduction(10.0, 4.0), 60.0);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(997);
+    parallelFor(0, hits.size(), [&](u64 i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // Empty and reversed ranges are no-ops.
+    parallelFor(5, 5, [&](u64) { FAIL(); });
+    parallelFor(7, 3, [&](u64) { FAIL(); });
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(-1.0, 0), "-1");
+    EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+} // namespace
+} // namespace usys

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the DNN substrate: layer forward correctness against naive
+ * references, numerical gradient checks for every trainable layer,
+ * backend quantization behavior, dataset determinism, training
+ * convergence, and weight (de)serialization.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "dnn/backend.h"
+#include "dnn/data.h"
+#include "dnn/models.h"
+#include "dnn/train.h"
+
+namespace usys {
+namespace {
+
+const NumericConfig kFp32{NumericMode::Fp32, 8};
+
+Tensor
+randomTensor(int n, int c, int h, int w, Prng &prng)
+{
+    Tensor t(n, c, h, w);
+    for (auto &v : t.raw())
+        v = float(prng.gaussian());
+    return t;
+}
+
+TEST(Backend, Fp32GemmMatchesNaive)
+{
+    Prng prng(5);
+    MatF a(4, 6), b(6, 3);
+    for (auto &v : a.data())
+        v = float(prng.gaussian());
+    for (auto &v : b.data())
+        v = float(prng.gaussian());
+    const auto c = gemmFp32(a, b);
+    for (int m = 0; m < 4; ++m)
+        for (int n = 0; n < 3; ++n) {
+            float expect = 0;
+            for (int k = 0; k < 6; ++k)
+                expect += a(m, k) * b(k, n);
+            EXPECT_NEAR(c(m, n), expect, 1e-4);
+        }
+}
+
+TEST(Backend, QuantizedModesApproachFp32WithBits)
+{
+    Prng prng(6);
+    MatF a(8, 32), b(32, 8);
+    for (auto &v : a.data())
+        v = float(prng.gaussian());
+    for (auto &v : b.data())
+        v = float(prng.gaussian());
+    const auto ref = gemmFp32(a, b);
+
+    for (NumericMode mode : {NumericMode::FxpIres, NumericMode::FxpOres,
+                             NumericMode::UnaryRate,
+                             NumericMode::UnaryTemporal,
+                             NumericMode::UgemmH}) {
+        double prev = 1e18;
+        for (int ebt : {4, 8, 12}) {
+            const auto out = gemmWithMode(a, b, {mode, ebt});
+            double err = 0, norm = 0;
+            for (int m = 0; m < 8; ++m)
+                for (int n = 0; n < 8; ++n) {
+                    err += std::pow(out(m, n) - ref(m, n), 2);
+                    norm += std::pow(ref(m, n), 2);
+                }
+            const double nrmse = std::sqrt(err / norm);
+            EXPECT_LT(nrmse, prev * 1.05) << int(mode) << " ebt " << ebt;
+            prev = nrmse;
+        }
+        EXPECT_LT(prev, 0.05) << int(mode);
+    }
+}
+
+TEST(Backend, UnaryBetweenOresAndIres)
+{
+    // The paper's central accuracy ordering at matched EBT.
+    Prng prng(7);
+    MatF a(8, 64), b(64, 8);
+    for (auto &v : a.data())
+        v = float(prng.gaussian());
+    for (auto &v : b.data())
+        v = float(prng.gaussian());
+    const auto ref = gemmFp32(a, b);
+    auto nrmse = [&](NumericMode mode, int ebt) {
+        const auto out = gemmWithMode(a, b, {mode, ebt});
+        double err = 0, norm = 0;
+        for (int m = 0; m < 8; ++m)
+            for (int n = 0; n < 8; ++n) {
+                err += std::pow(out(m, n) - ref(m, n), 2);
+                norm += std::pow(ref(m, n), 2);
+            }
+        return std::sqrt(err / norm);
+    };
+    for (int ebt : {6, 8}) {
+        const double o_res = nrmse(NumericMode::FxpOres, ebt);
+        const double unary = nrmse(NumericMode::UnaryRate, ebt);
+        const double i_res = nrmse(NumericMode::FxpIres, ebt);
+        EXPECT_LT(i_res, unary) << ebt;
+        EXPECT_LT(unary, o_res) << ebt;
+    }
+}
+
+TEST(Layers, ConvForwardMatchesNaive)
+{
+    Prng prng(8);
+    Conv2d conv(2, 3, 3, 1, 1, prng);
+    Tensor x = randomTensor(2, 2, 5, 5, prng);
+    const Tensor y = conv.forward(x, kFp32);
+    ASSERT_EQ(y.c(), 3);
+    ASSERT_EQ(y.h(), 5);
+    ASSERT_EQ(y.w(), 5);
+
+    // Naive direct convolution for one output position.
+    auto blobs = conv.paramBlobs();
+    const auto &w = *blobs[0];
+    const auto &bias = *blobs[1];
+    for (int oc = 0; oc < 3; ++oc) {
+        float expect = bias[oc];
+        const int oh = 2, ow = 3, ni = 1;
+        int col = 0;
+        for (int ci = 0; ci < 2; ++ci)
+            for (int kh = 0; kh < 3; ++kh)
+                for (int kw = 0; kw < 3; ++kw, ++col) {
+                    const int ih = oh + kh - 1, iw = ow + kw - 1;
+                    if (ih >= 0 && ih < 5 && iw >= 0 && iw < 5)
+                        expect += x.at(ni, ci, ih, iw) *
+                                  w[std::size_t(col) * 3 + oc];
+                }
+        EXPECT_NEAR(y.at(1, oc, 2, 3), expect, 1e-4) << oc;
+    }
+}
+
+/** Central-difference gradient check through a small network. */
+TEST(Layers, NumericalGradientCheck)
+{
+    Prng prng(9);
+    Sequential net;
+    net.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, prng));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<MaxPool2d>());
+    net.add(std::make_unique<Linear>(2 * 3 * 3, 4, prng));
+
+    Tensor x = randomTensor(2, 1, 6, 6, prng);
+    const std::vector<int> labels{1, 3};
+
+    auto loss_at = [&]() {
+        Tensor logits = net.forward(x, kFp32);
+        return softmaxCrossEntropy(logits, labels);
+    };
+
+    // Analytic gradients.
+    Tensor logits = net.forward(x, kFp32);
+    Tensor grad;
+    softmaxCrossEntropy(logits, labels, &grad);
+    Tensor grad_x = net.backward(grad);
+
+    // Check input gradient entries by central differences.
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < x.raw().size(); i += 7) {
+        const float orig = x.raw()[i];
+        x.raw()[i] = orig + eps;
+        const double up = loss_at();
+        x.raw()[i] = orig - eps;
+        const double down = loss_at();
+        x.raw()[i] = orig;
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(grad_x.raw()[i], numeric,
+                    5e-3 * std::max(1.0, std::abs(numeric)))
+            << "index " << i;
+    }
+}
+
+TEST(Layers, ResidualBlockGradientCheck)
+{
+    Prng prng(10);
+    ResidualBlock block(2, 4, 2, prng); // projection path exercised
+    Tensor x = randomTensor(1, 2, 6, 6, prng);
+
+    auto loss_at = [&]() {
+        Tensor y = block.forward(x, kFp32);
+        double s = 0;
+        for (float v : y.raw())
+            s += v * v;
+        return 0.5 * s;
+    };
+
+    Tensor y = block.forward(x, kFp32);
+    Tensor grad = y; // dLoss/dy = y
+    Tensor grad_x = block.backward(grad);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < x.raw().size(); i += 11) {
+        const float orig = x.raw()[i];
+        x.raw()[i] = orig + eps;
+        const double up = loss_at();
+        x.raw()[i] = orig - eps;
+        const double down = loss_at();
+        x.raw()[i] = orig;
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(grad_x.raw()[i], numeric,
+                    5e-3 * std::max(1.0, std::abs(numeric)));
+    }
+}
+
+TEST(Layers, MaxPoolRoutesGradientToArgmax)
+{
+    Prng prng(11);
+    MaxPool2d pool;
+    Tensor x(1, 1, 4, 4);
+    for (std::size_t i = 0; i < x.raw().size(); ++i)
+        x.raw()[i] = float(i);
+    const Tensor y = pool.forward(x, kFp32);
+    EXPECT_EQ(y.at(0, 0, 0, 0), 5.0f); // max of {0,1,4,5}
+    Tensor g(1, 1, 2, 2);
+    g.raw().assign(4, 1.0f);
+    const Tensor gx = pool.backward(g);
+    EXPECT_EQ(gx.at(0, 0, 1, 1), 1.0f);
+    EXPECT_EQ(gx.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Loss, SoftmaxCrossEntropyGradientSumsToZero)
+{
+    Prng prng(12);
+    Tensor logits = randomTensor(3, 5, 1, 1, prng);
+    Tensor grad;
+    const double loss = softmaxCrossEntropy(logits, {0, 2, 4}, &grad);
+    EXPECT_GT(loss, 0.0);
+    for (int ni = 0; ni < 3; ++ni) {
+        double sum = 0;
+        for (int c = 0; c < 5; ++c)
+            sum += grad.at(ni, c, 0, 0);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(Data, DeterministicInSeed)
+{
+    const auto a = makeDigits(20, 99);
+    const auto b = makeDigits(20, 99);
+    const auto c = makeDigits(20, 100);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_NE(a.images, c.images);
+    EXPECT_EQ(a.classes, 10);
+    EXPECT_EQ(a.size, 16);
+}
+
+TEST(Data, AllTiersCoverAllClasses)
+{
+    for (const auto &ds :
+         {makeDigits(400, 1), makeGratings(400, 1),
+          makeHardGlyphs(400, 1)}) {
+        std::vector<int> seen(ds.classes, 0);
+        for (int l : ds.labels) {
+            ASSERT_GE(l, 0);
+            ASSERT_LT(l, ds.classes);
+            seen[l] = 1;
+        }
+        for (int s : seen)
+            EXPECT_EQ(s, 1);
+    }
+}
+
+TEST(Train, ConvergesOnEasyDigits)
+{
+    const auto train = makeDigits(600, 21, 0.15f);
+    const auto test = makeDigits(150, 22, 0.15f);
+    auto model = buildCnn4(train.classes, 3);
+    TrainOpts opts;
+    opts.epochs = 4;
+    trainClassifier(*model, train, opts);
+    const double acc = evaluateAccuracy(*model, test, kFp32);
+    EXPECT_GT(acc, 0.85);
+}
+
+TEST(Train, SaveLoadRoundtrip)
+{
+    const auto test = makeDigits(50, 23);
+    auto model = buildCnn4(10, 3);
+    const auto train = makeDigits(300, 24);
+    TrainOpts opts;
+    opts.epochs = 2;
+    trainClassifier(*model, train, opts);
+    const double acc = evaluateAccuracy(*model, test, kFp32);
+
+    const std::string path = "/tmp/usys_test_weights.bin";
+    ASSERT_TRUE(saveWeights(*model, path));
+    auto fresh = buildCnn4(10, 99); // different init
+    ASSERT_TRUE(loadWeights(*fresh, path));
+    EXPECT_DOUBLE_EQ(evaluateAccuracy(*fresh, test, kFp32), acc);
+
+    auto wrong = buildResLite(10, 3); // mismatched blob sizes
+    EXPECT_FALSE(loadWeights(*wrong, path));
+}
+
+TEST(Layers, ForwardMixedMatchesUniformWhenConfigsEqual)
+{
+    Prng prng(31);
+    auto model = buildCnn4(10, 3);
+    Tensor x = randomTensor(2, 1, 16, 16, prng);
+    const NumericConfig cfg{NumericMode::UnaryRate, 7};
+    const Tensor uniform = model->forward(x, cfg);
+    const std::vector<NumericConfig> per_layer(model->layerCount(), cfg);
+    const Tensor mixed = model->forwardMixed(x, per_layer);
+    ASSERT_EQ(uniform.size(), mixed.size());
+    for (std::size_t i = 0; i < uniform.size(); ++i)
+        EXPECT_FLOAT_EQ(uniform.raw()[i], mixed.raw()[i]);
+}
+
+TEST(Layers, ForwardMixedRejectsWrongArity)
+{
+    Prng prng(33);
+    auto model = buildCnn4(10, 3);
+    Tensor x = randomTensor(1, 1, 16, 16, prng);
+    const std::vector<NumericConfig> too_few(2);
+    EXPECT_EXIT(model->forwardMixed(x, too_few),
+                ::testing::ExitedWithCode(1), "one config per sublayer");
+}
+
+TEST(Models, ParameterCountsOrdered)
+{
+    auto count = [](Sequential &m) {
+        std::size_t total = 0;
+        for (auto *blob : m.paramBlobs())
+            total += blob->size();
+        return total;
+    };
+    auto cnn4 = buildCnn4(10, 1);
+    auto res = buildResLite(10, 1);
+    auto alex = buildAlexLite(10, 1);
+    // Mirrors the paper's small < medium < large parameter ordering.
+    EXPECT_LT(count(*cnn4), count(*res));
+    EXPECT_GT(count(*alex), 10000u);
+}
+
+} // namespace
+} // namespace usys

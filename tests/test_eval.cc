@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the workloads and experiment drivers: AlexNet/MLPerf layer
+ * inventories, Figure 11/14 invariants, the early-termination policy,
+ * and the headline summary staying in the paper's neighborhood.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/early_termination.h"
+#include "eval/experiments.h"
+#include "workloads/alexnet.h"
+#include "workloads/mlperf.h"
+
+namespace usys {
+namespace {
+
+TEST(Workloads, AlexnetInventory)
+{
+    const auto layers = alexnetLayers();
+    ASSERT_EQ(layers.size(), 8u);
+    EXPECT_EQ(layers[0].name, "Conv1");
+    EXPECT_EQ(layers[0].m(), 55LL * 55);
+    EXPECT_EQ(layers[5].name, "FC6");
+    EXPECT_EQ(layers[5].k(), 9216);
+    EXPECT_EQ(layers[5].n(), 4096);
+
+    // Parameter count near the published 61.1M (ours: ungrouped convs).
+    i64 params = 0;
+    for (const auto &l : layers)
+        params += l.weightElems();
+    EXPECT_GT(params, 55LL * 1000 * 1000);
+    EXPECT_LT(params, 70LL * 1000 * 1000);
+}
+
+TEST(Workloads, MlperfSuiteDiversity)
+{
+    const auto suite = mlperfSuite();
+    ASSERT_EQ(suite.size(), 8u);
+    const auto layers = mlperfLayers();
+    EXPECT_GT(layers.size(), 250u);
+    // Both operation types (Table II) must be present.
+    bool has_conv = false, has_matmul = false;
+    for (const auto &l : layers) {
+        has_conv |= l.type == GemmType::Convolution;
+        has_matmul |= l.type == GemmType::MatMul;
+        l.check(); // every layer must be well-formed
+    }
+    EXPECT_TRUE(has_conv);
+    EXPECT_TRUE(has_matmul);
+}
+
+TEST(Eval, CandidateListMatchesPaper)
+{
+    const auto cands = paperCandidates(8);
+    ASSERT_EQ(cands.size(), 6u);
+    EXPECT_EQ(cands[0].label, "Binary Parallel");
+    EXPECT_TRUE(cands[0].with_sram);
+    EXPECT_EQ(cands[2].kern.macCycles(), 33u);  // Unary-32c
+    EXPECT_EQ(cands[4].kern.macCycles(), 129u); // Unary-128c
+    EXPECT_FALSE(cands[4].with_sram);
+    EXPECT_EQ(cands[5].kern.macCycles(), 257u); // uGEMM-H
+    EXPECT_EQ(bandwidthCandidates(8).size(), 8u);
+}
+
+TEST(Eval, Fig11SramDominatesEdgeTotals)
+{
+    const auto rows = fig11Area(true, 8);
+    const auto &bp = rows.front();
+    EXPECT_GT(bp.sram_mm2, 2.0 * bp.array_mm2);
+    // Unary rows have no SRAM.
+    for (const auto &row : rows) {
+        if (row.label.rfind("U", 0) == 0) {
+            EXPECT_EQ(row.sram_mm2, 0.0);
+        }
+    }
+}
+
+TEST(Eval, Fig14EarlyTerminationMonotone)
+{
+    const auto rows = fig14Efficiency(true, 8, alexnetLayers());
+    // Against Binary Parallel: 32c > 64c > 128c in energy efficiency.
+    double e32 = 0, e64 = 0, e128 = 0;
+    for (const auto &row : rows) {
+        if (row.baseline != "Binary Parallel")
+            continue;
+        if (row.candidate == "Unary-32c")
+            e32 = row.energy_eff_x;
+        if (row.candidate == "Unary-64c")
+            e64 = row.energy_eff_x;
+        if (row.candidate == "Unary-128c")
+            e128 = row.energy_eff_x;
+    }
+    EXPECT_GT(e32, e64);
+    EXPECT_GT(e64, e128);
+    EXPECT_GT(e128, 1.0); // all beat the binary baseline on-chip
+}
+
+TEST(Eval, UtilizationDropsFromAlexnetToMlperfAndEdgeToCloud)
+{
+    const auto alex = alexnetLayers();
+    const auto mlperf = mlperfLayers();
+    const double alex_edge = meanUtilization(true, 8, alex);
+    const double alex_cloud = meanUtilization(false, 8, alex);
+    const double ml_edge = meanUtilization(true, 8, mlperf);
+    const double ml_cloud = meanUtilization(false, 8, mlperf);
+    EXPECT_GT(alex_edge, alex_cloud);
+    EXPECT_GT(alex_edge, ml_edge);
+    EXPECT_GT(ml_edge, ml_cloud);
+    // Paper values: 97.1 / 81.6 / 69.6 / 37.2 %.
+    EXPECT_NEAR(alex_cloud, 0.816, 0.10);
+}
+
+TEST(Eval, HeadlineNearPaper)
+{
+    const Headline h = headlineSummary();
+    EXPECT_NEAR(h.array_area_reduction_pct, 59.0, 8.0);
+    EXPECT_NEAR(h.onchip_area_reduction_pct, 91.3, 4.0);
+    EXPECT_NEAR(h.mean_onchip_energy_red_pct, 83.5, 10.0);
+    EXPECT_NEAR(h.mean_onchip_power_red_pct, 98.4, 2.0);
+    EXPECT_GT(h.max_energy_eff_x, 10.0);
+    EXPECT_GT(h.max_power_eff_x, 30.0);
+}
+
+TEST(EarlyTermination, ProfileErrorShrinksWithEbt)
+{
+    const auto points = profileEarlyTermination(8, 128);
+    ASSERT_GE(points.size(), 6u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i].nrmse, points[i - 1].nrmse)
+            << "ebt " << points[i].ebt;
+        EXPECT_EQ(points[i].mul_cycles, u32(1) << (points[i].ebt - 1));
+    }
+}
+
+TEST(EarlyTermination, PolicyMonotoneInTolerance)
+{
+    const int tight = chooseEbt(8, 256, 0.01);
+    const int loose = chooseEbt(8, 256, 0.2);
+    EXPECT_GE(tight, loose);
+    EXPECT_EQ(chooseEbt(8, 256, 0.0), 8); // nothing meets zero error
+}
+
+} // namespace
+} // namespace usys

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the synchronizing FIFO and the jitter-tolerance analysis
+ * that backs the paper's "long MAC cycles hide timing fluctuation"
+ * argument (Section III-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/fifo.h"
+#include "arch/scheme.h"
+
+namespace usys {
+namespace {
+
+TEST(SyncFifo, OrderingAndCapacity)
+{
+    SyncFifo fifo(2);
+    EXPECT_TRUE(fifo.push(5));
+    EXPECT_TRUE(fifo.push(7));
+    EXPECT_FALSE(fifo.canPush());
+    EXPECT_FALSE(fifo.push(9)); // full
+
+    EXPECT_FALSE(fifo.pop(4)); // head not ready yet
+    EXPECT_TRUE(fifo.pop(5));
+    EXPECT_EQ(fifo.occupancy(), 1u);
+    EXPECT_TRUE(fifo.pop(10));
+    EXPECT_FALSE(fifo.pop(10)); // empty
+}
+
+TEST(JitterTolerance, NoJitterNeedsDepthOne)
+{
+    const auto result = analyzeJitterTolerance(1, 0.0, 512);
+    EXPECT_EQ(result.required_depth, 1);
+    EXPECT_EQ(result.stall_rate_depth1, 0.0);
+}
+
+TEST(JitterTolerance, LongMacIntervalsAbsorbJitter)
+{
+    // The same 12-cycle memory jitter: a 1-cycle MAC (binary parallel)
+    // needs a deep FIFO; the 33/129-cycle unary intervals do not.
+    const double jitter = 12.0;
+    const auto bp = analyzeJitterTolerance(1, jitter, 1024, 3);
+    const auto u32c = analyzeJitterTolerance(33, jitter, 1024, 3);
+    const auto u128c = analyzeJitterTolerance(129, jitter, 1024, 3);
+    EXPECT_GT(bp.required_depth, 4);
+    EXPECT_LE(u32c.required_depth, 2);
+    EXPECT_EQ(u128c.required_depth, 1);
+    EXPECT_GT(bp.stall_rate_depth1, u32c.stall_rate_depth1);
+}
+
+TEST(JitterTolerance, DepthGrowsWithJitter)
+{
+    const auto small = analyzeJitterTolerance(1, 4.0, 1024, 5);
+    const auto large = analyzeJitterTolerance(1, 24.0, 1024, 5);
+    EXPECT_LE(small.required_depth, large.required_depth);
+}
+
+} // namespace
+} // namespace usys

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the fully-streaming unary GEMM model: unbiasedness, the
+ * fan-in-driven accuracy loss of unary-domain accumulation relative to
+ * uSystolic's binary accumulation (Table I accuracy column), and input
+ * validation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "arch/fsu_gemm.h"
+#include "arch/functional.h"
+
+namespace usys {
+namespace {
+
+Matrix<i32>
+randomMatrix(int rows, int cols, int bits, Prng &prng)
+{
+    const i32 max_mag = maxMagnitude(bits);
+    Matrix<i32> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(2 * u64(max_mag) + 1)) - max_mag;
+    return m;
+}
+
+double
+nrmseOf(const Matrix<double> &got, const Matrix<i64> &exact,
+        double scale)
+{
+    RmseTracker rmse;
+    for (int m = 0; m < exact.rows(); ++m)
+        for (int n = 0; n < exact.cols(); ++n)
+            rmse.add(double(exact(m, n)), got(m, n) * scale);
+    return rmse.normalizedRmse();
+}
+
+TEST(FsuGemm, RoughlyUnbiasedAtSmallFanIn)
+{
+    Prng prng(19);
+    const int bits = 7;
+    auto a = randomMatrix(6, 4, bits, prng);
+    auto b = randomMatrix(4, 6, bits, prng);
+    const auto exact = referenceGemm(a, b);
+    FsuGemmExecutor fsu(bits);
+    const auto got = fsu.run(a, b);
+
+    OnlineStats err;
+    for (int m = 0; m < 6; ++m)
+        for (int n = 0; n < 6; ++n)
+            err.add(got(m, n) * fsu.resultScale() - double(exact(m, n)));
+    // The estimator is noisy but centered: mean error well below the
+    // error spread.
+    EXPECT_LT(std::abs(err.mean()), err.stddev() + 200.0);
+}
+
+TEST(FsuGemm, BinaryAccumulationBeatsUnaryDomain)
+{
+    // uSystolic (binary accumulation) vs FSU (scaled-adder accumulation)
+    // on identical operands: the HUB design must be far more accurate.
+    Prng prng(23);
+    const int bits = 8;
+    auto a = randomMatrix(8, 24, bits, prng);
+    auto b = randomMatrix(24, 8, bits, prng);
+    const auto exact = referenceGemm(a, b);
+
+    FsuGemmExecutor fsu(bits);
+    const double fsu_err =
+        nrmseOf(fsu.run(a, b), exact, fsu.resultScale());
+
+    GemmExecutor hub({Scheme::USystolicRate, bits, 0});
+    const auto acc = hub.run(a, b);
+    RmseTracker hub_rmse;
+    for (int m = 0; m < 8; ++m)
+        for (int n = 0; n < 8; ++n)
+            hub_rmse.add(double(exact(m, n)),
+                         double(acc(m, n)) * hub.resultScale());
+
+    EXPECT_GT(fsu_err, 5.0 * hub_rmse.normalizedRmse());
+}
+
+TEST(FsuGemm, ErrorGrowsWithReductionDim)
+{
+    Prng prng(29);
+    const int bits = 7;
+    auto err_at = [&](int k) {
+        auto a = randomMatrix(6, k, bits, prng);
+        auto b = randomMatrix(k, 6, bits, prng);
+        const auto exact = referenceGemm(a, b);
+        FsuGemmExecutor fsu(bits);
+        return nrmseOf(fsu.run(a, b), exact, fsu.resultScale());
+    };
+    // Averaged over a few draws to damp noise.
+    double small = 0, large = 0;
+    for (int t = 0; t < 3; ++t) {
+        small += err_at(4);
+        large += err_at(32);
+    }
+    EXPECT_GT(large, small);
+}
+
+TEST(FsuGemm, RejectsUnsupportedWidths)
+{
+    EXPECT_EXIT(FsuGemmExecutor(16), ::testing::ExitedWithCode(1),
+                "bits out of range");
+}
+
+} // namespace
+} // namespace usys

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the ISA layer: encode/decode roundtrips, program lowering,
+ * and the invariant that the interpreter's cycle accounting equals the
+ * performance simulator's contention-free timing (Section III-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "isa/isa.h"
+#include "sched/tiling.h"
+#include "workloads/alexnet.h"
+
+namespace usys {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundtrip)
+{
+    Prng prng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+        Instruction inst;
+        const Opcode ops[] = {Opcode::LoadWeights, Opcode::StreamCompute,
+                              Opcode::Barrier, Opcode::Halt};
+        inst.op = ops[prng.below(4)];
+        inst.rows = u16(1 + prng.below(512));
+        inst.cols = u16(1 + prng.below(512));
+        inst.m_rows = u32(prng.below(1u << 24));
+        inst.mac_cycles = u32(1 + prng.below(1u << 17));
+        inst.base = u32(prng.below(1u << 20));
+        EXPECT_EQ(decodeInstruction(encodeInstruction(inst)), inst);
+    }
+}
+
+TEST(Isa, OversizedTileRejected)
+{
+    Instruction inst;
+    inst.rows = 600;
+    EXPECT_EXIT(encodeInstruction(inst),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(Isa, ProgramStructure)
+{
+    ArrayConfig array{12, 14, {Scheme::USystolicRate, 8, 6}};
+    const auto layer = GemmLayer::matmul("m", 10, 24, 28); // 2x2 folds
+    const auto program = buildProgram(array, layer);
+    // 4 folds x (load + stream) + barrier + halt.
+    ASSERT_EQ(program.size(), 10u);
+    EXPECT_EQ(program[0].op, Opcode::LoadWeights);
+    EXPECT_EQ(program[1].op, Opcode::StreamCompute);
+    EXPECT_EQ(program[1].mac_cycles, 33u); // EBT 6: 32 + 1
+    EXPECT_EQ(program[8].op, Opcode::Barrier);
+    EXPECT_EQ(program[9].op, Opcode::Halt);
+}
+
+/** Interpreter timing equals the simulator across schemes and layers. */
+class IsaTiming
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>>
+{};
+
+TEST_P(IsaTiming, MatchesTiling)
+{
+    const auto [scheme, layer_idx] = GetParam();
+    ArrayConfig array{12, 14, {scheme, 8, 0}};
+    const auto layer = alexnetLayers()[layer_idx];
+    const auto program = buildProgram(array, layer);
+    const auto stats = interpretProgram(program);
+    const auto tiling = tileLayer(array, layer);
+    EXPECT_EQ(stats.cycles, tiling.compute_cycles);
+    EXPECT_EQ(stats.weight_tiles, u64(tiling.folds));
+    EXPECT_EQ(stats.streamed_rows, u64(tiling.folds) * u64(tiling.m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndLayers, IsaTiming,
+    ::testing::Combine(::testing::Values(Scheme::BinaryParallel,
+                                         Scheme::BinarySerial,
+                                         Scheme::USystolicRate,
+                                         Scheme::UgemmHybrid),
+                       ::testing::Values(0, 1, 5)));
+
+TEST(Isa, HaltStopsExecution)
+{
+    std::vector<Instruction> program;
+    program.push_back(Instruction{Opcode::Halt, 0, 0, 0, 1, 0});
+    program.push_back(
+        Instruction{Opcode::LoadWeights, 12, 14, 0, 1, 0});
+    const auto stats = interpretProgram(program);
+    EXPECT_EQ(stats.cycles, 0u);
+    EXPECT_EQ(stats.weight_tiles, 0u);
+    EXPECT_EQ(stats.instructions, 1u);
+}
+
+} // namespace
+} // namespace usys

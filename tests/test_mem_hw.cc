@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the memory cost models (CACTI-lite, SRAM/DRAM configs) and
+ * the hardware cost models (PE/array area, leakage, dynamic energy),
+ * including the paper-shape invariants of Figure 11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/energy.h"
+#include "hw/pe_cost.h"
+#include "mem/cacti_lite.h"
+#include "mem/dram.h"
+#include "mem/sram.h"
+#include "sched/simulator.h"
+#include "workloads/systems.h"
+
+namespace usys {
+namespace {
+
+TEST(CactiLite, MonotoneInCapacity)
+{
+    double prev_area = 0.0, prev_leak = 0.0, prev_pj = 0.0;
+    for (u64 bytes : {u64(16) << 10, u64(64) << 10, u64(1) << 20,
+                      u64(8) << 20}) {
+        const auto cost = cactiLiteSram(bytes);
+        EXPECT_GT(cost.area_mm2, prev_area);
+        EXPECT_GT(cost.leakage_mw, prev_leak);
+        EXPECT_GT(cost.pj_per_byte, prev_pj);
+        prev_area = cost.area_mm2;
+        prev_leak = cost.leakage_mw;
+        prev_pj = cost.pj_per_byte;
+    }
+    EXPECT_EQ(cactiLiteSram(0).area_mm2, 0.0);
+}
+
+TEST(CactiLite, DensityDegradesWithCapacity)
+{
+    // Bank/H-tree overhead: big buffers are less dense per byte.
+    const auto small = cactiLiteSram(u64(64) << 10);
+    const auto big = cactiLiteSram(u64(8) << 20);
+    const double small_per_b = small.area_mm2 / double(64 << 10);
+    const double big_per_b = big.area_mm2 / double(8 << 20);
+    EXPECT_GT(big_per_b, small_per_b);
+}
+
+TEST(Sram, PresetsAndBandwidth)
+{
+    EXPECT_EQ(edgeSram().bytes, u64(64) * 1024);
+    EXPECT_EQ(cloudSram().bytes, u64(8) * 1024 * 1024);
+    EXPECT_FALSE(noSram().present);
+    EXPECT_EQ(noSram().bytesPerCycle(), 0.0);
+    EXPECT_GT(cloudSram().bytesPerCycle(), edgeSram().bytesPerCycle());
+}
+
+TEST(Dram, SustainedBelowPeak)
+{
+    const auto dram = ddr3Chip();
+    EXPECT_LT(dram.sustainedGbps(), dram.peak_gbps);
+    EXPECT_NEAR(dram.bytesPerCycle(0.4), dram.sustainedGbps() / 0.4,
+                1e-12);
+}
+
+TEST(PeCost, LeftmostCarriesTheGenerators)
+{
+    const KernelConfig ur{Scheme::USystolicRate, 8, 0};
+    const auto left = peCost(ur, true);
+    const auto rest = peCost(ur, false);
+    EXPECT_GT(left.area_um2.mul, rest.area_um2.mul);
+    EXPECT_GT(left.e_mul_cycle_pj, rest.e_mul_cycle_pj);
+    // Binary PEs are identical in every column.
+    const KernelConfig bp{Scheme::BinaryParallel, 8, 0};
+    EXPECT_EQ(peCost(bp, true).area_um2.total(),
+              peCost(bp, false).area_um2.total());
+}
+
+TEST(ArrayCost, Figure11Ordering)
+{
+    auto area = [](Scheme s, int bits) {
+        return arrayCost(ArrayConfig{12, 14, {s, bits, 0}})
+            .area_mm2.total();
+    };
+    for (int bits : {8, 16}) {
+        const double bp = area(Scheme::BinaryParallel, bits);
+        const double bs = area(Scheme::BinarySerial, bits);
+        const double ug = area(Scheme::UgemmHybrid, bits);
+        const double ur = area(Scheme::USystolicRate, bits);
+        const double ut = area(Scheme::USystolicTemporal, bits);
+        EXPECT_GT(bp, bs) << bits;
+        EXPECT_GT(bs, ug) << bits;
+        EXPECT_GT(ug, ur) << bits;
+        EXPECT_GE(ur, ut) << bits;
+    }
+}
+
+TEST(ArrayCost, EdgeReductionsNearPaper)
+{
+    auto area = [](Scheme s) {
+        return arrayCost(ArrayConfig{12, 14, {s, 8, 0}})
+            .area_mm2.total();
+    };
+    const double bp = area(Scheme::BinaryParallel);
+    // Paper: BS 30.9, UG 50.9, UR 59.0, UT 62.5 (% reduction vs BP).
+    EXPECT_NEAR(100 * (1 - area(Scheme::BinarySerial) / bp), 30.9, 8.0);
+    EXPECT_NEAR(100 * (1 - area(Scheme::UgemmHybrid) / bp), 50.9, 8.0);
+    EXPECT_NEAR(100 * (1 - area(Scheme::USystolicRate) / bp), 59.0, 8.0);
+    EXPECT_NEAR(100 * (1 - area(Scheme::USystolicTemporal) / bp), 62.5,
+                8.0);
+}
+
+TEST(ArrayCost, UnaryMulHalvesUgemmMul)
+{
+    const auto ug =
+        arrayCost(ArrayConfig{12, 14, {Scheme::UgemmHybrid, 8, 0}});
+    const auto ur =
+        arrayCost(ArrayConfig{12, 14, {Scheme::USystolicRate, 8, 0}});
+    // Paper: 58.2% smaller MUL via sign-magnitude unipolar uMUL.
+    const double red = 1.0 - ur.area_mm2.mul / ug.area_mm2.mul;
+    EXPECT_NEAR(red, 0.582, 0.12);
+}
+
+TEST(ArrayCost, CongestionGrowsWithArrayAndHitsBinaryHarder)
+{
+    auto per_pe = [](Scheme s, int rows, int cols) {
+        return arrayCost(ArrayConfig{rows, cols, {s, 8, 0}})
+                   .area_mm2.total() /
+               (rows * cols);
+    };
+    const double bp_edge = per_pe(Scheme::BinaryParallel, 12, 14);
+    const double bp_cloud = per_pe(Scheme::BinaryParallel, 256, 256);
+    const double ur_edge = per_pe(Scheme::USystolicRate, 12, 14);
+    const double ur_cloud = per_pe(Scheme::USystolicRate, 256, 256);
+    EXPECT_GT(bp_cloud, bp_edge);
+    EXPECT_GT(ur_cloud, ur_edge);
+    EXPECT_GT(bp_cloud / bp_edge, ur_cloud / ur_edge);
+}
+
+TEST(ArrayCost, BlockAreasSumToTotal)
+{
+    for (Scheme s : {Scheme::BinaryParallel, Scheme::BinarySerial,
+                     Scheme::USystolicRate, Scheme::UgemmHybrid}) {
+        const auto cost = arrayCost(ArrayConfig{12, 14, {s, 8, 0}});
+        const auto &b = cost.area_mm2;
+        EXPECT_NEAR(b.ireg + b.wreg + b.mul + b.acc, b.total(), 1e-12);
+        EXPECT_GT(cost.leak_mw, 0.0);
+        EXPECT_GT(cost.e_per_mac_slot_pj, 0.0);
+    }
+}
+
+TEST(Energy, SramLeakageDominatesBinaryOnChip)
+{
+    // Section V-E: SRAM leakage >> everything else on-chip for binary.
+    const auto sys = edgeSystem({Scheme::BinaryParallel, 8, 0}, true);
+    const auto layer = GemmLayer::conv("c", 31, 31, 96, 5, 5, 1, 256);
+    const auto e = layerEnergy(sys, simulateLayer(sys, layer));
+    EXPECT_GT(e.sram_leak_uj, e.sram_dyn_uj);
+    EXPECT_GT(e.sram_uj(), e.array_uj());
+}
+
+TEST(Energy, DramDominatesUnaryTotal)
+{
+    // Section V-E: total energy is DRAM-dominated for SRAM-less unary.
+    const auto sys = edgeSystem({Scheme::USystolicRate, 8, 6}, false);
+    const auto layer = GemmLayer::conv("c", 31, 31, 96, 5, 5, 1, 256);
+    const auto e = layerEnergy(sys, simulateLayer(sys, layer));
+    EXPECT_GT(e.dram_uj, e.onchip_uj());
+}
+
+TEST(Energy, PowerConsistentWithEnergyAndRuntime)
+{
+    const auto sys = edgeSystem({Scheme::USystolicRate, 8, 7}, false);
+    const auto layer = GemmLayer::matmul("m", 1, 4096, 1000);
+    const auto stats = simulateLayer(sys, layer);
+    const auto e = layerEnergy(sys, stats);
+    EXPECT_NEAR(e.onchip_power_mw(),
+                e.onchip_uj() * 1e-3 / stats.runtime_s, 1e-9);
+    EXPECT_NEAR(e.edp_onchip(), e.onchip_uj() * stats.runtime_s, 1e-12);
+}
+
+TEST(Energy, OnchipAreaAddsSramOnlyWhenPresent)
+{
+    const auto with = edgeSystem({Scheme::BinaryParallel, 8, 0}, true);
+    const auto without = edgeSystem({Scheme::BinaryParallel, 8, 0}, false);
+    const double array =
+        arrayCost(without.array).area_mm2.total();
+    EXPECT_NEAR(onchipAreaMm2(without), array, 1e-12);
+    EXPECT_GT(onchipAreaMm2(with), array + 1.0);
+}
+
+} // namespace
+} // namespace usys

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the network-level simulation, the GEMM error-statistics
+ * driver (Section V-A's mean/std ordering), the multi-instance scaling
+ * model (Section V-H), and the early-termination-equals-quantization
+ * equivalence of rate coding (Section V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "common/stats.h"
+#include "arch/functional.h"
+#include "eval/error_stats.h"
+#include "eval/network.h"
+#include "eval/scaling.h"
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+namespace usys {
+namespace {
+
+TEST(Network, RollupMatchesLayerSums)
+{
+    const auto sys = edgeSystem({Scheme::USystolicRate, 8, 6}, false);
+    const auto layers = alexnetLayers();
+    const auto net = simulateNetwork(sys, layers);
+    ASSERT_EQ(net.layers.size(), layers.size());
+
+    double runtime = 0.0, onchip = 0.0;
+    for (const auto &layer : net.layers) {
+        runtime += layer.stats.runtime_s;
+        onchip += layer.energy.onchip_uj();
+    }
+    EXPECT_NEAR(net.runtime_s, runtime, 1e-12);
+    EXPECT_NEAR(net.onchip_uj, onchip, 1e-6);
+    // No SRAM -> no inter-layer savings possible.
+    EXPECT_EQ(net.interlayer_saved_bytes, 0u);
+}
+
+TEST(Network, SramKeepsActivationsOnChip)
+{
+    const auto with = simulateNetwork(
+        edgeSystem({Scheme::BinaryParallel, 8, 0}, true),
+        alexnetLayers());
+    // Small conv outputs fit the 64 KB buffers, so later conv layers
+    // consume their IFM from SRAM.
+    EXPECT_GT(with.interlayer_saved_bytes, 0u);
+    int from_sram = 0;
+    for (const auto &layer : with.layers)
+        from_sram += layer.ifm_from_sram ? 1 : 0;
+    EXPECT_GE(from_sram, 2);
+
+    const auto without = simulateNetwork(
+        edgeSystem({Scheme::BinaryParallel, 8, 0}, false),
+        alexnetLayers());
+    EXPECT_GT(without.dram_bytes, with.dram_bytes);
+}
+
+TEST(ErrorStats, PaperOrderingOfMeanAndStd)
+{
+    // Section V-A: error mean and std rank FXP-o-res > uSystolic >
+    // FXP-i-res (i-res most accurate) at matched EBT.
+    for (int ebt : {6, 8}) {
+        const auto stats = gemmErrorStats(ebt, 96);
+        ASSERT_EQ(stats.size(), 5u);
+        const auto &o_res = stats[0];
+        const auto &rate = stats[1];
+        const auto &temporal = stats[2];
+        const auto &i_res = stats[4];
+        EXPECT_GT(o_res.mean_abs_error, rate.mean_abs_error) << ebt;
+        EXPECT_GT(rate.mean_abs_error, i_res.mean_abs_error) << ebt;
+        EXPECT_GT(o_res.std_error, rate.std_error) << ebt;
+        EXPECT_GT(rate.std_error, i_res.std_error) << ebt;
+        // Rate and temporal coding are numerically identical.
+        EXPECT_DOUBLE_EQ(rate.nrmse, temporal.nrmse) << ebt;
+    }
+}
+
+TEST(Scaling, UnaryScalesToFarMoreInstances)
+{
+    const auto layer = alexnetLayers()[2];
+    const auto bp = edgeSystem({Scheme::BinaryParallel, 8, 0}, false);
+    const auto ur = edgeSystem({Scheme::USystolicRate, 8, 6}, false);
+    const int bp_max = maxInstancesBeforeSaturation(bp, layer);
+    const int ur_max = maxInstancesBeforeSaturation(ur, layer);
+    EXPECT_GT(ur_max, 10 * bp_max);
+}
+
+TEST(Scaling, ThroughputSaturatesAtSupply)
+{
+    const auto layer = alexnetLayers()[2];
+    const auto sys = edgeSystem({Scheme::BinaryParallel, 8, 0}, false);
+    const auto points = scaleInstances(sys, layer, {1, 2, 8, 64, 512});
+    // Aggregate throughput is non-decreasing but saturates.
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_GE(points[i].aggregate_gmacs,
+                  points[i - 1].aggregate_gmacs * 0.999);
+    const double ratio = points.back().aggregate_gmacs /
+                         points.front().aggregate_gmacs;
+    EXPECT_LT(ratio, 512.0 * 0.5); // far from linear scaling
+}
+
+TEST(Scaling, SlowdownFormula)
+{
+    const auto layer = alexnetLayers()[0];
+    const auto sys = edgeSystem({Scheme::USystolicRate, 8, 8}, false);
+    const auto points = scaleInstances(sys, layer, {1});
+    EXPECT_DOUBLE_EQ(points[0].slowdown, 1.0); // one crawler never saturates
+}
+
+TEST(EarlyTermination, EquivalentToQuantizationForRateCoding)
+{
+    // Section V-A: "for rate coding, smaller EBT can be obtained by
+    // early terminating larger EBT" with almost the same accuracy.
+    // Compare 10-bit data early-terminated to EBT 7 against native
+    // 7-bit quantization at full period, on the same real-valued GEMM.
+    Prng prng(41);
+    const int m = 8, k = 64, n = 8;
+    Matrix<i32> a10(m, k), b10(k, n), a7(m, k), b7(k, n);
+    for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < k; ++c) {
+            const double v = prng.uniform(-1.0, 1.0);
+            a10(r, c) = i32(std::lround(v * 511));
+            a7(r, c) = i32(std::lround(v * 63));
+        }
+    }
+    for (int r = 0; r < k; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const double v = prng.uniform(-1.0, 1.0);
+            b10(r, c) = i32(std::lround(v * 511));
+            b7(r, c) = i32(std::lround(v * 63));
+        }
+    }
+
+    GemmExecutor et({Scheme::USystolicRate, 10, 7});
+    GemmExecutor native({Scheme::USystolicRate, 7, 0});
+    const auto acc_et = et.run(a10, b10);
+    const auto acc_native = native.run(a7, b7);
+
+    RmseTracker err_et, err_native;
+    for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+            double exact = 0.0;
+            for (int kk = 0; kk < k; ++kk)
+                exact += double(a10(r, kk)) / 511.0 *
+                         double(b10(kk, c)) / 511.0;
+            err_et.add(exact, double(acc_et(r, c)) * et.resultScale() /
+                                  (511.0 * 511.0));
+            err_native.add(exact,
+                           double(acc_native(r, c)) *
+                               native.resultScale() / (63.0 * 63.0));
+        }
+    }
+    // Early termination of a wider stream tracks native quantization.
+    EXPECT_LT(err_et.normalizedRmse(),
+              err_native.normalizedRmse() * 2.0 + 0.01);
+    EXPECT_LT(err_et.normalizedRmse(), 0.1);
+}
+
+} // namespace
+} // namespace usys

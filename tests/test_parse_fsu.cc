@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the textual layer-spec parser (CLI front end) and the FSU
+ * baseline cost model (footnote 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/fsu_cost.h"
+#include "workloads/alexnet.h"
+#include "workloads/layer_parse.h"
+
+namespace usys {
+namespace {
+
+TEST(LayerParse, ConvSpec)
+{
+    const auto layer = parseLayerSpec("conv:31,31,96,5,5,1,256");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->m(), 729);
+    EXPECT_EQ(layer->k(), 2400);
+    EXPECT_EQ(layer->n(), 256);
+    EXPECT_EQ(layer->type, GemmType::Convolution);
+}
+
+TEST(LayerParse, MatmulSpec)
+{
+    const auto layer = parseLayerSpec("matmul:4,9216,4096");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->m(), 4);
+    EXPECT_EQ(layer->k(), 9216);
+    EXPECT_EQ(layer->n(), 4096);
+}
+
+TEST(LayerParse, MalformedSpecsRejected)
+{
+    EXPECT_FALSE(parseLayerSpec("conv:1,2,3").has_value());
+    EXPECT_FALSE(parseLayerSpec("matmul:1,2").has_value());
+    EXPECT_FALSE(parseLayerSpec("matmul:1,2,3,4").has_value());
+    EXPECT_FALSE(parseLayerSpec("gemm:1,2,3").has_value());
+    EXPECT_FALSE(parseLayerSpec("matmul:a,b,c").has_value());
+    EXPECT_FALSE(parseLayerSpec("matmul:0,2,3").has_value());
+    EXPECT_FALSE(parseLayerSpec("matmul:-1,2,3").has_value());
+    EXPECT_FALSE(parseLayerSpec("alexnet").has_value()); // list-only
+    // Window larger than input.
+    EXPECT_FALSE(parseLayerSpec("conv:3,3,1,5,5,1,8").has_value());
+}
+
+TEST(LayerParse, ListExpandsNamedWorkloads)
+{
+    const auto layers =
+        parseLayerList("alexnet;matmul:1,256,10");
+    EXPECT_EQ(layers.size(), 9u);
+    EXPECT_EQ(layers[0].name, "Conv1");
+    EXPECT_EQ(layers[8].n(), 10);
+}
+
+TEST(LayerParse, BadListFatals)
+{
+    EXPECT_EXIT(parseLayerList("nonsense"),
+                ::testing::ExitedWithCode(1), "unparseable");
+}
+
+TEST(FsuCost, AlexnetNeedsMoreStorageThanCloudSram)
+{
+    const auto cost = fsuInstanceCost(alexnetLayers(), 8);
+    // Paper footnote 2: 61.1 MB (our ungrouped convs give ~59.5 MB).
+    EXPECT_NEAR(cost.storage_mb, 61.1, 5.0);
+    EXPECT_GT(cost.storage_mb, 24.0); // beyond the cloud TPU's SRAM
+    EXPECT_GT(cost.total_area_mm2, 1000.0);
+    EXPECT_GT(cost.mul_area_mm2, 0.0);
+    EXPECT_GT(cost.leak_w, 1.0);
+}
+
+TEST(FsuCost, ScalesWithBitwidth)
+{
+    const auto b8 = fsuInstanceCost(alexnetLayers(), 8);
+    const auto b16 = fsuInstanceCost(alexnetLayers(), 16);
+    EXPECT_NEAR(b16.storage_mb, 2.0 * b8.storage_mb, 1e-9);
+    EXPECT_GT(b16.total_area_mm2, b8.total_area_mm2);
+}
+
+} // namespace
+} // namespace usys

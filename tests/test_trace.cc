@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the cycle-level memory devices (DDR3 banks/row-buffers,
+ * banked SRAM) and the trace-driven layer simulation, including its
+ * agreement with the analytic roofline on the unary operating points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_timing.h"
+#include "mem/sram_timing.h"
+#include "common/prng.h"
+#include "sched/trace.h"
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+namespace usys {
+namespace {
+
+TEST(DramDevice, SequentialRunOpensOnePagePerKiB)
+{
+    DramDevice dram(ddr3Chip(), 0.4);
+    const u64 page = dram.pageBytes();
+    ASSERT_EQ(page, 1024u); // 8192 bits
+    Cycles t = 0;
+    for (u64 addr = 0; addr < 4 * page; addr += 64)
+        t = dram.access(addr, 64, t);
+    EXPECT_EQ(dram.activations(), 4u);
+    EXPECT_EQ(dram.bytesTransferred(), 4 * page);
+}
+
+TEST(DramDevice, RowMissCostsMoreThanRowHit)
+{
+    DramDevice dram(ddr3Chip(), 0.4);
+    const Cycles first = dram.access(0, 64, 0);       // miss
+    const Cycles second = dram.access(64, 64, first); // hit, same page
+    const Cycles hit_cost = second - first;
+    dram.reset();
+    const Cycles miss_cost = dram.access(0, 64, 0);
+    EXPECT_GT(miss_cost, hit_cost);
+}
+
+TEST(DramDevice, BankInterleavingOverlapsPrecharge)
+{
+    // Pages land on different banks, so back-to-back page misses only
+    // serialize on the shared bus, not on the bank timing.
+    DramDevice dram(ddr3Chip(), 0.4);
+    Cycles t1 = dram.access(0, 64, 0);
+    Cycles t2 = dram.access(dram.pageBytes(), 64, 0); // next bank
+    EXPECT_EQ(dram.activations(), 2u);
+    EXPECT_GT(t2, t1); // bus still serializes the bursts
+}
+
+TEST(DramDevice, EnergySplitsActivationAndColumn)
+{
+    DramDevice dram(ddr3Chip(), 0.4);
+    dram.access(0, 256, 0);
+    const double one = dram.energyPj();
+    dram.access(64 * 1024 * 1024, 256, 1000); // different page
+    EXPECT_GT(dram.energyPj(), one * 1.9);    // both terms doubled
+    dram.reset();
+    EXPECT_EQ(dram.energyPj(), 0.0);
+    EXPECT_EQ(dram.activations(), 0u);
+}
+
+TEST(DramDevice, ThroughputBoundedByBus)
+{
+    DramDevice dram(ddr3Chip(), 0.4);
+    // Stream 1 MiB sequentially; the completion time must not beat the
+    // configured peak bandwidth.
+    const u64 total = u64(1) << 20;
+    Cycles t = 0;
+    for (u64 addr = 0; addr < total; addr += 1024)
+        t = dram.access(addr, 1024, 0);
+    const double peak_bytes_per_cycle = ddr3Chip().peak_gbps / 0.4;
+    EXPECT_GE(double(t), double(total) / peak_bytes_per_cycle * 0.99);
+}
+
+TEST(SramDevice, BankConflictSerializes)
+{
+    SramConfig cfg = edgeSram(); // 16 banks x 4 B ports
+    SramDevice sram(cfg);
+    // Two same-cycle accesses to the same bank: second waits a cycle.
+    const Cycles a = sram.access(0, 10);
+    const Cycles b = sram.access(u64(cfg.banks) * cfg.bank_port_bytes,
+                                 10); // same bank, next way
+    EXPECT_EQ(a, 11u);
+    EXPECT_EQ(b, 12u);
+    EXPECT_EQ(sram.conflictCycles(), 1u);
+    // Different banks proceed in parallel.
+    const Cycles c = sram.access(cfg.bank_port_bytes, 10);
+    EXPECT_EQ(c, 11u);
+}
+
+TEST(SramDevice, AbsentBufferPassesThrough)
+{
+    SramDevice sram(noSram());
+    EXPECT_EQ(sram.access(123, 7), 7u);
+    EXPECT_EQ(sram.accesses(), 0u);
+}
+
+TEST(Trace, ComputeCyclesMatchRoofline)
+{
+    const auto layer = alexnetLayers()[2];
+    for (bool edge : {true, false}) {
+        const auto sys =
+            edge ? edgeSystem({Scheme::USystolicRate, 8, 6}, false)
+                 : cloudSystem({Scheme::USystolicRate, 8, 6}, false);
+        const auto tr = traceLayer(sys, layer);
+        const auto rf = simulateLayer(sys, layer);
+        EXPECT_EQ(tr.compute_cycles, rf.compute_cycles);
+    }
+}
+
+TEST(Trace, UnaryAgreesWithRoofline)
+{
+    // On the crawling-byte operating points, the per-request trace and
+    // the analytic roofline must tell the same story.
+    for (const auto &layer : alexnetLayers()) {
+        const auto sys = edgeSystem({Scheme::USystolicRate, 8, 6}, false);
+        const auto tr = traceLayer(sys, layer);
+        const auto rf = simulateLayer(sys, layer);
+        EXPECT_LT(tr.overhead_pct, 5.0) << layer.name;
+        EXPECT_NEAR(tr.dram_bw_gbps, rf.dram_bw_gbps,
+                    0.3 * rf.dram_bw_gbps + 0.05)
+            << layer.name;
+    }
+}
+
+TEST(Trace, BinaryWithoutSramThrashesRows)
+{
+    // The trace engine exposes what the roofline cannot: SRAM-less
+    // binary parallel issues tiny strided bursts that thrash the DDR3
+    // row buffers — further evidence that only uSystolic can afford
+    // SRAM elimination.
+    const auto layer = alexnetLayers()[1]; // Conv2
+    const auto sys = edgeSystem({Scheme::BinaryParallel, 8, 0}, false);
+    const auto tr = traceLayer(sys, layer);
+    EXPECT_GT(tr.overhead_pct, 100.0);
+    const auto unary = traceLayer(
+        edgeSystem({Scheme::USystolicRate, 8, 6}, false), layer);
+    EXPECT_LT(unary.overhead_pct, 5.0);
+}
+
+TEST(Trace, ActivationsScaleWithUniqueTraffic)
+{
+    const auto layer = alexnetLayers()[5]; // FC6 (weight dominated)
+    const auto with = traceLayer(
+        edgeSystem({Scheme::BinaryParallel, 8, 0}, true), layer);
+    const auto without = traceLayer(
+        edgeSystem({Scheme::BinaryParallel, 8, 0}, false), layer);
+    EXPECT_GT(without.dram_activations, with.dram_activations);
+    EXPECT_GT(with.dram_energy_pj, 0.0);
+}
+
+/** Randomized sweep: trace and roofline agree on unary design points. */
+class TraceProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TraceProperty, RandomLayersAgreeOnUnary)
+{
+    Prng prng(u64(GetParam()) * 7 + 1);
+    const int ih = 8 + int(prng.below(24));
+    const int kk = 1 + int(prng.below(3));
+    const GemmLayer layer = GemmLayer::conv(
+        "rand", ih + kk, ih + kk, 1 + int(prng.below(64)), kk, kk, 1,
+        1 + int(prng.below(128)));
+    const auto sys = edgeSystem({Scheme::USystolicRate, 8, 6}, false);
+    const auto tr = traceLayer(sys, layer);
+    const auto rf = simulateLayer(sys, layer);
+    EXPECT_EQ(tr.compute_cycles, rf.compute_cycles);
+    EXPECT_LE(tr.total_cycles + 0.0, double(rf.total_cycles) * 1.25);
+    EXPECT_GE(tr.total_cycles + 0.0, double(rf.total_cycles) * 0.8);
+    EXPECT_EQ(tr.dram_bytes > 0, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraceProperty, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace usys

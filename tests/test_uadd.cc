@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests reproducing the paper's accumulation-domain claim: binary
+ * accumulation of product bitstreams is exact, while unary-domain
+ * (mux-based scaled) accumulation adds variance that grows with fan-in
+ * and destroys temporal-coded signed accuracy (Sections II-B4 / III-A).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "common/stats.h"
+#include "unary/bitstream.h"
+#include "unary/uadd.h"
+
+namespace usys {
+namespace {
+
+std::vector<std::vector<u8>>
+makeRateStreams(const std::vector<u32> &values, int bits)
+{
+    std::vector<std::vector<u8>> streams;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        RateBsg gen(values[i], int(i % 4), bits);
+        streams.push_back(generateBits(gen, u64(1) << bits));
+    }
+    return streams;
+}
+
+TEST(UnaryAdd, BinaryAccumulationIsExact)
+{
+    Prng prng(3);
+    std::vector<u32> values;
+    u64 expected = 0;
+    for (int i = 0; i < 16; ++i) {
+        values.push_back(u32(prng.below(128)));
+        expected += values.back();
+    }
+    const auto streams = makeRateStreams(values, 7);
+    EXPECT_EQ(binaryDomainSum(streams), expected);
+}
+
+TEST(UnaryAdd, ScaledAdderUnbiasedButNoisy)
+{
+    Prng prng(5);
+    std::vector<u32> values;
+    u64 exact = 0;
+    for (int i = 0; i < 8; ++i) {
+        values.push_back(u32(prng.below(128)));
+        exact += values.back();
+    }
+    const auto streams = makeRateStreams(values, 7);
+    const double estimate = unaryDomainSum(streams);
+    // Unbiased to within a few percent...
+    EXPECT_NEAR(estimate, double(exact), 0.15 * double(exact) + 16.0);
+    // ...but not exact (the binary path is).
+    EXPECT_NE(u64(std::llround(estimate)), exact);
+}
+
+TEST(UnaryAdd, AbsoluteErrorGrowsWithFanIn)
+{
+    // The scaled adder's output has stream resolution, so each output
+    // LSB stands for fan_in units of the true sum: the absolute error
+    // (what the accumulator hands downstream) grows with fan-in, which
+    // is why large unary-domain reductions lose accuracy while binary
+    // accumulation stays exact at any fan-in.
+    auto mean_abs_error = [](int fan_in, u64 seed) {
+        Prng prng(seed);
+        OnlineStats err;
+        for (int trial = 0; trial < 30; ++trial) {
+            std::vector<u32> values;
+            u64 exact = 0;
+            for (int i = 0; i < fan_in; ++i) {
+                values.push_back(u32(32 + prng.below(64)));
+                exact += values.back();
+            }
+            const auto streams = makeRateStreams(values, 7);
+            const double estimate =
+                unaryDomainSum(streams, int(trial % 8));
+            err.add(std::abs(estimate - double(exact)));
+        }
+        return err.mean();
+    };
+    const double small = mean_abs_error(4, 11);
+    const double large = mean_abs_error(32, 13);
+    EXPECT_GT(large, small);
+}
+
+TEST(UnaryAdd, TemporalSignedAccumulationIsInaccurate)
+{
+    // Signed data, temporal coding, accumulated in the unary domain
+    // (bipolar streams through the scaled adder) vs uSystolic's binary
+    // sign-magnitude accumulation, which is exact. This is the accuracy
+    // failure that motivates HUB accumulation (Sections II-B4 / III-A).
+    const int bits = 7;
+    const u64 period = u64(1) << bits;
+    const u32 half = u32(period / 2);
+
+    Prng prng(17);
+    OnlineStats unary_err;
+    for (int trial = 0; trial < 25; ++trial) {
+        std::vector<i32> values;
+        i64 exact = 0;
+        std::vector<std::vector<u8>> streams;
+        for (int i = 0; i < 12; ++i) {
+            const i32 v = i32(prng.below(period)) - i32(half);
+            values.push_back(v);
+            exact += v;
+            // Bipolar temporal stream: ones count = v + period/2.
+            TemporalBsg gen(u32(v + i32(half)), bits);
+            streams.push_back(generateBits(gen, period));
+        }
+        // Binary accumulation recovers the exact signed sum.
+        i64 binary = 0;
+        for (const auto &s : streams)
+            binary += i64(onesCount(s)) - i64(half);
+        EXPECT_EQ(binary, exact);
+
+        // Unary-domain accumulation: estimate = scaled ones - offset.
+        const double est =
+            unaryDomainSum(streams, trial % 8) -
+            double(streams.size()) * half;
+        unary_err.add(std::abs(est - double(exact)));
+    }
+    // The unary-domain estimate misses by several LSB on average.
+    EXPECT_GT(unary_err.mean(), 2.0);
+}
+
+TEST(UnaryAdd, NonScaledAdderIsExactWithResidue)
+{
+    // The parallel-counter uADD recovers the exact total: ones(out)*K
+    // plus the residue equals the true sum, at any fan-in — because it
+    // is secretly binary accumulation with a unary output interface.
+    Prng prng(7);
+    for (int fan_in : {3, 8, 24}) {
+        std::vector<u32> values;
+        u64 exact = 0;
+        for (int i = 0; i < fan_in; ++i) {
+            values.push_back(u32(prng.below(128)));
+            exact += values.back();
+        }
+        const auto streams = makeRateStreams(values, 7);
+        EXPECT_EQ(nonScaledUnarySum(streams), exact) << fan_in;
+    }
+}
+
+TEST(UnaryAdd, NonScaledOutputStreamTracksRunningMean)
+{
+    // Without the residue the output stream alone carries sum/K with
+    // error bounded by one output bit — the bounded-error property that
+    // separates uADD from the scaled mux adder.
+    Prng prng(9);
+    const int fan_in = 8;
+    std::vector<u32> values;
+    u64 exact = 0;
+    for (int i = 0; i < fan_in; ++i) {
+        values.push_back(u32(prng.below(128)));
+        exact += values.back();
+    }
+    const auto streams = makeRateStreams(values, 7);
+    const u64 est = nonScaledUnarySum(streams);
+    const u64 stream_only = (est / fan_in) * fan_in; // drop residue
+    EXPECT_LE(exact - stream_only, u64(fan_in));
+}
+
+TEST(UnaryAdd, RejectsEmptyInput)
+{
+    EXPECT_EXIT(unaryDomainSum({}), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(nonScaledUnarySum({}), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace usys

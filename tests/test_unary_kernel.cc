@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for bitstream generators, LFSR, SCC, cycle-level uMULs, and the
+ * exact product-table functional models. The central invariant: the O(1)
+ * table model reproduces the bit-level C-BSG multiplier exactly, for all
+ * operand values, codings, and early-termination points.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "unary/bitstream.h"
+#include "unary/lfsr.h"
+#include "unary/product_table.h"
+#include "unary/scc.h"
+#include "unary/sobol.h"
+#include "unary/umul.h"
+
+namespace usys {
+namespace {
+
+TEST(Bitstream, RateFullPeriodOnesEqualsValue)
+{
+    const int bits = 7;
+    const u64 period = u64(1) << bits;
+    for (u32 src : {0u, 1u, 13u, 64u, 127u}) {
+        RateBsg gen(src, 0, bits);
+        auto stream = generateBits(gen, period);
+        EXPECT_EQ(onesCount(stream), src) << "src " << src;
+    }
+}
+
+TEST(Bitstream, TemporalTailPlacement)
+{
+    const int bits = 4;
+    TemporalBsg gen(5, bits);
+    auto stream = generateBits(gen, 16);
+    // 1s must occupy the last 5 positions.
+    for (int i = 0; i < 11; ++i)
+        EXPECT_EQ(stream[i], 0);
+    for (int i = 11; i < 16; ++i)
+        EXPECT_EQ(stream[i], 1);
+}
+
+TEST(Bitstream, BipolarFullPeriodValue)
+{
+    const int bits = 6;
+    const u64 period = u64(1) << bits;
+    for (i32 src : {-32, -7, 0, 5, 31}) {
+        BipolarRateBsg gen(src, 0, bits);
+        auto stream = generateBits(gen, period);
+        const double value =
+            2.0 * double(onesCount(stream)) / double(period) - 1.0;
+        EXPECT_NEAR(value, double(src) / 32.0, 1e-12);
+    }
+}
+
+TEST(Lfsr, MaximalPeriodCoversNonZero)
+{
+    for (int bits : {3, 5, 8, 11, 16}) {
+        Lfsr lfsr(bits);
+        std::vector<u8> seen(std::size_t(1) << bits, 0);
+        for (u64 i = 0; i < lfsr.period(); ++i) {
+            const u32 v = lfsr.next();
+            ASSERT_NE(v, 0u) << "bits " << bits;
+            EXPECT_EQ(seen[v], 0) << "bits " << bits << " value " << v;
+            seen[v] = 1;
+        }
+        // After a full period the state recurs.
+        EXPECT_EQ(lfsr.next(), 1u);
+    }
+}
+
+TEST(Lfsr, ZeroSeedCoerced)
+{
+    Lfsr lfsr(4, 0);
+    EXPECT_EQ(lfsr.next(), 1u);
+}
+
+TEST(Scc, IdenticalStreamsFullyCorrelated)
+{
+    std::vector<u8> x{1, 0, 1, 1, 0, 0, 1, 0};
+    EXPECT_NEAR(stochasticCrossCorrelation(x, x), 1.0, 1e-12);
+}
+
+TEST(Scc, ComplementStreamsAntiCorrelated)
+{
+    std::vector<u8> x{1, 0, 1, 1, 0, 0, 1, 0};
+    std::vector<u8> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = u8(1 - x[i]);
+    EXPECT_NEAR(stochasticCrossCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(Scc, CbsgStreamsNearZero)
+{
+    // C-BSG pairs (input stream, weight stream) should have SCC near 0.
+    const int bits = 8;
+    const u64 period = u64(1) << bits;
+    for (u32 iabs : {64u, 128u, 200u}) {
+        for (u32 wabs : {32u, 100u, 180u}) {
+            RateBsg input(iabs, 1, bits);
+            CbsgUmul mul(wabs, bits, 0);
+            std::vector<u8> in_bits, w_bits;
+            SobolSequence wrng(0, bits);
+            u64 consumed = 0;
+            for (u64 t = 0; t < period; ++t) {
+                const bool in = input.nextBit();
+                in_bits.push_back(in ? 1 : 0);
+                // Reconstruct the weight-side bit stream the way C-BSG
+                // exposes it: hold the last value while disabled.
+                if (in)
+                    ++consumed;
+                const u32 r = wrng.at(consumed ? consumed - 1 : 0);
+                w_bits.push_back(r < wabs ? 1 : 0);
+            }
+            const double scc = stochasticCrossCorrelation(in_bits, w_bits);
+            EXPECT_LT(std::abs(scc), 0.15)
+                << "iabs " << iabs << " wabs " << wabs;
+        }
+    }
+}
+
+TEST(CbsgUmul, FullPeriodProductLowError)
+{
+    const int mag_bits = 7;
+    const u64 period = u64(1) << mag_bits;
+    RmseTracker rmse;
+    for (u32 iabs = 0; iabs < period; iabs += 9) {
+        for (u32 wabs = 0; wabs < period; wabs += 11) {
+            RateBsg input(iabs, 1, mag_bits);
+            CbsgUmul mul(wabs, mag_bits, 0);
+            u64 ones = 0;
+            for (u64 t = 0; t < period; ++t)
+                ones += mul.step(input.nextBit());
+            const double expected = double(iabs) * double(wabs) /
+                                    double(period);
+            rmse.add(expected, double(ones));
+        }
+    }
+    // C-BSG with Sobol should land within one LSB on average.
+    EXPECT_LT(rmse.rmse(), 1.0);
+    EXPECT_LT(rmse.maxAbsError(), 4.0);
+}
+
+TEST(ProductTable, MatchesCycleLevelUnipolar)
+{
+    const int signed_bits = 8; // magnitude 7 bits, period 128
+    UnaryProductModel model(signed_bits, 0, 1);
+    const u32 period = model.period();
+    ASSERT_EQ(period, 128u);
+
+    for (u32 iabs = 0; iabs < period; iabs += 7) {
+        for (u32 wabs = 0; wabs < period; wabs += 13) {
+            RateBsg input(iabs, 1, model.magBits());
+            CbsgUmul mul(wabs, model.magBits(), 0);
+            u32 ones = 0;
+            std::vector<u32> prefix{0};
+            for (u32 t = 0; t < period; ++t) {
+                ones += mul.step(input.nextBit());
+                prefix.push_back(ones);
+            }
+            EXPECT_EQ(model.fullProduct(iabs, wabs), ones);
+            // Early termination at several points must also agree.
+            for (u32 cut : {1u, 32u, 64u, 100u, period}) {
+                EXPECT_EQ(model.rateProduct(iabs, wabs, cut), prefix[cut])
+                    << "iabs " << iabs << " wabs " << wabs
+                    << " cut " << cut;
+            }
+        }
+    }
+}
+
+TEST(ProductTable, MatchesCycleLevelTemporal)
+{
+    const int signed_bits = 7; // magnitude 6 bits, period 64
+    UnaryProductModel model(signed_bits, 0, 1);
+    const u32 period = model.period();
+
+    for (u32 iabs = 0; iabs < period; iabs += 5) {
+        for (u32 wabs = 0; wabs < period; wabs += 9) {
+            TemporalBsg input(iabs, model.magBits());
+            CbsgUmul mul(wabs, model.magBits(), 0);
+            u32 ones = 0;
+            std::vector<u32> prefix{0};
+            for (u32 t = 0; t < period; ++t) {
+                ones += mul.step(input.nextBit());
+                prefix.push_back(ones);
+            }
+            EXPECT_EQ(model.fullProduct(iabs, wabs), ones);
+            for (u32 cut : {8u, 32u, period}) {
+                EXPECT_EQ(model.temporalProduct(iabs, wabs, cut),
+                          prefix[cut]);
+            }
+        }
+    }
+}
+
+TEST(ProductTable, RateAndTemporalAgreeAtFullPeriod)
+{
+    UnaryProductModel model(9);
+    const u32 period = model.period();
+    for (u32 i = 0; i < period; i += 17) {
+        for (u32 w = 0; w < period; w += 23) {
+            EXPECT_EQ(model.rateProduct(i, w, period),
+                      model.temporalProduct(i, w, period));
+        }
+    }
+}
+
+TEST(ProductTable, TemporalEarlyTerminationIsCatastrophic)
+{
+    // Small values lose all their 1s under temporal truncation while the
+    // rate-coded path degrades gracefully.
+    UnaryProductModel model(8);
+    const u32 period = model.period();
+    const u32 half = period / 2;
+    const u32 iabs = period / 4; // a small-ish input value
+    const u32 wabs = period - 1;
+    EXPECT_EQ(model.temporalProduct(iabs, wabs, half), 0u);
+    const double ideal_half = double(iabs) * wabs / period / 2.0;
+    EXPECT_NEAR(double(model.rateProduct(iabs, wabs, half)), ideal_half,
+                ideal_half * 0.25 + 2.0);
+}
+
+TEST(BipolarModel, MatchesCycleLevel)
+{
+    const int bits = 7;
+    BipolarProductModel model(bits, 0, 1);
+    const u32 period = model.period();
+    ASSERT_EQ(period, 128u);
+
+    for (i32 x : {-64, -31, -1, 0, 7, 45, 63}) {
+        for (i32 w : {-64, -20, 0, 33, 63}) {
+            BipolarRateBsg input(x, 2, bits);
+            BipolarUmul mul(w, bits, 0, 1);
+            u32 ones = 0;
+            for (u32 t = 0; t < period; ++t)
+                ones += mul.step(input.nextBit());
+            EXPECT_EQ(model.onesCount(x, w), ones)
+                << "x " << x << " w " << w;
+        }
+    }
+}
+
+TEST(BipolarModel, ScaledProductAccuracy)
+{
+    const int bits = 8;
+    BipolarProductModel model(bits);
+    RmseTracker rmse;
+    for (i32 x = -128; x < 128; x += 5) {
+        for (i32 w = -128; w < 128; w += 7) {
+            const double expected = double(x) * double(w) / 128.0;
+            rmse.add(expected, double(model.scaledProduct(x, w)));
+        }
+    }
+    EXPECT_LT(rmse.rmse(), 2.5);
+}
+
+/**
+ * Property sweep: the unipolar full-period product is within a small bound
+ * of the true scaled product for every bitwidth used in the paper.
+ */
+class ProductAccuracy : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ProductAccuracy, FullPeriodWithinOneLsbRms)
+{
+    const int signed_bits = GetParam();
+    UnaryProductModel model(signed_bits);
+    const u32 period = model.period();
+    const u32 step = std::max(1u, period / 64);
+    RmseTracker rmse;
+    for (u32 i = 0; i < period; i += step) {
+        for (u32 w = 0; w < period; w += step) {
+            const double expected = double(i) * double(w) / double(period);
+            rmse.add(expected, double(model.fullProduct(i, w)));
+        }
+    }
+    EXPECT_LT(rmse.rmse(), 1.2) << "bits " << signed_bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, ProductAccuracy,
+                         ::testing::Values(6, 7, 8, 9, 10, 11, 12));
+
+} // namespace
+} // namespace usys
