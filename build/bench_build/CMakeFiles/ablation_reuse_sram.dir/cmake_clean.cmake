@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reuse_sram"
+  "../bench/ablation_reuse_sram.pdb"
+  "CMakeFiles/ablation_reuse_sram.dir/ablation_reuse_sram.cc.o"
+  "CMakeFiles/ablation_reuse_sram.dir/ablation_reuse_sram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reuse_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dse_array_shape"
+  "../bench/dse_array_shape.pdb"
+  "CMakeFiles/dse_array_shape.dir/dse_array_shape.cc.o"
+  "CMakeFiles/dse_array_shape.dir/dse_array_shape.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_array_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

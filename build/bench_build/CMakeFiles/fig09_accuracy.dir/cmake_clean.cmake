@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_accuracy"
+  "../bench/fig09_accuracy.pdb"
+  "CMakeFiles/fig09_accuracy.dir/fig09_accuracy.cc.o"
+  "CMakeFiles/fig09_accuracy.dir/fig09_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

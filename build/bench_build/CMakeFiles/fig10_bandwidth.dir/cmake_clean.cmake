@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_bandwidth"
+  "../bench/fig10_bandwidth.pdb"
+  "CMakeFiles/fig10_bandwidth.dir/fig10_bandwidth.cc.o"
+  "CMakeFiles/fig10_bandwidth.dir/fig10_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_area"
+  "../bench/fig11_area.pdb"
+  "CMakeFiles/fig11_area.dir/fig11_area.cc.o"
+  "CMakeFiles/fig11_area.dir/fig11_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_energy"
+  "../bench/fig13_energy.pdb"
+  "CMakeFiles/fig13_energy.dir/fig13_energy.cc.o"
+  "CMakeFiles/fig13_energy.dir/fig13_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

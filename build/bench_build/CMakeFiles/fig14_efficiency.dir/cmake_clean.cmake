@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_efficiency"
+  "../bench/fig14_efficiency.pdb"
+  "CMakeFiles/fig14_efficiency.dir/fig14_efficiency.cc.o"
+  "CMakeFiles/fig14_efficiency.dir/fig14_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

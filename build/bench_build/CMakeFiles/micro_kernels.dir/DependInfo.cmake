@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cc" "bench_build/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o" "gcc" "bench_build/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/usys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/usys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_edge.dir/alexnet_edge.cpp.o"
+  "CMakeFiles/alexnet_edge.dir/alexnet_edge.cpp.o.d"
+  "alexnet_edge"
+  "alexnet_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/early_termination.cpp" "examples/CMakeFiles/early_termination.dir/early_termination.cpp.o" "gcc" "examples/CMakeFiles/early_termination.dir/early_termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/usys_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/usys_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/usys_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/usys_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/usys_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/usys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/usys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

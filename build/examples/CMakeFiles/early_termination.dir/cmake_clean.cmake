@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_termination.dir/early_termination.cpp.o"
+  "CMakeFiles/early_termination.dir/early_termination.cpp.o.d"
+  "early_termination"
+  "early_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_sweep.dir/mlperf_sweep.cpp.o"
+  "CMakeFiles/mlperf_sweep.dir/mlperf_sweep.cpp.o.d"
+  "mlperf_sweep"
+  "mlperf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_end2end.dir/mnist_end2end.cpp.o"
+  "CMakeFiles/mnist_end2end.dir/mnist_end2end.cpp.o.d"
+  "mnist_end2end"
+  "mnist_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_instances.dir/tiled_instances.cpp.o"
+  "CMakeFiles/tiled_instances.dir/tiled_instances.cpp.o.d"
+  "tiled_instances"
+  "tiled_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

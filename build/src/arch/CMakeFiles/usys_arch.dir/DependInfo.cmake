@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/array.cc" "src/arch/CMakeFiles/usys_arch.dir/array.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/array.cc.o.d"
+  "/root/repo/src/arch/early_termination.cc" "src/arch/CMakeFiles/usys_arch.dir/early_termination.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/early_termination.cc.o.d"
+  "/root/repo/src/arch/fifo.cc" "src/arch/CMakeFiles/usys_arch.dir/fifo.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/fifo.cc.o.d"
+  "/root/repo/src/arch/fsu_gemm.cc" "src/arch/CMakeFiles/usys_arch.dir/fsu_gemm.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/fsu_gemm.cc.o.d"
+  "/root/repo/src/arch/functional.cc" "src/arch/CMakeFiles/usys_arch.dir/functional.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/functional.cc.o.d"
+  "/root/repo/src/arch/rtl_array.cc" "src/arch/CMakeFiles/usys_arch.dir/rtl_array.cc.o" "gcc" "src/arch/CMakeFiles/usys_arch.dir/rtl_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

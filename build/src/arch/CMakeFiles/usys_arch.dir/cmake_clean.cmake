@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_arch.dir/array.cc.o"
+  "CMakeFiles/usys_arch.dir/array.cc.o.d"
+  "CMakeFiles/usys_arch.dir/early_termination.cc.o"
+  "CMakeFiles/usys_arch.dir/early_termination.cc.o.d"
+  "CMakeFiles/usys_arch.dir/fifo.cc.o"
+  "CMakeFiles/usys_arch.dir/fifo.cc.o.d"
+  "CMakeFiles/usys_arch.dir/fsu_gemm.cc.o"
+  "CMakeFiles/usys_arch.dir/fsu_gemm.cc.o.d"
+  "CMakeFiles/usys_arch.dir/functional.cc.o"
+  "CMakeFiles/usys_arch.dir/functional.cc.o.d"
+  "CMakeFiles/usys_arch.dir/rtl_array.cc.o"
+  "CMakeFiles/usys_arch.dir/rtl_array.cc.o.d"
+  "libusys_arch.a"
+  "libusys_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libusys_arch.a"
+)

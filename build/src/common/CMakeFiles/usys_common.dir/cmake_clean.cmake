@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_common.dir/logging.cc.o"
+  "CMakeFiles/usys_common.dir/logging.cc.o.d"
+  "libusys_common.a"
+  "libusys_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/backend.cc" "src/dnn/CMakeFiles/usys_dnn.dir/backend.cc.o" "gcc" "src/dnn/CMakeFiles/usys_dnn.dir/backend.cc.o.d"
+  "/root/repo/src/dnn/data.cc" "src/dnn/CMakeFiles/usys_dnn.dir/data.cc.o" "gcc" "src/dnn/CMakeFiles/usys_dnn.dir/data.cc.o.d"
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/usys_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/usys_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/models.cc" "src/dnn/CMakeFiles/usys_dnn.dir/models.cc.o" "gcc" "src/dnn/CMakeFiles/usys_dnn.dir/models.cc.o.d"
+  "/root/repo/src/dnn/train.cc" "src/dnn/CMakeFiles/usys_dnn.dir/train.cc.o" "gcc" "src/dnn/CMakeFiles/usys_dnn.dir/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/usys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_dnn.dir/backend.cc.o"
+  "CMakeFiles/usys_dnn.dir/backend.cc.o.d"
+  "CMakeFiles/usys_dnn.dir/data.cc.o"
+  "CMakeFiles/usys_dnn.dir/data.cc.o.d"
+  "CMakeFiles/usys_dnn.dir/layers.cc.o"
+  "CMakeFiles/usys_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/usys_dnn.dir/models.cc.o"
+  "CMakeFiles/usys_dnn.dir/models.cc.o.d"
+  "CMakeFiles/usys_dnn.dir/train.cc.o"
+  "CMakeFiles/usys_dnn.dir/train.cc.o.d"
+  "libusys_dnn.a"
+  "libusys_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/error_stats.cc" "src/eval/CMakeFiles/usys_eval.dir/error_stats.cc.o" "gcc" "src/eval/CMakeFiles/usys_eval.dir/error_stats.cc.o.d"
+  "/root/repo/src/eval/experiments.cc" "src/eval/CMakeFiles/usys_eval.dir/experiments.cc.o" "gcc" "src/eval/CMakeFiles/usys_eval.dir/experiments.cc.o.d"
+  "/root/repo/src/eval/network.cc" "src/eval/CMakeFiles/usys_eval.dir/network.cc.o" "gcc" "src/eval/CMakeFiles/usys_eval.dir/network.cc.o.d"
+  "/root/repo/src/eval/scaling.cc" "src/eval/CMakeFiles/usys_eval.dir/scaling.cc.o" "gcc" "src/eval/CMakeFiles/usys_eval.dir/scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/usys_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/usys_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/usys_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/usys_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/usys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/usys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

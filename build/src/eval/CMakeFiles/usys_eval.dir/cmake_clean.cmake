@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_eval.dir/error_stats.cc.o"
+  "CMakeFiles/usys_eval.dir/error_stats.cc.o.d"
+  "CMakeFiles/usys_eval.dir/experiments.cc.o"
+  "CMakeFiles/usys_eval.dir/experiments.cc.o.d"
+  "CMakeFiles/usys_eval.dir/network.cc.o"
+  "CMakeFiles/usys_eval.dir/network.cc.o.d"
+  "CMakeFiles/usys_eval.dir/scaling.cc.o"
+  "CMakeFiles/usys_eval.dir/scaling.cc.o.d"
+  "libusys_eval.a"
+  "libusys_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/energy.cc" "src/hw/CMakeFiles/usys_hw.dir/energy.cc.o" "gcc" "src/hw/CMakeFiles/usys_hw.dir/energy.cc.o.d"
+  "/root/repo/src/hw/fsu_cost.cc" "src/hw/CMakeFiles/usys_hw.dir/fsu_cost.cc.o" "gcc" "src/hw/CMakeFiles/usys_hw.dir/fsu_cost.cc.o.d"
+  "/root/repo/src/hw/pe_cost.cc" "src/hw/CMakeFiles/usys_hw.dir/pe_cost.cc.o" "gcc" "src/hw/CMakeFiles/usys_hw.dir/pe_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/usys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/usys_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/unary/CMakeFiles/usys_unary.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/usys_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_hw.dir/energy.cc.o"
+  "CMakeFiles/usys_hw.dir/energy.cc.o.d"
+  "CMakeFiles/usys_hw.dir/fsu_cost.cc.o"
+  "CMakeFiles/usys_hw.dir/fsu_cost.cc.o.d"
+  "CMakeFiles/usys_hw.dir/pe_cost.cc.o"
+  "CMakeFiles/usys_hw.dir/pe_cost.cc.o.d"
+  "libusys_hw.a"
+  "libusys_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_isa.dir/isa.cc.o"
+  "CMakeFiles/usys_isa.dir/isa.cc.o.d"
+  "libusys_isa.a"
+  "libusys_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

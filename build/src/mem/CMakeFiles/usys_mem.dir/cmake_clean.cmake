@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_mem.dir/dram_timing.cc.o"
+  "CMakeFiles/usys_mem.dir/dram_timing.cc.o.d"
+  "libusys_mem.a"
+  "libusys_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

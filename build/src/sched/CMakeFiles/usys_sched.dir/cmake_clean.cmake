@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_sched.dir/simulator.cc.o"
+  "CMakeFiles/usys_sched.dir/simulator.cc.o.d"
+  "CMakeFiles/usys_sched.dir/trace.cc.o"
+  "CMakeFiles/usys_sched.dir/trace.cc.o.d"
+  "libusys_sched.a"
+  "libusys_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

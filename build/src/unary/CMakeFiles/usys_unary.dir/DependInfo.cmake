@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unary/lfsr.cc" "src/unary/CMakeFiles/usys_unary.dir/lfsr.cc.o" "gcc" "src/unary/CMakeFiles/usys_unary.dir/lfsr.cc.o.d"
+  "/root/repo/src/unary/product_table.cc" "src/unary/CMakeFiles/usys_unary.dir/product_table.cc.o" "gcc" "src/unary/CMakeFiles/usys_unary.dir/product_table.cc.o.d"
+  "/root/repo/src/unary/sobol.cc" "src/unary/CMakeFiles/usys_unary.dir/sobol.cc.o" "gcc" "src/unary/CMakeFiles/usys_unary.dir/sobol.cc.o.d"
+  "/root/repo/src/unary/uadd.cc" "src/unary/CMakeFiles/usys_unary.dir/uadd.cc.o" "gcc" "src/unary/CMakeFiles/usys_unary.dir/uadd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/usys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_unary.dir/lfsr.cc.o"
+  "CMakeFiles/usys_unary.dir/lfsr.cc.o.d"
+  "CMakeFiles/usys_unary.dir/product_table.cc.o"
+  "CMakeFiles/usys_unary.dir/product_table.cc.o.d"
+  "CMakeFiles/usys_unary.dir/sobol.cc.o"
+  "CMakeFiles/usys_unary.dir/sobol.cc.o.d"
+  "CMakeFiles/usys_unary.dir/uadd.cc.o"
+  "CMakeFiles/usys_unary.dir/uadd.cc.o.d"
+  "libusys_unary.a"
+  "libusys_unary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_unary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usys_workloads.dir/alexnet.cc.o"
+  "CMakeFiles/usys_workloads.dir/alexnet.cc.o.d"
+  "CMakeFiles/usys_workloads.dir/layer_parse.cc.o"
+  "CMakeFiles/usys_workloads.dir/layer_parse.cc.o.d"
+  "CMakeFiles/usys_workloads.dir/mlperf.cc.o"
+  "CMakeFiles/usys_workloads.dir/mlperf.cc.o.d"
+  "libusys_workloads.a"
+  "libusys_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usys_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

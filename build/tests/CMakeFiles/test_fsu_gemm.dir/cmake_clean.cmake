@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsu_gemm.dir/test_fsu_gemm.cc.o"
+  "CMakeFiles/test_fsu_gemm.dir/test_fsu_gemm.cc.o.d"
+  "test_fsu_gemm"
+  "test_fsu_gemm.pdb"
+  "test_fsu_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsu_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

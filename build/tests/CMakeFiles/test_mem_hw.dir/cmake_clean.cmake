@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_hw.dir/test_mem_hw.cc.o"
+  "CMakeFiles/test_mem_hw.dir/test_mem_hw.cc.o.d"
+  "test_mem_hw"
+  "test_mem_hw.pdb"
+  "test_mem_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

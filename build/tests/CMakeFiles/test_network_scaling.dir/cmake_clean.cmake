@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_scaling.dir/test_network_scaling.cc.o"
+  "CMakeFiles/test_network_scaling.dir/test_network_scaling.cc.o.d"
+  "test_network_scaling"
+  "test_network_scaling.pdb"
+  "test_network_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parse_fsu.dir/test_parse_fsu.cc.o"
+  "CMakeFiles/test_parse_fsu.dir/test_parse_fsu.cc.o.d"
+  "test_parse_fsu"
+  "test_parse_fsu.pdb"
+  "test_parse_fsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parse_fsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

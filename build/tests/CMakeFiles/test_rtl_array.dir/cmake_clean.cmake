@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_array.dir/test_rtl_array.cc.o"
+  "CMakeFiles/test_rtl_array.dir/test_rtl_array.cc.o.d"
+  "test_rtl_array"
+  "test_rtl_array.pdb"
+  "test_rtl_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sobol.dir/test_sobol.cc.o"
+  "CMakeFiles/test_sobol.dir/test_sobol.cc.o.d"
+  "test_sobol"
+  "test_sobol.pdb"
+  "test_sobol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sobol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uadd.dir/test_uadd.cc.o"
+  "CMakeFiles/test_uadd.dir/test_uadd.cc.o.d"
+  "test_uadd"
+  "test_uadd.pdb"
+  "test_uadd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unary_kernel.dir/test_unary_kernel.cc.o"
+  "CMakeFiles/test_unary_kernel.dir/test_unary_kernel.cc.o.d"
+  "test_unary_kernel"
+  "test_unary_kernel.pdb"
+  "test_unary_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unary_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

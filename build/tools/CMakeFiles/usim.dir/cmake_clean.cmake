@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usim.dir/usim.cc.o"
+  "CMakeFiles/usim.dir/usim.cc.o.d"
+  "usim"
+  "usim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
