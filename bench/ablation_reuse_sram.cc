@@ -14,6 +14,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "arch/fifo.h"
@@ -184,12 +186,18 @@ ablatePreloadOverlap()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    ablateBitstreamReuse();
-    ablateSramSize();
-    ablateRngQuality();
-    ablateFifoDepth();
-    ablatePreloadOverlap();
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "ablation_reuse_sram");
+    {
+        ScopedTimer timer("ablation suite", "bench");
+        ablateBitstreamReuse();
+        ablateSramSize();
+        ablateRngQuality();
+        ablateFifoDepth();
+        ablatePreloadOverlap();
+    }
+    finalizeBench(opts);
     return 0;
 }

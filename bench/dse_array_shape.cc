@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/table.h"
 #include "hw/energy.h"
 #include "workloads/alexnet.h"
@@ -48,10 +50,8 @@ evaluate(int rows, int cols)
     return r;
 }
 
-} // namespace
-
-int
-main()
+void
+runDse()
 {
     std::printf("=== DSE: aspect ratio at a ~168-PE budget (Unary-32c, "
                 "8-bit AlexNet, no SRAM) ===\n");
@@ -92,5 +92,19 @@ main()
                 "sweep shows the energy-delay optimum well above the "
                 "edge budget — the edge design is area-, not EDP-, "
                 "optimal.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "dse_array_shape");
+    {
+        ScopedTimer timer("dse_array_shape", "bench");
+        runDse();
+    }
+    finalizeBench(opts);
     return 0;
 }

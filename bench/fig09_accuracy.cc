@@ -18,6 +18,8 @@
 #include <functional>
 #include <string>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/table.h"
 #include "eval/error_stats.h"
 #include "dnn/data.h"
@@ -120,8 +122,10 @@ printGemmErrorStats()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "fig09_accuracy");
     Tier tiers[] = {
         {"9a", "digit glyphs, 4-layer CNN (MNIST tier)",
          [](std::size_t n, u64 s) { return makeDigits(n, s); },
@@ -133,8 +137,11 @@ main()
          [](std::size_t n, u64 s) { return makeHardGlyphs(n, s); },
          buildAlexLite, 2400, TrainOpts{14, 32, 0.02f, 0.9f, 1, false}},
     };
-    for (const auto &tier : tiers)
+    for (const auto &tier : tiers) {
+        ScopedTimer timer(std::string("tier ") + tier.figure, "bench");
         runTier(tier);
+    }
     printGemmErrorStats();
+    finalizeBench(opts);
     return 0;
 }

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/table.h"
 #include "eval/experiments.h"
 
@@ -63,9 +65,18 @@ printConfig(bool edge)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printConfig(true);
-    printConfig(false);
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "fig10_bandwidth");
+    {
+        ScopedTimer timer("fig10 edge", "bench");
+        printConfig(true);
+    }
+    {
+        ScopedTimer timer("fig10 cloud", "bench");
+        printConfig(false);
+    }
+    finalizeBench(opts);
     return 0;
 }

@@ -11,7 +11,10 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/table.h"
 #include "eval/experiments.h"
 
@@ -65,10 +68,33 @@ printConfig(bool edge, int bits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    for (bool edge : {true, false})
-        for (int bits : {8, 16})
+    const BenchOptions opts = parseBenchArgs(&argc, argv, "fig11_area");
+    for (bool edge : {true, false}) {
+        for (int bits : {8, 16}) {
+            ScopedTimer timer(std::string("fig11 ") +
+                                  (edge ? "edge" : "cloud") +
+                                  std::to_string(bits) + "b",
+                              "bench");
             printConfig(edge, bits);
+            // Record the per-design totals for the JSON artifact.
+            StatsRegistry &reg = statsRegistry();
+            const std::string cfg =
+                std::string(edge ? "edge" : "cloud") +
+                std::to_string(bits) + "b";
+            for (const auto &row : fig11Area(edge, bits)) {
+                const std::string base = "hw.area." + cfg + "." +
+                                         sanitizeStatName(row.label);
+                reg.scalar(base + ".array_mm2", "array area")
+                    .set(row.array_mm2);
+                reg.scalar(base + ".sram_mm2", "SRAM area")
+                    .set(row.sram_mm2);
+                reg.scalar(base + ".total_mm2", "on-chip area")
+                    .set(row.total_mm2);
+            }
+        }
+    }
+    finalizeBench(opts);
     return 0;
 }

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/table.h"
 #include "eval/experiments.h"
 
@@ -56,9 +58,18 @@ printConfig(bool edge)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printConfig(true);
-    printConfig(false);
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "fig12_throughput");
+    {
+        ScopedTimer timer("fig12 edge", "bench");
+        printConfig(true);
+    }
+    {
+        ScopedTimer timer("fig12 cloud", "bench");
+        printConfig(false);
+    }
+    finalizeBench(opts);
     return 0;
 }

@@ -12,6 +12,8 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "eval/experiments.h"
@@ -87,9 +89,17 @@ printConfig(bool edge)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printConfig(true);
-    printConfig(false);
+    const BenchOptions opts = parseBenchArgs(&argc, argv, "fig13_energy");
+    {
+        ScopedTimer timer("fig13 edge", "bench");
+        printConfig(true);
+    }
+    {
+        ScopedTimer timer("fig13 cloud", "bench");
+        printConfig(false);
+    }
+    finalizeBench(opts);
     return 0;
 }

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/table.h"
 #include "eval/experiments.h"
 #include "workloads/alexnet.h"
@@ -45,14 +47,23 @@ printWorkload(const char *name, const std::vector<GemmLayer> &layers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printWorkload("AlexNet", alexnetLayers());
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "fig14_efficiency");
+    {
+        ScopedTimer timer("fig14 alexnet", "bench");
+        printWorkload("AlexNet", alexnetLayers());
+    }
     const auto mlperf = mlperfLayers();
     std::printf("\nMLPerf-like suite: %zu GEMM layers across 8 models "
                 "(paper: 1094)\n", mlperf.size());
-    printWorkload("MLPerf", mlperf);
+    {
+        ScopedTimer timer("fig14 mlperf", "bench");
+        printWorkload("MLPerf", mlperf);
+    }
     std::printf("\n(paper utilization: AlexNet 97.1%% edge / 81.6%% cloud;"
                 " MLPerf 69.6%% edge / 37.2%% cloud)\n");
+    finalizeBench(opts);
     return 0;
 }

@@ -7,14 +7,25 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "eval/experiments.h"
 
 using namespace usys;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Headline h = headlineSummary();
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "headline_summary");
+
+    Headline h;
+    {
+        ScopedTimer timer("headline_summary", "bench");
+        h = headlineSummary();
+        // Machine-readable per-layer stats for all five schemes.
+        recordInstrumentedSweep(true, 8);
+    }
     std::printf("=== Headline summary: 8-bit AlexNet, edge ===\n");
     std::printf("%-44s measured %8.1f   paper %8.1f\n",
                 "systolic array area reduction (%)",
@@ -34,5 +45,6 @@ main()
     std::printf("%-44s measured %8.1f   paper %8.1f\n",
                 "mean on-chip power reduction (%)",
                 h.mean_onchip_power_red_pct, 98.4);
+    finalizeBench(opts);
     return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/matrix.h"
 #include "common/prng.h"
 #include "arch/array.h"
@@ -140,4 +142,21 @@ BENCHMARK(BM_DramDeviceStream);
 } // namespace
 } // namespace usys
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip the shared observability flags before google-benchmark's own
+    // argument parser sees the command line.
+    const usys::BenchOptions opts =
+        usys::parseBenchArgs(&argc, argv, "micro_kernels");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    {
+        usys::ScopedTimer timer("micro_kernels", "bench");
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    benchmark::Shutdown();
+    usys::finalizeBench(opts);
+    return 0;
+}

@@ -15,6 +15,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cli.h"
+#include "common/event_trace.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -86,10 +88,8 @@ perPeInflation(Scheme scheme)
     return cloud / edge;
 }
 
-} // namespace
-
-int
-main()
+void
+runTable1()
 {
     std::printf("=== Table I quantified ===\n\n");
 
@@ -143,5 +143,19 @@ main()
                 "flip-flop weight storage (paper: 61.1 MB) — %.1fx the "
                 "24 MB cloud-TPU SRAM, one instance PER model.\n",
                 alexnet_fsu.storage_mb, alexnet_fsu.storage_mb / 24.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts =
+        parseBenchArgs(&argc, argv, "table1_comparison");
+    {
+        ScopedTimer timer("table1", "bench");
+        runTable1();
+    }
+    finalizeBench(opts);
     return 0;
 }

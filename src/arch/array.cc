@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "arch/pe.h"
 
 namespace usys {
@@ -43,6 +44,23 @@ SystolicArray::runFold(const Matrix<i32> &input,
     // (columns only add delay), so generate the per-(row, input-row)
     // multiplication-cycle traces once.
     const u32 trace_len = (kern.scheme == Scheme::BinaryParallel) ? 1 : mul;
+
+    // Per-scheme bit-level work counters (one lookup per fold, not per
+    // MAC, so the accounting stays off the inner loops).
+    StatsRegistry &reg = statsRegistry();
+    const std::string slug = "arch." + sanitizeStatName(kern.name());
+    ++reg.counter(slug + ".folds", "bit-level array folds executed");
+    reg.counter(slug + ".mac_slots",
+                "PE MAC slots evaluated (incl. padding)") +=
+        u64(m_rows) * rows * cols;
+    reg.counter(slug + ".fold_cycles", "fold latencies, summed") +=
+        cycles;
+    reg.counter(slug + ".bitstream_cycles",
+                "lane bitstream cycles generated") +=
+        u64(trace_len) * u64(m_rows) * rows;
+    reg.histogram("arch.fold_m_rows", 0.0, 4096.0, 16,
+                  "input rows streamed per fold")
+        .add(double(m_rows));
     std::vector<std::vector<std::vector<LaneSignals>>> traces(rows);
     for (int r = 0; r < rows; ++r) {
         RowFrontEnd fe(kern);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "arch/pe.h"
 
 namespace usys {
@@ -150,6 +151,15 @@ RtlArray::runFold(const Matrix<i32> &input,
 
     for (int c = 0; c < cols; ++c)
         panicIf(emitted[c] != m_rows, "RtlArray: missing outputs");
+
+    StatsRegistry &reg = statsRegistry();
+    const std::string slug =
+        "arch.rtl_" + sanitizeStatName(kern.name());
+    ++reg.counter(slug + ".folds", "RTL-mode folds executed");
+    reg.counter(slug + ".cycles", "RTL cycles simulated") += cycle;
+    reg.counter(slug + ".mac_slots",
+                "PE MAC slots evaluated (incl. padding)") +=
+        u64(m_rows) * rows * cols;
 
     return SystolicArray::FoldResult{std::move(out), cycle};
 }

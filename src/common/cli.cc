@@ -1,0 +1,66 @@
+#include "common/cli.h"
+
+#include <cstring>
+
+#include "common/event_trace.h"
+#include "common/logging.h"
+#include "common/stats_registry.h"
+
+namespace usys {
+
+BenchOptions
+parseBenchArgs(int *argc, char **argv, const std::string &bench)
+{
+    BenchOptions opts;
+    opts.bench = bench;
+
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            fatalIf(i + 1 >= *argc,
+                    std::string(flag) + " requires a path argument");
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--stats-json") == 0) {
+            opts.stats_json = value("--stats-json");
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            opts.trace_out = value("--trace-out");
+        } else if (std::strcmp(arg, "--stats-dump") == 0) {
+            opts.stats_dump = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+
+    if (!opts.trace_out.empty())
+        EventTrace::global().setEnabled(true);
+    return opts;
+}
+
+void
+finalizeBench(const BenchOptions &opts)
+{
+    if (opts.stats_dump)
+        statsRegistry().dump(stderr);
+    // A requested artifact that cannot be written is a hard error:
+    // callers script against these files and check the exit code.
+    if (!opts.stats_json.empty()) {
+        fatalIf(!statsRegistry().writeJsonFile(opts.stats_json,
+                                               opts.bench),
+                "cannot write stats JSON: " + opts.stats_json);
+        inform("wrote stats JSON: " + opts.stats_json + " (" +
+               std::to_string(statsRegistry().size()) + " stats)");
+    }
+    if (!opts.trace_out.empty()) {
+        fatalIf(!EventTrace::global().writeFile(opts.trace_out),
+                "cannot write trace: " + opts.trace_out);
+        inform("wrote trace: " + opts.trace_out + " (" +
+               std::to_string(EventTrace::global().eventCount()) +
+               " events)");
+    }
+}
+
+} // namespace usys

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared command-line handling for the bench drivers.
+ *
+ * Every bench binary understands
+ *   --stats-json <path>   write the stats-registry dump as JSON
+ *   --stats-dump          print the gem5-style text dump to stderr
+ *   --trace-out <path>    write a chrome://tracing / Perfetto JSON trace
+ *
+ * parseBenchArgs() strips the flags it consumed from argv (so wrapped
+ * argument parsers like google-benchmark's see only their own flags) and
+ * enables the global event trace when a trace path is requested;
+ * finalizeBench() writes the artifacts after the run.
+ */
+
+#ifndef USYS_COMMON_CLI_H
+#define USYS_COMMON_CLI_H
+
+#include <string>
+
+namespace usys {
+
+/** Observability options shared by every bench driver. */
+struct BenchOptions
+{
+    std::string bench;      // binary name (recorded in the artifact)
+    std::string stats_json; // empty = no JSON dump
+    std::string trace_out;  // empty = tracing disabled
+    bool stats_dump = false;
+};
+
+/**
+ * Consume the shared flags from argv (compacting it in place and
+ * updating *argc); unrecognized arguments are left for the caller.
+ */
+BenchOptions parseBenchArgs(int *argc, char **argv,
+                            const std::string &bench);
+
+/** Write the requested artifacts and report where they went. */
+void finalizeBench(const BenchOptions &opts);
+
+} // namespace usys
+
+#endif // USYS_COMMON_CLI_H

@@ -1,0 +1,211 @@
+#include "common/event_trace.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace usys {
+
+EventTrace &
+EventTrace::global()
+{
+    static EventTrace trace;
+    return trace;
+}
+
+int
+EventTrace::track(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = track_ids_.find(name);
+    if (it != track_ids_.end())
+        return it->second;
+    const int tid = int(track_names_.size());
+    track_ids_.emplace(name, tid);
+    track_names_.push_back(name);
+    cursors_.push_back(0.0);
+    return tid;
+}
+
+bool
+EventTrace::push(Event &&e)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return false;
+    }
+    events_.push_back(std::move(e));
+    return true;
+}
+
+namespace {
+
+std::string
+encodeArgs(const std::vector<TraceArg> &args)
+{
+    if (args.empty())
+        return "";
+    std::string out;
+    for (const auto &[key, val] : args) {
+        if (!out.empty())
+            out += ',';
+        out += "\"" + jsonEscape(key) + "\":" + jsonNumber(val);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+EventTrace::complete(int tid, const std::string &name,
+                     const std::string &cat, double ts_us, double dur_us,
+                     const std::vector<TraceArg> &args)
+{
+    if (!enabled_)
+        return;
+    push({'X', tid, name, cat, ts_us, dur_us, encodeArgs(args)});
+}
+
+void
+EventTrace::instant(int tid, const std::string &name,
+                    const std::string &cat, double ts_us)
+{
+    if (!enabled_)
+        return;
+    push({'i', tid, name, cat, ts_us, 0.0, ""});
+}
+
+void
+EventTrace::counter(int tid, const std::string &name, double ts_us,
+                    double value)
+{
+    if (!enabled_)
+        return;
+    push({'C', tid, name, "counter", ts_us, 0.0,
+          "\"value\":" + jsonNumber(value)});
+}
+
+double
+EventTrace::advance(int tid, double dur_us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    panicIf(tid < 0 || std::size_t(tid) >= cursors_.size(),
+            "EventTrace: unknown track id");
+    const double start = cursors_[std::size_t(tid)];
+    cursors_[std::size_t(tid)] = start + dur_us;
+    return start;
+}
+
+double
+EventTrace::cursor(int tid) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    panicIf(tid < 0 || std::size_t(tid) >= cursors_.size(),
+            "EventTrace: unknown track id");
+    return cursors_[std::size_t(tid)];
+}
+
+std::string
+EventTrace::json() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.beginArray("traceEvents");
+
+    // Track-name metadata first so viewers label the rows.
+    for (std::size_t tid = 0; tid < track_names_.size(); ++tid) {
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("pid", 0);
+        w.field("tid", u64(tid));
+        w.field("name", "thread_name");
+        w.fieldRaw("args", "{\"name\": \"" +
+                               jsonEscape(track_names_[tid]) + "\"}");
+        w.endObject();
+    }
+
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.field("ph", std::string(1, e.ph));
+        w.field("pid", 0);
+        w.field("tid", e.tid);
+        w.field("name", e.name);
+        if (!e.cat.empty())
+            w.field("cat", e.cat);
+        w.field("ts", e.ts_us);
+        if (e.ph == 'X')
+            w.field("dur", e.dur_us);
+        if (e.ph == 'i')
+            w.field("s", "t"); // instant scope: thread
+        if (!e.args_json.empty())
+            w.fieldRaw("args", "{" + e.args_json + "}");
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+EventTrace::writeFile(const std::string &path) const
+{
+    if (dropped_ > 0) {
+        warn("event trace: " + std::to_string(dropped_) +
+             " events dropped (buffer cap " +
+             std::to_string(kMaxEvents) + ")");
+    }
+    return writeTextFile(path, json() + "\n");
+}
+
+void
+EventTrace::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    track_ids_.clear();
+    track_names_.clear();
+    cursors_.clear();
+    dropped_ = 0;
+}
+
+std::size_t
+EventTrace::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+double
+hostTimeUs()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+ScopedTimer::ScopedTimer(const std::string &name, const std::string &cat,
+                         EventTrace &trace)
+    : trace_(trace), name_(name), cat_(cat),
+      active_(trace.enabled())
+{
+    if (active_)
+        start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!active_)
+        return;
+    const double dur =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const double end = hostTimeUs();
+    trace_.complete(trace_.track("host"), name_, cat_, end - dur, dur);
+}
+
+} // namespace usys

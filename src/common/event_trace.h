@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto-compatible event emitter.
+ *
+ * Simulation layers emit complete ("ph":"X"), instant ("i") and counter
+ * ("C") events onto named tracks; the collected buffer serializes to the
+ * Trace Event Format JSON that chrome://tracing and ui.perfetto.dev load
+ * directly. Timestamps are microseconds: simulated tracks map cycles to
+ * us through the accelerator clock so the timeline reads in real device
+ * time, while ScopedTimer emits host wall-clock profiling events onto a
+ * dedicated "host" track.
+ *
+ * Tracing is off by default (the emitter is a cheap no-op); bench
+ * drivers enable it when --trace-out is given. The buffer is capped so a
+ * fold-level instrumentation of a huge sweep cannot exhaust memory —
+ * drops are counted and reported.
+ */
+
+#ifndef USYS_COMMON_EVENT_TRACE_H
+#define USYS_COMMON_EVENT_TRACE_H
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** One key/number pair attached to an event's "args". */
+using TraceArg = std::pair<std::string, double>;
+
+/** Buffered Chrome-trace event collector. */
+class EventTrace
+{
+  public:
+    /** Process-wide trace written by the instrumented layers. */
+    static EventTrace &global();
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Id of the named track (Chrome "tid"); registered on first use and
+     * emitted as thread_name metadata so Perfetto labels the row.
+     */
+    int track(const std::string &name);
+
+    /** Duration event: [ts_us, ts_us + dur_us) on the given track. */
+    void complete(int tid, const std::string &name,
+                  const std::string &cat, double ts_us, double dur_us,
+                  const std::vector<TraceArg> &args = {});
+
+    /** Zero-duration marker. */
+    void instant(int tid, const std::string &name,
+                 const std::string &cat, double ts_us);
+
+    /** Counter-track sample (renders as a stacked area in Perfetto). */
+    void counter(int tid, const std::string &name, double ts_us,
+                 double value);
+
+    /**
+     * Per-track simulated-time cursor: returns the current position and
+     * advances it by dur_us. Lets independent layers append events
+     * back-to-back on a shared track without coordinating timestamps.
+     */
+    double advance(int tid, double dur_us);
+    double cursor(int tid) const;
+
+    /** Full Trace Event Format document. */
+    std::string json() const;
+    bool writeFile(const std::string &path) const;
+
+    void clear();
+    std::size_t eventCount() const;
+    u64 dropped() const { return dropped_; }
+
+  private:
+    struct Event
+    {
+        char ph;
+        int tid;
+        std::string name;
+        std::string cat;
+        double ts_us;
+        double dur_us;
+        std::string args_json; // pre-encoded object body, may be empty
+    };
+
+    static constexpr std::size_t kMaxEvents = 1u << 20;
+
+    bool enabled_ = false;
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::map<std::string, int> track_ids_;
+    std::vector<std::string> track_names_;
+    std::vector<double> cursors_;
+    u64 dropped_ = 0;
+
+    bool push(Event &&e);
+};
+
+/**
+ * RAII wall-clock profiler: emits one complete event on the trace's
+ * "host" track covering this scope. No-op when tracing is disabled.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &name,
+                         const std::string &cat = "host",
+                         EventTrace &trace = EventTrace::global());
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    EventTrace &trace_;
+    std::string name_;
+    std::string cat_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Microseconds elapsed since process start (host profiling clock). */
+double hostTimeUs();
+
+} // namespace usys
+
+#endif // USYS_COMMON_EVENT_TRACE_H

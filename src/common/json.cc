@@ -1,0 +1,280 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace usys {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        const unsigned char c = (unsigned char)ch;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values inside the exactly-representable range print as
+    // integers so counters stay readable and byte-stable.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+JsonWriter::JsonWriter(int indent)
+    : indent_(indent)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(std::size_t(indent_) * stack_.size(), ' ');
+}
+
+void
+JsonWriter::comma()
+{
+    if (stack_.empty())
+        return;
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+    newline();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    panicIf(stack_.empty() || !stack_.back(),
+            "JsonWriter: key outside an object");
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    if (indent_ > 0)
+        out_ += ' ';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    if (!stack_.empty()) {
+        panicIf(stack_.back(), "JsonWriter: keyless object in an object");
+        comma();
+    }
+    out_ += '{';
+    stack_.push_back(true);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out_ += '{';
+    stack_.push_back(true);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panicIf(stack_.empty() || !stack_.back(),
+            "JsonWriter: endObject without beginObject");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        newline();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    if (!stack_.empty()) {
+        panicIf(stack_.back(), "JsonWriter: keyless array in an object");
+        comma();
+    }
+    out_ += '[';
+    stack_.push_back(false);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out_ += '[';
+    stack_.push_back(false);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panicIf(stack_.empty() || stack_.back(),
+            "JsonWriter: endArray without beginArray");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        newline();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fieldRaw(const std::string &k, const std::string &json)
+{
+    key(k);
+    out_ += json;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    return fieldRaw(k, "\"" + jsonEscape(v) + "\"");
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const char *v)
+{
+    return field(k, std::string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, double v)
+{
+    return fieldRaw(k, jsonNumber(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, u64 v)
+{
+    return fieldRaw(k, std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, i64 v)
+{
+    return fieldRaw(k, std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, int v)
+{
+    return fieldRaw(k, std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, bool v)
+{
+    return fieldRaw(k, v ? "true" : "false");
+}
+
+JsonWriter &
+JsonWriter::valueRaw(const std::string &json)
+{
+    panicIf(!stack_.empty() && stack_.back(),
+            "JsonWriter: bare value inside an object");
+    comma();
+    out_ += json;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    return valueRaw("\"" + jsonEscape(v) + "\"");
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    return valueRaw(jsonNumber(v));
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    return valueRaw(std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    return valueRaw(std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    return valueRaw(v ? "true" : "false");
+}
+
+std::string
+JsonWriter::str() const
+{
+    panicIf(!stack_.empty(), "JsonWriter: unclosed containers");
+    return out_;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open " + path + " for writing");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to " + path);
+    return ok;
+}
+
+} // namespace usys

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for experiment artifacts.
+ *
+ * Produces deterministic output (fixed key order as emitted by the
+ * caller, fixed number formatting) so stats dumps are byte-identical
+ * across runs and diffable in version control. No external dependencies;
+ * the writer is a thin state machine over a std::string.
+ */
+
+#ifndef USYS_COMMON_JSON_H
+#define USYS_COMMON_JSON_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Escape a string body per RFC 8259 (without surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Deterministic number rendering: integral values print as integers,
+ * everything else as shortest-ish %.12g; NaN/Inf degrade to null
+ * (JSON has no encoding for them).
+ */
+std::string jsonNumber(double v);
+
+/** Stack-based JSON writer. */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact one-line */
+    explicit JsonWriter(int indent = 2);
+
+    // --- containers --------------------------------------------------
+    JsonWriter &beginObject();                       // value position
+    JsonWriter &beginObject(const std::string &key); // inside an object
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &beginArray(const std::string &key);
+    JsonWriter &endArray();
+
+    // --- object fields ------------------------------------------------
+    JsonWriter &field(const std::string &key, const std::string &v);
+    JsonWriter &field(const std::string &key, const char *v);
+    JsonWriter &field(const std::string &key, double v);
+    JsonWriter &field(const std::string &key, u64 v);
+    JsonWriter &field(const std::string &key, i64 v);
+    JsonWriter &field(const std::string &key, int v);
+    JsonWriter &field(const std::string &key, bool v);
+    /** Emit a pre-encoded JSON fragment as the value. */
+    JsonWriter &fieldRaw(const std::string &key, const std::string &json);
+
+    // --- array elements (or a lone top-level value) -------------------
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(double v);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(i64 v);
+    JsonWriter &value(bool v);
+    JsonWriter &valueRaw(const std::string &json);
+
+    /** Finished document; panics if containers remain open. */
+    std::string str() const;
+
+    /** Nesting depth (0 when the document is complete). */
+    int depth() const { return int(stack_.size()); }
+
+  private:
+    void comma();
+    void key(const std::string &k);
+    void newline();
+
+    std::string out_;
+    std::vector<bool> stack_; // true = object, false = array
+    std::vector<bool> first_; // no element written yet at this level
+    int indent_;
+};
+
+/** Write a string to a file; returns false (and warns) on I/O error. */
+bool writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace usys
+
+#endif // USYS_COMMON_JSON_H

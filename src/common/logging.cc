@@ -2,16 +2,72 @@
 
 namespace usys {
 
+namespace {
+
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("USYS_LOG_LEVEL");
+    return env ? parseLogLevel(env) : LogLevel::Inform;
+}
+
+LogLevel &
+levelRef()
+{
+    static LogLevel level = initialLogLevel();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelRef();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "quiet" || name == "none")
+        return LogLevel::Quiet;
+    std::fprintf(stderr,
+                 "warn: unknown USYS_LOG_LEVEL '%s', using 'inform'\n",
+                 name.c_str());
+    return LogLevel::Inform;
+}
+
+void
+debug(const std::string &msg)
+{
+    if (logLevel() <= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() <= LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() <= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void

@@ -4,6 +4,11 @@
  *
  * fatal() is for user-recoverable configuration errors (exit(1));
  * panic() is for internal invariant violations (abort()).
+ *
+ * debug()/inform()/warn() are gated by a verbosity level, initialized
+ * from the USYS_LOG_LEVEL environment variable ("debug", "inform",
+ * "warn", or "quiet"; default "inform") so instrumented hot paths can
+ * log without flooding stderr. fatal()/panic() always print.
  */
 
 #ifndef USYS_COMMON_LOGGING_H
@@ -14,6 +19,30 @@
 #include <string>
 
 namespace usys {
+
+/** Message severities, ordered from chattiest to most severe. */
+enum class LogLevel
+{
+    Debug = 0,
+    Inform = 1,
+    Warn = 2,
+    Quiet = 3, // suppress everything below fatal/panic
+};
+
+/** Current verbosity threshold (messages below it are dropped). */
+LogLevel logLevel();
+
+/** Override the threshold (tests; normally set via USYS_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse a USYS_LOG_LEVEL value; falls back to Inform (with a warning)
+ * on an unrecognized string.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Print a debug message to stderr (dropped unless level is Debug). */
+void debug(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);

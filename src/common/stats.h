@@ -46,6 +46,33 @@ class OnlineStats
 
     double stddev() const { return std::sqrt(variance()); }
 
+    /**
+     * Fold another instance into this one (Chan et al. parallel
+     * moments), preserving count/mean/variance/min/max/sum exactly as
+     * if every sample had been add()ed here. This is the aggregation
+     * hook for per-thread instances under parallel_for: each worker
+     * accumulates privately, then the shards merge serially.
+     */
+    void
+    merge(const OnlineStats &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const u64 n = count_ + other.count_;
+        const double delta = other.mean_ - mean_;
+        m2_ += other.m2_ + delta * delta * double(count_) *
+                               double(other.count_) / double(n);
+        mean_ += delta * double(other.count_) / double(n);
+        count_ = n;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
   private:
     u64 count_ = 0;
     double mean_ = 0.0;

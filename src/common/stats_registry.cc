@@ -1,0 +1,363 @@
+#include "common/stats_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace usys {
+
+// --- stat value rendering ------------------------------------------------
+
+std::string
+Counter::valueText() const
+{
+    return std::to_string(v_);
+}
+
+void
+Counter::writeJsonField(JsonWriter &w, const std::string &key) const
+{
+    w.fieldRaw(key, std::to_string(v_));
+}
+
+std::string
+Scalar::valueText() const
+{
+    return jsonNumber(v_);
+}
+
+void
+Scalar::writeJsonField(JsonWriter &w, const std::string &key) const
+{
+    w.fieldRaw(key, jsonNumber(v_));
+}
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, int buckets)
+    : Stat(std::move(name), std::move(desc)), lo_(lo), hi_(hi)
+{
+    fatalIf(buckets < 1, "Histogram: needs at least one bucket");
+    fatalIf(!(hi > lo), "Histogram: empty value range");
+    width_ = (hi_ - lo_) / double(buckets);
+    buckets_.assign(std::size_t(buckets), 0);
+}
+
+void
+Histogram::add(double x, u64 count)
+{
+    for (u64 i = 0; i < count; ++i)
+        moments_.add(x);
+    if (x < lo_) {
+        underflow_ += count;
+    } else if (x >= hi_) {
+        overflow_ += count;
+    } else {
+        const auto b = std::size_t((x - lo_) / width_);
+        buckets_[std::min(b, buckets_.size() - 1)] += count;
+    }
+}
+
+double
+Histogram::bucketLo(int i) const
+{
+    return lo_ + width_ * double(i);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = 0;
+    moments_ = OnlineStats();
+}
+
+std::string
+Histogram::valueText() const
+{
+    std::string out = "count=" + std::to_string(count()) +
+                      " mean=" + jsonNumber(mean()) +
+                      " min=" + jsonNumber(min()) +
+                      " max=" + jsonNumber(max()) + " |";
+    for (const u64 b : buckets_)
+        out += " " + std::to_string(b);
+    out += " | under=" + std::to_string(underflow_) +
+           " over=" + std::to_string(overflow_);
+    return out;
+}
+
+void
+Histogram::writeJsonField(JsonWriter &w, const std::string &key) const
+{
+    w.beginObject(key);
+    w.field("count", count());
+    w.field("sum", sum());
+    w.field("mean", mean());
+    w.field("min", min());
+    w.field("max", max());
+    w.field("bucket_lo", lo_);
+    w.field("bucket_hi", hi_);
+    w.field("underflow", underflow_);
+    w.field("overflow", overflow_);
+    w.beginArray("buckets");
+    for (const u64 b : buckets_)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+Formula::valueText() const
+{
+    return jsonNumber(value());
+}
+
+void
+Formula::writeJsonField(JsonWriter &w, const std::string &key) const
+{
+    w.fieldRaw(key, jsonNumber(value()));
+}
+
+// --- registry ------------------------------------------------------------
+
+void
+StatsRegistry::checkHierarchy(const std::string &name) const
+{
+    // `a.b` conflicts with a registered leaf `a` (a JSON key cannot be
+    // both a number and a group) and with any registered `a.b.c`.
+    fatalIf(name.empty(), "StatsRegistry: empty stat name");
+    std::size_t dot = 0;
+    while ((dot = name.find('.', dot)) != std::string::npos) {
+        fatalIf(stats_.count(name.substr(0, dot)) != 0,
+                "StatsRegistry: '" + name +
+                    "' conflicts with leaf stat '" + name.substr(0, dot) +
+                    "'");
+        ++dot;
+    }
+    const std::string prefix = name + ".";
+    const auto next = stats_.lower_bound(prefix);
+    if (next != stats_.end() &&
+        next->first.compare(0, prefix.size(), prefix) == 0) {
+        fatal("StatsRegistry: '" + name + "' conflicts with group '" +
+              next->first + "'");
+    }
+}
+
+template <typename T, typename... Args>
+T &
+StatsRegistry::getOrCreate(const std::string &name,
+                           const std::string &desc, Stat::Kind kind,
+                           Args &&...args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = stats_.find(name);
+    if (it != stats_.end()) {
+        fatalIf(it->second->kind() != kind,
+                "StatsRegistry: '" + name +
+                    "' re-registered as a different kind");
+        if (!desc.empty() && it->second->desc().empty())
+            it->second->setDesc(desc);
+        return static_cast<T &>(*it->second);
+    }
+    checkHierarchy(name);
+    auto stat =
+        std::make_unique<T>(name, desc, std::forward<Args>(args)...);
+    T &ref = *stat;
+    stats_.emplace(name, std::move(stat));
+    return ref;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name, const std::string &desc)
+{
+    return getOrCreate<Counter>(name, desc, Stat::Kind::Counter);
+}
+
+Scalar &
+StatsRegistry::scalar(const std::string &name, const std::string &desc)
+{
+    return getOrCreate<Scalar>(name, desc, Stat::Kind::Scalar);
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name, double lo, double hi,
+                         int buckets, const std::string &desc)
+{
+    return getOrCreate<Histogram>(name, desc, Stat::Kind::Histogram, lo,
+                                  hi, buckets);
+}
+
+Formula &
+StatsRegistry::formula(const std::string &name,
+                       std::function<double()> fn,
+                       const std::string &desc)
+{
+    return getOrCreate<Formula>(name, desc, Stat::Kind::Formula,
+                                std::move(fn));
+}
+
+const Stat *
+StatsRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.size();
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &entry : stats_)
+        entry.second->reset();
+}
+
+void
+StatsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.clear();
+}
+
+std::vector<const Stat *>
+StatsRegistry::snapshot() const
+{
+    // Rendering happens outside the lock so Formula bodies may call back
+    // into the registry (name lookups) without deadlocking; map nodes
+    // are pointer-stable, and dumps race with registration only if the
+    // caller is already misusing the (update-unlocked) registry.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const Stat *> stats;
+    stats.reserve(stats_.size());
+    for (const auto &entry : stats_)
+        stats.push_back(entry.second.get());
+    return stats;
+}
+
+std::string
+StatsRegistry::dumpText() const
+{
+    const std::vector<const Stat *> stats = snapshot();
+    // gem5 layout: name, value, "# description"; the map iterated by
+    // snapshot() is name-sorted, so the dump is deterministic.
+    std::size_t name_w = 0;
+    for (const Stat *s : stats)
+        name_w = std::max(name_w, s->name().size());
+
+    std::string out = "---------- Begin Simulation Statistics ----------\n";
+    for (const Stat *s : stats) {
+        out += s->name();
+        out.append(name_w + 2 - s->name().size(), ' ');
+        out += s->valueText();
+        if (!s->desc().empty())
+            out += "  # " + s->desc();
+        out += '\n';
+    }
+    out += "---------- End Simulation Statistics   ----------\n";
+    return out;
+}
+
+void
+StatsRegistry::dump(std::FILE *out) const
+{
+    const std::string text = dumpText();
+    std::fwrite(text.data(), 1, text.size(), out);
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    const std::vector<const Stat *> stats = snapshot();
+    w.beginObject();
+    // Walk the sorted flat names, opening/closing nested objects as the
+    // dotted prefixes change.
+    std::vector<std::string> open; // current group path
+    for (const Stat *stat : stats) {
+        const std::string &name = stat->name();
+        std::vector<std::string> parts;
+        std::size_t start = 0, dot;
+        while ((dot = name.find('.', start)) != std::string::npos) {
+            parts.push_back(name.substr(start, dot - start));
+            start = dot + 1;
+        }
+        const std::string leaf = name.substr(start);
+
+        std::size_t common = 0;
+        while (common < open.size() && common < parts.size() &&
+               open[common] == parts[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            w.endObject();
+            open.pop_back();
+        }
+        while (open.size() < parts.size()) {
+            w.beginObject(parts[open.size()]);
+            open.push_back(parts[open.size()]);
+        }
+        stat->writeJsonField(w, leaf);
+    }
+    while (!open.empty()) {
+        w.endObject();
+        open.pop_back();
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+bool
+StatsRegistry::writeJsonFile(const std::string &path,
+                             const std::string &bench) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", bench);
+    w.field("schema_version", 1);
+    w.fieldRaw("stats", json());
+    w.endObject();
+    return writeTextFile(path, w.str() + "\n");
+}
+
+StatsRegistry &
+statsRegistry()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+std::string
+sanitizeStatName(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    bool pending_sep = false;
+    for (const char c : label) {
+        if (std::isalnum((unsigned char)c) || c == '_' || c == '-') {
+            if (pending_sep && !out.empty())
+                out += '_';
+            pending_sep = false;
+            out += char(std::tolower((unsigned char)c));
+        } else {
+            pending_sep = true;
+        }
+    }
+    return out.empty() ? "_" : out;
+}
+
+} // namespace usys

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * gem5-style hierarchical named-statistics registry.
+ *
+ * Every simulation layer registers counters/scalars/histograms/formulas
+ * under dotted hierarchical names (`sim.ur.layer3.dram_bytes`). A dump
+ * renders either the flat gem5 text format (name, value, description,
+ * sorted by name) or a nested JSON object whose structure follows the
+ * dots, giving every bench binary a machine-readable artifact.
+ *
+ * Registration is idempotent: asking for an existing name returns the
+ * existing stat (and fatals on a kind mismatch), so hot paths can look
+ * stats up by name without separate init code. Registration is
+ * mutex-protected; *updates* are not — single-threaded simulation loops
+ * update directly, and parallel sections should accumulate into local
+ * OnlineStats/counters and merge() once at the end.
+ */
+
+#ifndef USYS_COMMON_STATS_REGISTRY_H
+#define USYS_COMMON_STATS_REGISTRY_H
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace usys {
+
+class JsonWriter;
+
+/** Base class of all registered statistics. */
+class Stat
+{
+  public:
+    enum class Kind
+    {
+        Counter,
+        Scalar,
+        Histogram,
+        Formula,
+    };
+
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    /** Update the description (first registration may omit it). */
+    void setDesc(const std::string &d) { desc_ = d; }
+
+    virtual Kind kind() const = 0;
+    /** Zero the value, keeping the registration. */
+    virtual void reset() = 0;
+    /** gem5-style value rendering for the text dump. */
+    virtual std::string valueText() const = 0;
+    /** Emit this stat as one keyed field of an open JSON object. */
+    virtual void writeJsonField(JsonWriter &w,
+                                const std::string &key) const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic unsigned event count. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator+=(u64 d) { v_ += d; return *this; }
+    Counter &operator++() { ++v_; return *this; }
+    void set(u64 v) { v_ = v; }
+    u64 value() const { return v_; }
+
+    Kind kind() const override { return Kind::Counter; }
+    void reset() override { v_ = 0; }
+    std::string valueText() const override;
+    void writeJsonField(JsonWriter &w,
+                        const std::string &key) const override;
+
+  private:
+    u64 v_ = 0;
+};
+
+/** Floating-point accumulator / gauge. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void add(double d) { v_ += d; }
+    void set(double v) { v_ = v; }
+    double value() const { return v_; }
+
+    Kind kind() const override { return Kind::Scalar; }
+    void reset() override { v_ = 0.0; }
+    std::string valueText() const override;
+    void writeJsonField(JsonWriter &w,
+                        const std::string &key) const override;
+
+  private:
+    double v_ = 0.0;
+};
+
+/** Fixed linear-bucket histogram with under/overflow bins. */
+class Histogram : public Stat
+{
+  public:
+    Histogram(std::string name, std::string desc, double lo, double hi,
+              int buckets);
+
+    void add(double x, u64 count = 1);
+
+    u64 count() const { return moments_.count(); }
+    double mean() const { return moments_.mean(); }
+    double min() const { return moments_.min(); }
+    double max() const { return moments_.max(); }
+    double sum() const { return moments_.sum(); }
+    u64 bucketCount(int i) const { return buckets_[std::size_t(i)]; }
+    int numBuckets() const { return int(buckets_.size()); }
+    u64 underflow() const { return underflow_; }
+    u64 overflow() const { return overflow_; }
+    double bucketLo(int i) const;
+    double bucketHi(int i) const { return bucketLo(i + 1); }
+
+    Kind kind() const override { return Kind::Histogram; }
+    void reset() override;
+    std::string valueText() const override;
+    void writeJsonField(JsonWriter &w,
+                        const std::string &key) const override;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<u64> buckets_;
+    u64 underflow_ = 0;
+    u64 overflow_ = 0;
+    OnlineStats moments_;
+};
+
+/** Derived value, evaluated lazily at dump time (gem5 Formula). */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {
+    }
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    Kind kind() const override { return Kind::Formula; }
+    void reset() override {}
+    std::string valueText() const override;
+    void writeJsonField(JsonWriter &w,
+                        const std::string &key) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/** Hierarchical stats container. */
+class StatsRegistry
+{
+  public:
+    /**
+     * Register (or look up) a stat. Idempotent per name; a kind mismatch
+     * or a leaf/group name conflict (`a.b` vs stat `a`) is fatal — this
+     * is what catches silent stat renames.
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+    Scalar &scalar(const std::string &name, const std::string &desc = "");
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         int buckets, const std::string &desc = "");
+    Formula &formula(const std::string &name, std::function<double()> fn,
+                     const std::string &desc = "");
+
+    /** nullptr when absent. */
+    const Stat *find(const std::string &name) const;
+    std::size_t size() const;
+
+    /** Zero every stat, keeping registrations. */
+    void reset();
+    /** Drop every registration. */
+    void clear();
+
+    /** Flat gem5-style text dump, sorted by name. */
+    std::string dumpText() const;
+    void dump(std::FILE *out) const;
+
+    /** Nested JSON object following the dotted hierarchy. */
+    std::string json() const;
+    /** Emit the nested stats object into an open writer position. */
+    void writeJson(JsonWriter &w) const;
+
+    /**
+     * Write the standard artifact: {"bench", "schema_version", "stats"}.
+     */
+    bool writeJsonFile(const std::string &path,
+                       const std::string &bench) const;
+
+  private:
+    template <typename T, typename... Args>
+    T &getOrCreate(const std::string &name, const std::string &desc,
+                   Stat::Kind kind, Args &&...args);
+    void checkHierarchy(const std::string &name) const;
+    /** Name-sorted stat pointers, taken under the lock so dumps can
+     *  render (and evaluate formulas) without holding it. */
+    std::vector<const Stat *> snapshot() const;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Stat>> stats_;
+};
+
+/** Process-wide default registry used by the instrumented layers. */
+StatsRegistry &statsRegistry();
+
+/**
+ * Make an arbitrary label safe as one dotted-name component: [A-Za-z0-9_-]
+ * kept (lowercased), runs of anything else collapse to '_'.
+ */
+std::string sanitizeStatName(const std::string &label);
+
+} // namespace usys
+
+#endif // USYS_COMMON_STATS_REGISTRY_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/event_trace.h"
+#include "common/stats_registry.h"
 #include "workloads/alexnet.h"
 #include "workloads/systems.h"
 
@@ -187,6 +189,58 @@ headlineSummary()
     h.mean_onchip_energy_red_pct = 100.0 * sum_e / count;
     h.mean_onchip_power_red_pct = 100.0 * sum_p / count;
     return h;
+}
+
+void
+recordInstrumentedSweep(bool edge, int bits)
+{
+    // One entry per computing scheme, Figure 11 style: binary designs
+    // keep SRAM, unary designs crawl bytes straight from DRAM.
+    const struct
+    {
+        const char *slug;
+        Scheme scheme;
+        bool sram;
+    } entries[] = {
+        {"bp", Scheme::BinaryParallel, true},
+        {"bs", Scheme::BinarySerial, true},
+        {"ug", Scheme::UgemmHybrid, false},
+        {"ur", Scheme::USystolicRate, false},
+        {"ut", Scheme::USystolicTemporal, false},
+    };
+
+    StatsRegistry &reg = statsRegistry();
+    const auto layers = alexnetLayers();
+    for (const auto &e : entries) {
+        ScopedTimer timer(std::string("sweep ") + e.slug, "eval");
+        const KernelConfig kern{e.scheme, bits, 0};
+        const SystemConfig sys =
+            edge ? edgeSystem(kern, e.sram) : cloudSystem(kern, e.sram);
+        double runtime_s = 0.0;
+        double energy_uj = 0.0;
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            const std::string prefix =
+                std::string("sim.") + e.slug + ".layer" +
+                std::to_string(i);
+            const LayerStats stats = simulateLayer(sys, layers[i]);
+            recordLayerStats(reg, prefix, sys, stats);
+            const EnergyReport energy = layerEnergy(sys, stats);
+            reg.scalar(prefix + ".onchip_uj", "on-chip energy (uJ)")
+                .set(energy.onchip_uj());
+            reg.scalar(prefix + ".total_uj",
+                       "on-chip + DRAM energy (uJ)")
+                .set(energy.onchip_uj() + energy.dram_uj);
+            runtime_s += stats.runtime_s;
+            energy_uj += energy.onchip_uj() + energy.dram_uj;
+        }
+        const std::string base = std::string("sim.") + e.slug;
+        reg.counter(base + ".layers", "AlexNet layers simulated")
+            .set(layers.size());
+        reg.scalar(base + ".runtime_s", "whole-network runtime (s)")
+            .set(runtime_s);
+        reg.scalar(base + ".energy_uj", "whole-network energy (uJ)")
+            .set(energy_uj);
+    }
 }
 
 double

@@ -95,6 +95,15 @@ struct Headline
 
 Headline headlineSummary();
 
+/**
+ * Simulate AlexNet on all five computing schemes (BP/BS/UG/UR/UT, unary
+ * designs without SRAM) and record per-layer compute/stall/DRAM/energy
+ * statistics under `sim.<scheme>.layer<i>.*` in the global registry,
+ * plus per-scheme `runtime_s`/`energy_uj` rollups. This is the
+ * machine-readable backbone of `headline_summary --stats-json`.
+ */
+void recordInstrumentedSweep(bool edge, int bits);
+
 /** Mean MAC-slot utilization of a layer set (Section V-G). */
 double meanUtilization(bool edge, int bits,
                        const std::vector<GemmLayer> &layers);

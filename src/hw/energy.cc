@@ -1,5 +1,7 @@
 #include "hw/energy.h"
 
+#include "common/stats_registry.h"
+
 namespace usys {
 
 EnergyReport
@@ -29,6 +31,41 @@ layerEnergy(const SystemConfig &sys, const LayerStats &stats)
 
     r.dram_uj =
         double(stats.dram_total_bytes) * sys.dram.pj_per_byte * 1e-6;
+
+    // --- Observability: running energy breakdown across every report.
+    StatsRegistry &reg = statsRegistry();
+    ++reg.counter("hw.energy.reports", "layer energy reports");
+    Scalar &array_dyn =
+        reg.scalar("hw.energy.array_dyn_uj", "array dynamic, summed");
+    Scalar &array_leak =
+        reg.scalar("hw.energy.array_leak_uj", "array leakage, summed");
+    Scalar &sram_dyn =
+        reg.scalar("hw.energy.sram_dyn_uj", "SRAM dynamic, summed");
+    Scalar &sram_leak =
+        reg.scalar("hw.energy.sram_leak_uj", "SRAM leakage, summed");
+    Scalar &dram =
+        reg.scalar("hw.energy.dram_uj", "DRAM dynamic, summed");
+    array_dyn.add(r.array_dyn_uj);
+    array_leak.add(r.array_leak_uj);
+    sram_dyn.add(r.sram_dyn_uj);
+    sram_leak.add(r.sram_leak_uj);
+    dram.add(r.dram_uj);
+    // Roll-ups as dump-time formulas over the registered scalars (the
+    // references stay valid for the registry's lifetime).
+    reg.formula(
+        "hw.energy.onchip_uj",
+        [&array_dyn, &array_leak, &sram_dyn, &sram_leak] {
+            return array_dyn.value() + array_leak.value() +
+                   sram_dyn.value() + sram_leak.value();
+        },
+        "on-chip energy, summed");
+    reg.formula(
+        "hw.energy.total_uj",
+        [&array_dyn, &array_leak, &sram_dyn, &sram_leak, &dram] {
+            return array_dyn.value() + array_leak.value() +
+                   sram_dyn.value() + sram_leak.value() + dram.value();
+        },
+        "on-chip + DRAM energy, summed");
     return r;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stats_registry.h"
+
 namespace usys {
 
 namespace {
@@ -53,6 +55,7 @@ DramDevice::access(u64 addr, u32 bytes, Cycles now)
 
     bank.ready_at = done;
     bus_free_at_ = done;
+    ++accesses_;
     bytes_ += bytes;
     return done;
 }
@@ -65,6 +68,24 @@ DramDevice::energyPj() const
 }
 
 void
+DramDevice::recordStats(StatsRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.counter(prefix + ".accesses", "DRAM bursts issued") += accesses_;
+    reg.counter(prefix + ".activations", "page opens (row misses)") +=
+        activations_;
+    reg.counter(prefix + ".bytes", "bytes transferred") += bytes_;
+    reg.scalar(prefix + ".activation_energy_pj",
+               "page-activation energy")
+        .add(double(activations_) * kActivationPj);
+    reg.scalar(prefix + ".column_energy_pj", "column access + IO energy")
+        .add(double(bytes_) * kColumnPjPerByte);
+    reg.scalar(prefix + ".energy_pj",
+               "total dynamic energy (activation + column/IO)")
+        .add(energyPj());
+}
+
+void
 DramDevice::reset()
 {
     for (auto &bank : banks_) {
@@ -73,6 +94,7 @@ DramDevice::reset()
     }
     bus_free_at_ = 0;
     activations_ = 0;
+    accesses_ = 0;
     bytes_ = 0;
 }
 

@@ -14,12 +14,15 @@
 #ifndef USYS_MEM_DRAM_TIMING_H
 #define USYS_MEM_DRAM_TIMING_H
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "mem/dram.h"
 
 namespace usys {
+
+class StatsRegistry;
 
 /** Per-request timing/energy state of a DDR3 device. */
 class DramDevice
@@ -47,11 +50,21 @@ class DramDevice
     /** Total page activations (row misses). */
     u64 activations() const { return activations_; }
 
+    /** Total bursts issued. */
+    u64 accesses() const { return accesses_; }
+
     /** Total bytes transferred. */
     u64 bytesTransferred() const { return bytes_; }
 
     /** Dynamic energy in pJ (activation + column/IO). */
     double energyPj() const;
+
+    /**
+     * Accumulate this device's access/activation/energy breakdown into
+     * registry counters under `prefix` (e.g. "mem.dram").
+     */
+    void recordStats(StatsRegistry &reg,
+                     const std::string &prefix) const;
 
     /** Reset all state (new simulation). */
     void reset();
@@ -72,6 +85,7 @@ class DramDevice
     std::vector<Bank> banks_;
     Cycles bus_free_at_ = 0;
     u64 activations_ = 0;
+    u64 accesses_ = 0;
     u64 bytes_ = 0;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/event_trace.h"
+#include "common/stats_registry.h"
+
 namespace usys {
 
 LayerStats
@@ -104,7 +107,63 @@ simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
                          u64(s.tiling.m);
     s.throughput_gmacs = double(layer.macs()) / s.runtime_s * 1e-9;
     s.gemm_per_s = 1.0 / s.runtime_s;
+
+    // --- Observability ------------------------------------------------
+    StatsRegistry &reg = statsRegistry();
+    ++reg.counter("sim.roofline.layers",
+                  "layer simulations (analytic roofline)");
+    reg.counter("sim.roofline.compute_cycles",
+                "contention-free cycles, summed") += s.compute_cycles;
+    reg.counter("sim.roofline.stall_cycles",
+                "memory stall cycles, summed") +=
+        s.total_cycles - s.compute_cycles;
+    reg.counter("sim.roofline.dram_bytes", "DRAM traffic, summed") +=
+        s.dram_total_bytes;
+    reg.counter("sim.roofline.sram_bytes", "SRAM traffic, summed") +=
+        s.sram_total_bytes;
+
+    EventTrace &trace = EventTrace::global();
+    if (trace.enabled()) {
+        // One event per layer on the candidate's own track; the track
+        // cursor strings successive layers into a device timeline.
+        const int tid =
+            trace.track("sim " + sys.array.kernel.name() +
+                        (sys.sram.present ? "+sram" : ""));
+        const double dur_us = s.runtime_s * 1e6;
+        const double start_us = trace.advance(tid, dur_us);
+        trace.complete(tid, layer.name, "layer", start_us, dur_us,
+                       {{"compute_cycles", double(s.compute_cycles)},
+                        {"total_cycles", double(s.total_cycles)},
+                        {"dram_bytes", double(s.dram_total_bytes)},
+                        {"overhead_pct", s.overhead_pct}});
+    }
     return s;
+}
+
+void
+recordLayerStats(StatsRegistry &reg, const std::string &prefix,
+                 const SystemConfig &sys, const LayerStats &s)
+{
+    reg.counter(prefix + ".compute_cycles", "contention-free cycles")
+        .set(s.compute_cycles);
+    reg.counter(prefix + ".total_cycles", "cycles incl. memory stalls")
+        .set(s.total_cycles);
+    reg.counter(prefix + ".stall_cycles", "memory stall cycles")
+        .set(s.total_cycles - s.compute_cycles);
+    reg.counter(prefix + ".dram_bytes", "DRAM traffic").
+        set(s.dram_total_bytes);
+    reg.counter(prefix + ".sram_bytes", "SRAM traffic")
+        .set(s.sram_total_bytes);
+    reg.scalar(prefix + ".dram_energy_pj",
+               "DRAM dynamic access energy")
+        .set(double(s.dram_total_bytes) * sys.dram.pj_per_byte);
+    reg.scalar(prefix + ".runtime_s", "layer runtime").set(s.runtime_s);
+    reg.scalar(prefix + ".overhead_pct", "memory-contention overhead")
+        .set(s.overhead_pct);
+    reg.scalar(prefix + ".utilization", "MAC-slot utilization")
+        .set(s.tiling.utilization);
+    reg.scalar(prefix + ".throughput_gmacs", "real MACs per second, G")
+        .set(s.throughput_gmacs);
 }
 
 } // namespace usys

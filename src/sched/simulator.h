@@ -86,6 +86,16 @@ struct LayerStats
 /** Simulate one GEMM layer on the configured system. */
 LayerStats simulateLayer(const SystemConfig &sys, const GemmLayer &layer);
 
+class StatsRegistry;
+
+/**
+ * Register one layer's roofline results as named stats under `prefix`
+ * (e.g. "sim.ur.layer3"): compute/stall/total cycles, per-interface
+ * traffic, DRAM energy, runtime, utilization.
+ */
+void recordLayerStats(StatsRegistry &reg, const std::string &prefix,
+                      const SystemConfig &sys, const LayerStats &stats);
+
 } // namespace usys
 
 #endif // USYS_SCHED_SIMULATOR_H

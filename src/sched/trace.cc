@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/event_trace.h"
+#include "common/stats_registry.h"
 #include "mem/dram_timing.h"
 #include "mem/sram_timing.h"
 #include "sched/tiling.h"
@@ -71,6 +73,21 @@ traceLayer(const SystemConfig &sys, const GemmLayer &layer)
 
     TraceStats stats;
     stats.compute_cycles = tiling.compute_cycles;
+
+    // Per-fold event emission: fold timestamps are layer-local cycles,
+    // offset by the track cursor so successive layers line up
+    // back-to-back on one timeline. Cycles map to trace microseconds
+    // through the accelerator clock.
+    EventTrace &evtrace = EventTrace::global();
+    const bool tracing = evtrace.enabled();
+    const double cyc_us = 1.0 / (sys.freq_ghz * 1e3);
+    int trace_tid = -1;
+    double trace_base_us = 0.0;
+    if (tracing) {
+        trace_tid = evtrace.track("trace " + sys.array.kernel.name() +
+                                  (has_sram ? "+sram" : ""));
+        trace_base_us = evtrace.cursor(trace_tid);
+    }
 
     Cycles t = 0;
     Cycles prefetch_done = 0; // DRAM delivery of the upcoming fold
@@ -162,6 +179,17 @@ traceLayer(const SystemConfig &sys, const GemmLayer &layer)
             // With SRAM, the fill for the next fold overlaps this one;
             // without it, the fill *was* the array-side traffic.
             prefetch_done = has_sram ? fill_done : t;
+
+            if (tracing) {
+                evtrace.complete(
+                    trace_tid,
+                    "fold k" + std::to_string(fk) + " n" +
+                        std::to_string(fn),
+                    "fold", trace_base_us + double(fold_start) * cyc_us,
+                    double(t - fold_start) * cyc_us,
+                    {{"stall_cycles", double(t - compute_done)},
+                     {"fill_cycles", double(fill_done - fold_start)}});
+            }
         }
     }
 
@@ -180,7 +208,48 @@ traceLayer(const SystemConfig &sys, const GemmLayer &layer)
     stats.sram_conflict_cycles = sram_w.conflictCycles() +
                                  sram_i.conflictCycles() +
                                  sram_o.conflictCycles();
+
+    // --- Observability ------------------------------------------------
+    StatsRegistry &reg = statsRegistry();
+    ++reg.counter("sim.trace.layers",
+                  "layer simulations (trace-driven engine)");
+    reg.counter("sim.trace.compute_cycles",
+                "contention-free cycles, summed") += stats.compute_cycles;
+    reg.counter("sim.trace.stall_cycles",
+                "per-request memory stall cycles, summed") +=
+        stats.stall_cycles;
+    dram.recordStats(reg, "mem.dram");
+    reg.counter("mem.sram.accesses", "banked-SRAM accesses") +=
+        stats.sram_accesses;
+    reg.counter("mem.sram.conflict_cycles", "bank-conflict stalls") +=
+        stats.sram_conflict_cycles;
+    if (tracing)
+        evtrace.advance(trace_tid, double(stats.total_cycles) * cyc_us);
     return stats;
+}
+
+void
+recordTraceStats(StatsRegistry &reg, const std::string &prefix,
+                 const TraceStats &stats)
+{
+    reg.counter(prefix + ".compute_cycles", "contention-free cycles")
+        .set(stats.compute_cycles);
+    reg.counter(prefix + ".total_cycles", "cycles incl. memory stalls")
+        .set(stats.total_cycles);
+    reg.counter(prefix + ".stall_cycles", "memory stall cycles")
+        .set(stats.stall_cycles);
+    reg.counter(prefix + ".dram_bytes", "DRAM traffic")
+        .set(stats.dram_bytes);
+    reg.counter(prefix + ".dram_activations", "DDR3 page opens")
+        .set(stats.dram_activations);
+    reg.scalar(prefix + ".dram_energy_pj", "DRAM dynamic energy")
+        .set(stats.dram_energy_pj);
+    reg.counter(prefix + ".sram_accesses", "banked-SRAM accesses")
+        .set(stats.sram_accesses);
+    reg.counter(prefix + ".sram_conflict_cycles", "bank-conflict stalls")
+        .set(stats.sram_conflict_cycles);
+    reg.scalar(prefix + ".runtime_s", "layer runtime")
+        .set(stats.runtime_s);
 }
 
 } // namespace usys

@@ -40,6 +40,13 @@ struct TraceStats
 /** Replay one layer's schedule through the cycle-level memory devices. */
 TraceStats traceLayer(const SystemConfig &sys, const GemmLayer &layer);
 
+/**
+ * Register one layer's trace-engine results as named stats under
+ * `prefix` (e.g. "sim.trace.ur.layer3").
+ */
+void recordTraceStats(StatsRegistry &reg, const std::string &prefix,
+                      const TraceStats &stats);
+
 } // namespace usys
 
 #endif // USYS_SCHED_TRACE_H

@@ -1,0 +1,47 @@
+# ctest driver for the observability artifacts. Expects:
+#   BENCH     path to the headline_summary binary
+#   PYTHON    python3 interpreter
+#   TOOLS_DIR repo tools/ directory (schema + checker)
+#   WORK_DIR  scratch directory for the artifacts
+
+set(stats1 ${WORK_DIR}/headline.stats.json)
+set(stats2 ${WORK_DIR}/headline.stats2.json)
+set(trace ${WORK_DIR}/headline.trace.json)
+
+execute_process(
+    COMMAND ${BENCH} --stats-json ${stats1} --trace-out ${trace}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "headline_summary run 1 failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} --stats-json ${stats2}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "headline_summary run 2 failed (${rc})")
+endif()
+
+# Stats dumps must be byte-identical across runs (no wall-clock leaks).
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${stats1} ${stats2}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between runs (${stats1} vs "
+                        "${stats2}) — non-deterministic stats")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_stats_schema.py
+            --schema ${TOOLS_DIR}/stats_schema.json ${stats1}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "stats schema validation failed")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_stats_schema.py --trace ${trace}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace validation failed")
+endif()

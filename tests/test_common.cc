@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fixed_point.h"
+#include "common/logging.h"
 #include "common/matrix.h"
 #include "common/parallel_for.h"
 #include "common/prng.h"
@@ -133,6 +134,57 @@ TEST(Stats, OnlineMomentsMatchClosedForm)
     EXPECT_DOUBLE_EQ(s.min(), 1.0);
     EXPECT_DOUBLE_EQ(s.max(), 4.0);
     EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, MergeMatchesSinglePass)
+{
+    // Chan-style parallel merge must reproduce the single-pass moments
+    // exactly, the property parallel_for shards rely on.
+    Prng prng(11);
+    std::vector<double> values;
+    for (int i = 0; i < 257; ++i)
+        values.push_back(prng.gaussian() * 3.0 + 1.0);
+
+    OnlineStats whole;
+    for (double v : values)
+        whole.add(v);
+
+    OnlineStats a, b, c;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        (i < 10 ? a : i % 2 ? b : c).add(values[i]);
+    OnlineStats merged;
+    merged.merge(a); // merge into empty
+    merged.merge(b);
+    merged.merge(c);
+    merged.merge(OnlineStats{}); // merging empty is a no-op
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9);
+}
+
+TEST(Logging, LevelParsingAndGate)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("inform"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("quiet"), LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("none"), LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("bogus"), LogLevel::Inform);
+
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    // Gated paths must be safe to call at any level.
+    debug("dropped");
+    inform("dropped");
+    warn("dropped");
+    setLogLevel(saved);
 }
 
 TEST(Stats, RmseTracker)

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests of the observability stack: the stats registry (registration,
+ * deterministic dumps, histogram bucketing), the JSON writer, and the
+ * Chrome-trace event emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "common/event_trace.h"
+#include "common/json.h"
+#include "common/stats_registry.h"
+
+using namespace usys;
+
+namespace {
+
+/**
+ * Tiny recursive-descent JSON syntax checker — enough to assert that
+ * the emitted artifacts are well-formed without a JSON library.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    bool eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+    void skipWs()
+    {
+        while (pos_ < s_.size() && std::isspace(u8(s_[pos_])))
+            ++pos_;
+    }
+    static unsigned char u8(char c) { return (unsigned char)(c); }
+
+    bool value()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            if (!eat(*p))
+                return false;
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        eat('-');
+        while (std::isdigit(u8(peek())))
+            ++pos_;
+        if (eat('.'))
+            while (std::isdigit(u8(peek())))
+                ++pos_;
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(u8(peek())))
+                ++pos_;
+        }
+        return pos_ > start && std::isdigit(u8(s_[pos_ - 1]));
+    }
+
+    bool string()
+    {
+        if (!eat('"'))
+            return false;
+        while (peek() != '"') {
+            if (pos_ >= s_.size())
+                return false;
+            if (eat('\\')) {
+                if (pos_ >= s_.size())
+                    return false;
+                ++pos_;
+            } else {
+                ++pos_;
+            }
+        }
+        return eat('"');
+    }
+
+    bool object()
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        do {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool array()
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat(']');
+    }
+};
+
+} // namespace
+
+TEST(JsonWriter, EscapesAndNumbers)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(jsonNumber(3.0), "3");
+    EXPECT_EQ(jsonNumber(-17.0), "-17");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "null"); // NaN is not valid JSON
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "u\"sys");
+    w.beginArray("xs");
+    w.value(1.0);
+    w.value(true);
+    w.endArray();
+    w.endObject();
+    const std::string out = w.str();
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("\"u\\\"sys\""), std::string::npos);
+}
+
+TEST(StatsRegistry, RegistrationIsIdempotent)
+{
+    StatsRegistry reg;
+    Counter &a = reg.counter("sim.x.count", "events");
+    a += 3;
+    Counter &b = reg.counter("sim.x.count");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+
+    reg.scalar("sim.x.rate").set(2.5);
+    EXPECT_EQ(reg.size(), 2u);
+    ASSERT_NE(reg.find("sim.x.rate"), nullptr);
+    EXPECT_EQ(reg.find("sim.x.rate")->kind(), Stat::Kind::Scalar);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(StatsRegistryDeathTest, KindMismatchAndHierarchyConflictFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    StatsRegistry reg;
+    reg.counter("a.b");
+    // Same name, different kind.
+    EXPECT_EXIT(reg.scalar("a.b"), testing::ExitedWithCode(1), "kind");
+    // Leaf "a.b" forbids the group "a.b.*"...
+    EXPECT_EXIT(reg.counter("a.b.c"), testing::ExitedWithCode(1), "");
+    // ...and the group "a" forbids a leaf "a".
+    EXPECT_EXIT(reg.counter("a"), testing::ExitedWithCode(1), "");
+}
+
+TEST(StatsRegistry, ResetKeepsRegistrations)
+{
+    StatsRegistry reg;
+    reg.counter("c") += 7;
+    reg.scalar("s").set(1.5);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.scalar("s").value(), 0.0);
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(StatsRegistry, DumpsAreDeterministic)
+{
+    StatsRegistry reg;
+    // Register in non-sorted order; dumps must sort.
+    reg.counter("z.last", "z") += 1;
+    reg.scalar("a.first", "a").set(0.25);
+    reg.counter("m.mid.deep", "m") += 2;
+    reg.formula("m.mid.twice", [&reg] {
+        return 2.0 * double(reg.counter("m.mid.deep").value());
+    });
+
+    const std::string t1 = reg.dumpText();
+    const std::string t2 = reg.dumpText();
+    EXPECT_EQ(t1, t2);
+    EXPECT_LT(t1.find("a.first"), t1.find("m.mid.deep"));
+    EXPECT_LT(t1.find("m.mid.deep"), t1.find("z.last"));
+
+    const std::string j1 = reg.json();
+    const std::string j2 = reg.json();
+    EXPECT_EQ(j1, j2);
+    EXPECT_TRUE(JsonChecker(j1).valid()) << j1;
+    // The nested structure follows the dots.
+    EXPECT_NE(j1.find("\"mid\""), std::string::npos);
+    EXPECT_NE(j1.find("\"twice\": 4"), std::string::npos);
+}
+
+TEST(StatsRegistry, HistogramBucketing)
+{
+    StatsRegistry reg;
+    Histogram &h =
+        reg.histogram("h", 0.0, 10.0, 5, "test histogram"); // width 2
+    h.add(-1.0);      // underflow
+    h.add(0.0);       // bucket 0
+    h.add(1.999);     // bucket 0
+    h.add(2.0);       // bucket 1
+    h.add(9.999);     // bucket 4
+    h.add(10.0);      // hi is exclusive -> overflow
+    h.add(42.0, 2);   // overflow, weighted
+
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 4.0);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+
+    // The JSON rendering of a histogram is an object, still valid JSON.
+    const std::string j = reg.json();
+    EXPECT_TRUE(JsonChecker(j).valid()) << j;
+    EXPECT_NE(j.find("\"buckets\""), std::string::npos);
+}
+
+TEST(StatsRegistry, SanitizeStatName)
+{
+    EXPECT_EQ(sanitizeStatName("UR-8b(ebt6)"), "ur-8b_ebt6");
+    EXPECT_EQ(sanitizeStatName("Binary Parallel"), "binary_parallel");
+    EXPECT_EQ(sanitizeStatName("a..b"), "a_b");
+}
+
+TEST(StatsRegistry, WriteJsonFileRoundTrip)
+{
+    StatsRegistry reg;
+    reg.counter("sim.layer0.compute_cycles") += 123;
+    reg.scalar("sim.layer0.dram_energy_pj").set(4.5e6);
+
+    const std::string path =
+        testing::TempDir() + "/usys_stats_roundtrip.json";
+    ASSERT_TRUE(reg.writeJsonFile(path, "unit_test"));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"bench\": \"unit_test\""), std::string::npos);
+    EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"compute_cycles\": 123"), std::string::npos);
+}
+
+TEST(EventTrace, GoldenChromeTraceJson)
+{
+    EventTrace trace;
+    trace.setEnabled(true);
+    const int tid = trace.track("sim bp");
+    EXPECT_EQ(trace.cursor(tid), 0.0);
+    EXPECT_EQ(trace.advance(tid, 5.0), 0.0);
+    trace.complete(tid, "layer0", "layer", 0.0, 5.0,
+                   {{"cycles", 2000.0}});
+    trace.instant(tid, "marker", "layer", 5.0);
+    trace.counter(tid, "dram_bw", 2.5, 1.25);
+    EXPECT_EQ(trace.cursor(tid), 5.0);
+
+    const std::string json = trace.json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // Chrome Trace Event Format essentials.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    // thread_name metadata labels the track in Perfetto.
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("sim bp"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+    // args bodies are pre-encoded compactly (no space after the colon).
+    EXPECT_NE(json.find("\"cycles\":2000"), std::string::npos);
+
+    // Serialization is deterministic.
+    EXPECT_EQ(json, trace.json());
+    // Metadata is synthesized at json() time, not buffered.
+    EXPECT_EQ(trace.eventCount(), 3u); // X + i + C
+
+    trace.clear();
+    EXPECT_EQ(trace.eventCount(), 0u);
+    EXPECT_EQ(trace.cursor(trace.track("sim bp")), 0.0);
+}
+
+TEST(EventTrace, DisabledTraceIsANoOp)
+{
+    EventTrace trace;
+    const int tid = trace.track("t");
+    trace.complete(tid, "x", "c", 0.0, 1.0);
+    trace.instant(tid, "y", "c", 1.0);
+    EXPECT_EQ(trace.eventCount(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+}

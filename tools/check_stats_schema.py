@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate machine-readable bench artifacts.
+
+Two modes, stdlib only (runs from ctest):
+
+  check_stats_schema.py --schema tools/stats_schema.json stats.json
+      Assert the stats JSON written by `<bench> --stats-json` contains
+      every dotted path the checked-in schema requires, with numeric
+      leaf values.
+
+  check_stats_schema.py --trace trace.json
+      Assert the file written by `<bench> --trace-out` is a loadable
+      Chrome Trace Event Format document (the shape chrome://tracing
+      and ui.perfetto.dev accept).
+
+Exit status 0 on success; 1 with a per-path error listing otherwise.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def lookup(tree, dotted):
+    """Walk a nested dict along a dotted path; None when absent."""
+    node = tree
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def leaf_value(node):
+    """The numeric value of a stats leaf (histograms nest a dict)."""
+    if isinstance(node, dict):
+        return node.get("count")
+    return node
+
+
+def expand(templates, schemes, layers):
+    for template in templates:
+        for scheme in schemes:
+            if "<layer>" in template:
+                for layer in range(layers):
+                    yield (template.replace("<scheme>", scheme)
+                           .replace("<layer>", str(layer)))
+            else:
+                yield template.replace("<scheme>", scheme)
+
+
+def check_stats(path, schema_path):
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(path) as f:
+        doc = json.load(f)
+
+    errors = []
+    for key in ("bench", "schema_version", "stats"):
+        if key not in doc:
+            errors.append(f"missing top-level key: {key}")
+    if doc.get("schema_version") != schema["schema_version"]:
+        errors.append(
+            f"schema_version {doc.get('schema_version')} != "
+            f"{schema['schema_version']}")
+    stats = doc.get("stats", {})
+
+    required = list(expand(schema["per_layer_required"],
+                           schema["schemes"], schema["layers"]))
+    required += list(expand(schema["per_scheme_required"],
+                            schema["schemes"], schema["layers"]))
+    required += schema["global_required"]
+
+    for dotted in required:
+        node = lookup(stats, dotted)
+        if node is None:
+            errors.append(f"missing stat: {dotted}")
+            continue
+        value = leaf_value(node)
+        if not isinstance(value, numbers.Number):
+            errors.append(f"non-numeric stat: {dotted} = {value!r}")
+    return errors
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    names = set()
+    for i, event in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                errors.append(f"event {i} missing key {key!r}")
+        ph = event.get("ph")
+        if ph == "X" and "dur" not in event:
+            errors.append(f"event {i}: complete event without dur")
+        if ph != "M" and "ts" not in event:
+            errors.append(f"event {i} missing ts")
+        if ph == "M":
+            names.add(event.get("args", {}).get("name"))
+    if "thread_name" not in {e.get("name") for e in events}:
+        errors.append("no thread_name metadata (tracks unlabeled)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="stats or trace JSON file")
+    parser.add_argument("--schema", help="stats schema (stats mode)")
+    parser.add_argument("--trace", action="store_true",
+                        help="validate a Chrome trace instead of stats")
+    args = parser.parse_args()
+
+    if args.trace:
+        errors = check_trace(args.artifact)
+    else:
+        if not args.schema:
+            parser.error("--schema is required in stats mode")
+        errors = check_stats(args.artifact, args.schema)
+
+    if errors:
+        for error in errors:
+            print(f"check_stats_schema: {error}", file=sys.stderr)
+        print(f"check_stats_schema: FAILED ({len(errors)} errors) "
+              f"on {args.artifact}", file=sys.stderr)
+        return 1
+    print(f"check_stats_schema: OK ({args.artifact})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
