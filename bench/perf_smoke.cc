@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Scalar-vs-packed kernel microbenchmark with a machine-readable
+ * artifact (BENCH_kernels.json by default).
+ *
+ * Times SystolicArray::runFold (the scalar reference engine) against
+ * PackedArray::runFold on one 8-bit 16x16 weight-stationary tile per
+ * scheme, asserts the outputs agree, records per-fold latencies and
+ * speedups in the stats registry under kernel.<tag>.*, and writes the
+ * standard stats artifact (schema: tools/bench_kernels_schema.json).
+ *
+ * With --min-speedup X the binary exits nonzero if the full-period UR
+ * speedup falls short — the hook the perf ctest uses to enforce the
+ * packed engine's >= 10x floor. Timings use the median of several
+ * trials so a loaded CI host doesn't flake the check.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/event_trace.h"
+#include "common/logging.h"
+#include "common/prng.h"
+#include "common/stats_registry.h"
+#include "arch/packed_array.h"
+
+namespace usys {
+namespace {
+
+Matrix<i32>
+randomCodes(int rows, int cols, Prng &prng)
+{
+    Matrix<i32> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(255)) - 127;
+    return m;
+}
+
+/** Median per-fold wall time in microseconds over `trials` timed runs. */
+template <typename Fn>
+double
+medianUsPerFold(Fn &&fold, int reps, int trials)
+{
+    std::vector<double> samples;
+    fold(); // warm caches before timing
+    for (int t = 0; t < trials; ++t) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r)
+            fold();
+        const auto stop = std::chrono::steady_clock::now();
+        const double us =
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count();
+        samples.push_back(us / double(reps));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+struct KernelPoint
+{
+    const char *tag; // stat slug under kernel.<tag>.*
+    KernelConfig kern;
+    int scalar_reps;
+};
+
+} // namespace
+} // namespace usys
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    BenchOptions opts = parseBenchArgs(&argc, argv, "perf_smoke");
+    if (opts.stats_json.empty())
+        opts.stats_json = "BENCH_kernels.json";
+
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--min-speedup") == 0) {
+            fatalIf(i + 1 >= argc, "--min-speedup requires a value");
+            min_speedup = std::stod(argv[++i]);
+        } else {
+            fatal(std::string("perf_smoke: unknown argument: ") + argv[i]);
+        }
+    }
+
+    const int bits = 8;
+    const int dim = 16; // 16x16 tile, 16 input rows
+    ArrayConfig cfg;
+    cfg.rows = dim;
+    cfg.cols = dim;
+
+    // Full-period UR is the headline kernel (the acceptance floor);
+    // the rest give every unary scheme a perf trajectory.
+    const KernelPoint points[] = {
+        {"ur", {Scheme::USystolicRate, bits, 0}, 5},
+        {"ur_ebt6", {Scheme::USystolicRate, bits, 6}, 10},
+        {"ut", {Scheme::USystolicTemporal, bits, 0}, 5},
+        {"ug", {Scheme::UgemmHybrid, bits, 0}, 3},
+        {"bs", {Scheme::BinarySerial, bits, 0}, 20},
+    };
+
+    StatsRegistry &reg = statsRegistry();
+    reg.counter("kernel.tile.rows", "benchmark tile rows").set(u64(dim));
+    reg.counter("kernel.tile.cols", "benchmark tile cols").set(u64(dim));
+    reg.counter("kernel.tile.m", "input rows per fold").set(u64(dim));
+    reg.counter("kernel.tile.bits", "data bitwidth").set(u64(bits));
+
+    double ur_speedup = 0.0;
+    {
+        ScopedTimer timer("perf_smoke", "bench");
+        Prng prng(17);
+        const auto input = randomCodes(dim, dim, prng);
+        const auto weights = randomCodes(dim, dim, prng);
+
+        std::printf("%-10s %14s %14s %10s\n", "kernel", "scalar us/fold",
+                    "packed us/fold", "speedup");
+        for (const auto &p : points) {
+            cfg.kernel = p.kern;
+            const SystolicArray scalar(cfg);
+            const PackedArray packed(cfg);
+
+            // Equivalence sanity: a perf number for a wrong kernel is
+            // worse than no number.
+            FoldStatsDelta scratch;
+            const auto ref = scalar.runFold(input, weights, &scratch);
+            const auto got = packed.runFold(input, weights, &scratch);
+            fatalIf(!(ref.output == got.output) || ref.cycles != got.cycles,
+                    std::string("packed/scalar mismatch for ") +
+                        p.kern.name());
+
+            const double scalar_us = medianUsPerFold(
+                [&] { scalar.runFold(input, weights, &scratch); },
+                p.scalar_reps, 3);
+            const double packed_us = medianUsPerFold(
+                [&] { packed.runFold(input, weights, &scratch); },
+                p.scalar_reps * 20, 3);
+            const double speedup = scalar_us / packed_us;
+            if (std::strcmp(p.tag, "ur") == 0)
+                ur_speedup = speedup;
+
+            const std::string slug = std::string("kernel.") + p.tag;
+            reg.scalar(slug + ".scalar_us", "scalar reference us per fold")
+                .set(scalar_us);
+            reg.scalar(slug + ".packed_us", "packed engine us per fold")
+                .set(packed_us);
+            reg.scalar(slug + ".speedup_x", "scalar/packed fold-time ratio")
+                .set(speedup);
+            std::printf("%-10s %14.2f %14.2f %9.1fx\n", p.kern.name().c_str(),
+                        scalar_us, packed_us, speedup);
+        }
+    }
+
+    finalizeBench(opts);
+
+    if (min_speedup > 0.0 && ur_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "perf_smoke: UR speedup %.1fx below required %.1fx\n",
+                     ur_speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

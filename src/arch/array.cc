@@ -2,10 +2,43 @@
 
 #include <vector>
 
+#include "common/cli.h"
+#include "common/parallel_for.h"
 #include "common/stats_registry.h"
+#include "arch/packed_array.h"
 #include "arch/pe.h"
 
 namespace usys {
+
+void
+FoldStatsDelta::add(int m_rows, int rows, int cols, Cycles cycles,
+                    u32 trace_len)
+{
+    ++folds;
+    mac_slots += u64(m_rows) * rows * cols;
+    fold_cycles += cycles;
+    bitstream_cycles += u64(trace_len) * u64(m_rows) * rows;
+    m_rows_samples.push_back(double(m_rows));
+}
+
+void
+FoldStatsDelta::flush(const KernelConfig &kern) const
+{
+    StatsRegistry &reg = statsRegistry();
+    const std::string slug = "arch." + sanitizeStatName(kern.name());
+    reg.counter(slug + ".folds", "bit-level array folds executed") +=
+        folds;
+    reg.counter(slug + ".mac_slots",
+                "PE MAC slots evaluated (incl. padding)") += mac_slots;
+    reg.counter(slug + ".fold_cycles", "fold latencies, summed") +=
+        fold_cycles;
+    reg.counter(slug + ".bitstream_cycles",
+                "lane bitstream cycles generated") += bitstream_cycles;
+    auto &hist = reg.histogram("arch.fold_m_rows", 0.0, 4096.0, 16,
+                               "input rows streamed per fold");
+    for (double m : m_rows_samples)
+        hist.add(m);
+}
 
 SystolicArray::SystolicArray(const ArrayConfig &cfg)
     : cfg_(cfg)
@@ -15,7 +48,8 @@ SystolicArray::SystolicArray(const ArrayConfig &cfg)
 
 SystolicArray::FoldResult
 SystolicArray::runFold(const Matrix<i32> &input,
-                       const Matrix<i32> &weights) const
+                       const Matrix<i32> &weights,
+                       FoldStatsDelta *stats) const
 {
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
@@ -45,22 +79,12 @@ SystolicArray::runFold(const Matrix<i32> &input,
     // multiplication-cycle traces once.
     const u32 trace_len = (kern.scheme == Scheme::BinaryParallel) ? 1 : mul;
 
-    // Per-scheme bit-level work counters (one lookup per fold, not per
-    // MAC, so the accounting stays off the inner loops).
-    StatsRegistry &reg = statsRegistry();
-    const std::string slug = "arch." + sanitizeStatName(kern.name());
-    ++reg.counter(slug + ".folds", "bit-level array folds executed");
-    reg.counter(slug + ".mac_slots",
-                "PE MAC slots evaluated (incl. padding)") +=
-        u64(m_rows) * rows * cols;
-    reg.counter(slug + ".fold_cycles", "fold latencies, summed") +=
-        cycles;
-    reg.counter(slug + ".bitstream_cycles",
-                "lane bitstream cycles generated") +=
-        u64(trace_len) * u64(m_rows) * rows;
-    reg.histogram("arch.fold_m_rows", 0.0, 4096.0, 16,
-                  "input rows streamed per fold")
-        .add(double(m_rows));
+    // Per-scheme bit-level work counters (one delta per fold, not per
+    // MAC, so the accounting stays off the inner loops). Parallel
+    // callers pass their shard's delta; the serial path commits now.
+    FoldStatsDelta local;
+    FoldStatsDelta &delta = stats ? *stats : local;
+    delta.add(m_rows, rows, cols, cycles, trace_len);
     std::vector<std::vector<std::vector<LaneSignals>>> traces(rows);
     for (int r = 0; r < rows; ++r) {
         RowFrontEnd fe(kern);
@@ -108,6 +132,8 @@ SystolicArray::runFold(const Matrix<i32> &input,
         }
     }
 
+    if (!stats)
+        local.flush(kern);
     return FoldResult{std::move(out), cycles};
 }
 
@@ -127,11 +153,24 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
 
-    SystolicArray array(cfg_);
+    const bool packed = packedEngineEnabled();
+    const SystolicArray scalar_array(cfg_);
+    const PackedArray packed_array(cfg_);
+
+    const u64 n_tiles = u64((n_dim + cols - 1) / cols);
+    const u64 k_tiles = u64((k_dim + rows - 1) / rows);
+
     RunResult result;
     result.acc = Matrix<i64>(m_rows, n_dim, 0);
 
-    for (int n0 = 0; n0 < n_dim; n0 += cols) {
+    // Each column-tile shard owns a disjoint slice of the output matrix,
+    // so the shards can run concurrently; per-shard cycle counts and
+    // stats deltas are reduced serially in tile order below, keeping
+    // totals and dumps identical to the serial loop.
+    std::vector<FoldStatsDelta> deltas(n_tiles);
+    std::vector<Cycles> tile_cycles(n_tiles, 0);
+    auto run_tile = [&](u64 ti) {
+        const int n0 = int(ti) * cols;
         for (int k0 = 0; k0 < k_dim; k0 += rows) {
             // Zero-padded tiles model idle PEs on ragged edges.
             Matrix<i32> in_tile(m_rows, rows, 0);
@@ -143,14 +182,26 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)
                     w_tile(r, c) = b(k0 + r, n0 + c);
 
-            auto fold = array.runFold(in_tile, w_tile);
-            result.cycles += fold.cycles;
-            ++result.folds;
+            const auto fold =
+                packed ? packed_array.runFold(in_tile, w_tile, &deltas[ti])
+                       : scalar_array.runFold(in_tile, w_tile, &deltas[ti]);
+            tile_cycles[ti] += fold.cycles;
             for (int m = 0; m < m_rows; ++m)
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)
                     result.acc(m, n0 + c) += fold.output(m, c);
         }
+    };
+    if (packed)
+        parallelFor(0, n_tiles, run_tile);
+    else
+        for (u64 ti = 0; ti < n_tiles; ++ti)
+            run_tile(ti);
+
+    for (u64 ti = 0; ti < n_tiles; ++ti) {
+        result.cycles += tile_cycles[ti];
+        deltas[ti].flush(cfg_.kernel);
     }
+    result.folds = n_tiles * k_tiles;
     return result;
 }
 

@@ -19,6 +19,8 @@
 #ifndef USYS_ARCH_ARRAY_H
 #define USYS_ARCH_ARRAY_H
 
+#include <vector>
+
 #include "common/matrix.h"
 #include "common/types.h"
 #include "arch/scheme.h"
@@ -40,6 +42,29 @@ struct ArrayConfig
     }
 };
 
+/**
+ * Locally accumulated stats-registry deltas of runFold() calls.
+ *
+ * The global StatsRegistry is not safe for concurrent updates, so
+ * parallel tile workers pass one of these per shard to runFold() and
+ * the caller flush()es the shards serially in a fixed (index) order —
+ * keeping text/JSON dumps byte-identical to a serial run.
+ */
+struct FoldStatsDelta
+{
+    u64 folds = 0;
+    u64 mac_slots = 0;
+    u64 fold_cycles = 0;
+    u64 bitstream_cycles = 0;
+    std::vector<double> m_rows_samples; // arch.fold_m_rows histogram adds
+
+    /** Record one fold's contribution. */
+    void add(int m_rows, int rows, int cols, Cycles cycles, u32 trace_len);
+
+    /** Commit to the global registry under arch.<kernel-name>.*. */
+    void flush(const KernelConfig &kern) const;
+};
+
 /** One weight-stationary fold on an R x C array. */
 class SystolicArray
 {
@@ -57,9 +82,13 @@ class SystolicArray
      *
      * @param input M x R matrix of signed codes streamed from the left
      * @param weights R x C stationary weight tile
+     * @param stats if non-null, accumulate registry deltas here instead
+     *        of committing to the global registry (for parallel shards;
+     *        the caller must flush() in deterministic order)
      */
     FoldResult runFold(const Matrix<i32> &input,
-                       const Matrix<i32> &weights) const;
+                       const Matrix<i32> &weights,
+                       FoldStatsDelta *stats = nullptr) const;
 
     /**
      * Closed-form fold latency; runFold() is asserted against this.
@@ -96,6 +125,12 @@ class SystolicGemm
     /**
      * Compute C = A (M x K) x B (K x N), tiling K over array rows and N
      * over array columns, accumulating partial sums across K folds.
+     *
+     * With the packed engine enabled (see packedEngineEnabled()) the
+     * folds run on PackedArray and the column-tile shards — which own
+     * disjoint output columns — run under parallelFor; stats deltas are
+     * flushed serially in tile order, so results, cycle counts, and
+     * stats dumps are identical to the scalar serial path.
      */
     RunResult run(const Matrix<i32> &a, const Matrix<i32> &b) const;
 

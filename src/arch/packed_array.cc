@@ -1,0 +1,275 @@
+#include "arch/packed_array.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "arch/pe.h"
+#include "unary/bitstream.h"
+#include "unary/sobol.h"
+
+namespace usys {
+
+namespace {
+
+/** Mask selecting the low n bits of a word (n in [0, 64]). */
+inline u64
+lowMask(u32 n)
+{
+    return n >= 64 ? ~u64(0) : (u64(1) << n) - 1;
+}
+
+/**
+ * Packed threshold-comparison stream with per-word prefix popcounts:
+ * stream bit k is (values[k] < threshold), and prefixOnes(n) counts the
+ * 1s among the first n bits with one masked popcount — the SWAR form of
+ * stepping a C-W comparator + AND + counter n times.
+ */
+struct PackedStream
+{
+    std::vector<u64> words;
+    std::vector<u32> prefix; // prefix[w] = ones in words[0..w)
+
+    PackedStream(const std::vector<u32> &values, u32 threshold)
+    {
+        const u32 n = u32(values.size());
+        const u32 nwords = (n + 63) / 64;
+        words.assign(nwords, 0);
+        for (u32 k = 0; k < n; ++k)
+            words[k >> 6] |= u64(values[k] < threshold) << (k & 63);
+        prefix.resize(nwords + 1);
+        prefix[0] = 0;
+        for (u32 w = 0; w < nwords; ++w)
+            prefix[w + 1] = prefix[w] + u32(std::popcount(words[w]));
+    }
+
+    /** 1s among stream bits [0, n). */
+    u32
+    prefixOnes(u32 n) const
+    {
+        const u32 w = n >> 6;
+        const u32 rem = n & 63;
+        u32 ones = prefix[w];
+        if (rem)
+            ones += u32(std::popcount(words[w] & lowMask(rem)));
+        return ones;
+    }
+};
+
+/**
+ * Lazily built per-threshold packed streams over one shared RNG value
+ * sequence. Weights are stationary and every PE row sees the same RNG
+ * values, so a fold needs at most one stream per distinct magnitude.
+ */
+class StreamCache
+{
+  public:
+    StreamCache(std::vector<u32> values, u32 max_threshold)
+        : values_(std::move(values)), slots_(std::size_t(max_threshold) + 1)
+    {}
+
+    const PackedStream &
+    forThreshold(u32 t)
+    {
+        auto &slot = slots_[t];
+        if (!slot)
+            slot = std::make_unique<PackedStream>(values_, t);
+        return *slot;
+    }
+
+  private:
+    std::vector<u32> values_;
+    std::vector<std::unique_ptr<PackedStream>> slots_;
+};
+
+/** First `count` outputs of a Sobol dimension (the shared lane RNG). */
+std::vector<u32>
+sobolValues(int dimension, int bits, u32 count)
+{
+    SobolSequence seq(dimension, bits);
+    std::vector<u32> v(count);
+    for (u32 k = 0; k < count; ++k)
+        v[k] = seq.next();
+    return v;
+}
+
+/**
+ * 1s in the first `mul` cycles of a fresh bitstream, via packed words.
+ * A final partial word (early-termination boundary, or mul < 64) is
+ * masked so bits past the window never count.
+ */
+u32
+packedOnes(BitstreamGen &gen, u32 mul)
+{
+    u32 ones = 0;
+    for (u32 t = 0; t < mul; t += 64) {
+        u64 word = gen.nextWord();
+        if (mul - t < 64)
+            word &= lowMask(mul - t);
+        ones += u32(std::popcount(word));
+    }
+    return ones;
+}
+
+/** Largest sign-magnitude |value| in a tile (for cache sizing). */
+u32
+maxAbs(const Matrix<i32> &m)
+{
+    u32 best = 0;
+    for (int r = 0; r < m.rows(); ++r)
+        for (int c = 0; c < m.cols(); ++c)
+            best = std::max(best, toSignMag(m(r, c)).magnitude);
+    return best;
+}
+
+} // namespace
+
+PackedArray::PackedArray(const ArrayConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.check();
+}
+
+SystolicArray::FoldResult
+PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
+                     FoldStatsDelta *stats) const
+{
+    const int rows = cfg_.rows;
+    const int cols = cfg_.cols;
+    fatalIf(input.cols() != rows, "runFold: input width != array rows");
+    fatalIf(weights.rows() != rows || weights.cols() != cols,
+            "runFold: weight tile does not match array shape");
+
+    const int m_rows = input.rows();
+    const KernelConfig &kern = cfg_.kernel;
+    const u32 mul = kern.mulCycles();
+    const u32 mac = kern.macCycles();
+
+    // Identical closed-form schedule to SystolicArray: the packed model
+    // changes how fast the host evaluates a MAC interval, never how many
+    // simulated cycles it takes.
+    Cycles cycles = Cycles(rows);
+    cycles += (u64(m_rows) + rows - 1) * mac + u64(cols - 1);
+    const u32 trace_len = (kern.scheme == Scheme::BinaryParallel) ? 1 : mul;
+
+    FoldStatsDelta local;
+    FoldStatsDelta &delta = stats ? *stats : local;
+    delta.add(m_rows, rows, cols, cycles, trace_len);
+
+    const int shift =
+        (kern.scheme == Scheme::USystolicRate && kern.et_bits > 0)
+            ? kern.bits - kern.et_bits
+            : 0;
+
+    Matrix<i64> out(m_rows, cols, 0);
+
+    switch (kern.scheme) {
+      case Scheme::BinaryParallel:
+      case Scheme::BinarySerial: {
+        // Both binary kernels compute the exact product per MAC: parallel
+        // multiplies in one cycle; serial accumulates wabs << phase over
+        // the input magnitude bits (= wabs * iabs) and sign-corrects at
+        // M-end. Either way the fold is a plain integer GEMM.
+        for (int m = 0; m < m_rows; ++m) {
+            for (int c = 0; c < cols; ++c) {
+                i64 acc = 0;
+                for (int r = 0; r < rows; ++r)
+                    acc += i64(input(m, r)) * i64(weights(r, c));
+                out(m, c) = acc;
+            }
+        }
+        break;
+      }
+
+      case Scheme::USystolicRate:
+      case Scheme::USystolicTemporal: {
+        const bool rate = kern.scheme == Scheme::USystolicRate;
+        const int rng_bits = kern.bits - 1;
+        // One packed weight-comparison stream per distinct |w|, over the
+        // row-shared weight RNG values (C-BSG index k = k-th input 1).
+        StreamCache wstreams(sobolValues(kWeightRngDim, rng_bits, mul),
+                             maxAbs(weights));
+        // Input 1s delivered inside the (possibly early-terminated)
+        // window depend only on |i|, so memoize per magnitude.
+        std::vector<i64> ones_memo(std::size_t(maxAbs(input)) + 1, -1);
+        auto ones_of = [&](u32 iabs) -> u32 {
+            i64 &slot = ones_memo[iabs];
+            if (slot < 0) {
+                if (rate) {
+                    RateBsg gen(iabs, kInputRngDim, rng_bits);
+                    slot = packedOnes(gen, mul);
+                } else {
+                    TemporalBsg gen(iabs, rng_bits);
+                    slot = packedOnes(gen, mul);
+                }
+            }
+            return u32(slot);
+        };
+        for (int m = 0; m < m_rows; ++m) {
+            for (int r = 0; r < rows; ++r) {
+                const SignMag in = toSignMag(input(m, r));
+                const u32 ones = ones_of(in.magnitude);
+                for (int c = 0; c < cols; ++c) {
+                    const SignMag w = toSignMag(weights(r, c));
+                    const i64 count =
+                        wstreams.forThreshold(w.magnitude).prefixOnes(ones);
+                    out(m, c) += (in.negative != w.negative) ? -count : count;
+                }
+            }
+        }
+        break;
+      }
+
+      case Scheme::UgemmHybrid: {
+        const int rng_bits = kern.bits;
+        const i64 bias = i64(1) << (kern.bits - 1);
+        // Bipolar uMUL: input 1-cycles consume the polarity-1 weight RNG
+        // (product bit = rnum < woffset), input 0-cycles the polarity-0
+        // RNG (product bit = !(rnum_alt < woffset)).
+        const u32 max_woff = u32(maxAbs(weights) + bias);
+        StreamCache s1(sobolValues(kWeightRngDim, rng_bits, mul), max_woff);
+        StreamCache s0(sobolValues(kWeightRngDim + kWeightAltRngOffset,
+                                   rng_bits, mul),
+                       max_woff);
+        std::vector<i64> ones_memo(std::size_t(maxAbs(input) + bias) + 1,
+                                   -1);
+        auto ones_of = [&](i32 value) -> u32 {
+            i64 &slot = ones_memo[std::size_t(value + bias)];
+            if (slot < 0) {
+                BipolarRateBsg gen(value, kInputRngDim, kern.bits);
+                slot = packedOnes(gen, mul);
+            }
+            return u32(slot);
+        };
+        for (int m = 0; m < m_rows; ++m) {
+            for (int r = 0; r < rows; ++r) {
+                const u32 ones = ones_of(input(m, r));
+                const u32 zeros = mul - ones;
+                for (int c = 0; c < cols; ++c) {
+                    const u32 woff = u32(weights(r, c) + bias);
+                    const i64 count =
+                        i64(s1.forThreshold(woff).prefixOnes(ones)) +
+                        (i64(zeros) - s0.forThreshold(woff).prefixOnes(zeros));
+                    // finishMac's bipolar count -> signed product offset.
+                    out(m, c) += count - bias;
+                }
+            }
+        }
+        break;
+      }
+    }
+
+    if (shift) {
+        for (int m = 0; m < m_rows; ++m)
+            for (int c = 0; c < cols; ++c)
+                out(m, c) *= i64(1) << shift;
+    }
+
+    if (!stats)
+        local.flush(kern);
+    return SystolicArray::FoldResult{std::move(out), cycles};
+}
+
+} // namespace usys

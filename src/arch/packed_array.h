@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Word-packed (64-lane SWAR) weight-stationary array simulator.
+ *
+ * PackedArray computes exactly the same FoldResult as SystolicArray /
+ * RtlArray — same outputs, same cycle counts, same stats-registry
+ * deltas under the same stat names — but advances the unary bitstreams
+ * 64 simulated cycles per host word operation instead of one nextBit()
+ * per PE per cycle.
+ *
+ * The key identity that makes this possible: the C-BSG weight RNG
+ * advances only on input 1-bits, so the k-th random number a PE
+ * compares against WABS is wrng.at(k) regardless of *where* the input
+ * 1-bits fall in the MAC interval. A rate/temporal MAC therefore
+ * reduces to two packed-popcount queries:
+ *
+ *     ones  = popcount(input stream over the mul window)   (per row)
+ *     count = popcount(first `ones` bits of the packed
+ *             weight-comparison stream bit_k = (wrng.at(k) < wabs))
+ *
+ * with the sign handled in sign-magnitude exactly as in PeCore, and the
+ * uGEMM-H bipolar variant splitting the count across the polarity-1 and
+ * polarity-0 weight streams. Early termination truncates the input
+ * window (masked final word); the top-row shifter rescale is identical
+ * to SystolicArray. See DESIGN.md §8 for the full derivation.
+ */
+
+#ifndef USYS_ARCH_PACKED_ARRAY_H
+#define USYS_ARCH_PACKED_ARRAY_H
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "arch/array.h"
+
+namespace usys {
+
+/** Word-packed drop-in for SystolicArray::runFold. */
+class PackedArray
+{
+  public:
+    explicit PackedArray(const ArrayConfig &cfg);
+
+    /**
+     * Run one fold: output (M x C) = input (M x R) x weights (R x C),
+     * bit-exact with SystolicArray::runFold (outputs, cycles, stats).
+     *
+     * @param stats same contract as SystolicArray::runFold — non-null
+     *        accumulates the registry delta for a later ordered flush()
+     */
+    SystolicArray::FoldResult runFold(const Matrix<i32> &input,
+                                      const Matrix<i32> &weights,
+                                      FoldStatsDelta *stats = nullptr) const;
+
+    const ArrayConfig &config() const { return cfg_; }
+
+  private:
+    ArrayConfig cfg_;
+};
+
+} // namespace usys
+
+#endif // USYS_ARCH_PACKED_ARRAY_H

@@ -8,6 +8,22 @@
 
 namespace usys {
 
+namespace {
+bool g_packed_engine = true;
+} // namespace
+
+bool
+packedEngineEnabled()
+{
+    return g_packed_engine;
+}
+
+void
+setPackedEngineEnabled(bool on)
+{
+    g_packed_engine = on;
+}
+
 BenchOptions
 parseBenchArgs(int *argc, char **argv, const std::string &bench)
 {
@@ -28,6 +44,10 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
             opts.trace_out = value("--trace-out");
         } else if (std::strcmp(arg, "--stats-dump") == 0) {
             opts.stats_dump = true;
+        } else if (std::strcmp(arg, "--no-packed") == 0) {
+            setPackedEngineEnabled(false);
+        } else if (std::strcmp(arg, "--packed") == 0) {
+            setPackedEngineEnabled(true);
         } else {
             argv[out++] = argv[i];
         }

@@ -6,6 +6,8 @@
  *   --stats-json <path>   write the stats-registry dump as JSON
  *   --stats-dump          print the gem5-style text dump to stderr
  *   --trace-out <path>    write a chrome://tracing / Perfetto JSON trace
+ *   --no-packed           force the scalar reference simulation engine
+ *   --packed              re-enable the packed engine (the default)
  *
  * parseBenchArgs() strips the flags it consumed from argv (so wrapped
  * argument parsers like google-benchmark's see only their own flags) and
@@ -38,6 +40,18 @@ BenchOptions parseBenchArgs(int *argc, char **argv,
 
 /** Write the requested artifacts and report where they went. */
 void finalizeBench(const BenchOptions &opts);
+
+/**
+ * Global gate for the fast simulation path: word-packed (SWAR) unary
+ * kernels plus tile-/layer-parallel scheduling. Defaults to on; the
+ * scalar reference engine stays available behind --no-packed for
+ * cross-checking and debugging. Both engines are bit-exact, produce the
+ * same cycle counts, and commit identical stats-registry deltas.
+ */
+bool packedEngineEnabled();
+
+/** Override the packed-engine gate (tests and CLI flag handling). */
+void setPackedEngineEnabled(bool on);
 
 } // namespace usys
 

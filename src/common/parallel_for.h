@@ -2,8 +2,10 @@
  * @file
  * Minimal thread-pool-free parallel loop.
  *
- * Spawns hardware_concurrency() threads over a contiguous index range.
- * On single-core hosts this degrades gracefully to a serial loop.
+ * Spawns up to hardware_concurrency() threads over a contiguous index
+ * range, handing out fixed-size chunks ("grains") from an atomic cursor.
+ * On single-core hosts, or when the range fits in one grain, this
+ * degrades gracefully to a serial loop with no threads spawned.
  */
 
 #ifndef USYS_COMMON_PARALLEL_FOR_H
@@ -21,33 +23,51 @@ namespace usys {
 /**
  * Apply fn(i) for all i in [begin, end) across worker threads.
  *
+ * Indices are distributed in chunks of `grain` consecutive indices, so
+ * a range of n indices spawns at most ceil(n / grain) workers — tiny
+ * ranges no longer pay for hardware_concurrency() thread launches, and
+ * callers with cheap per-index bodies can amortize the atomic cursor
+ * over a whole chunk.
+ *
+ * Each index is visited exactly once; the assignment of indices to
+ * threads is nondeterministic, so fn must only touch per-index state
+ * (determinism of aggregates is the caller's job: accumulate into
+ * per-index slots and reduce serially afterwards).
+ *
  * @param begin first index
  * @param end one past the last index
  * @param fn callable taking a single index
+ * @param grain indices handed to a worker per chunk (0 is coerced to 1)
  */
 template <typename Fn>
 void
-parallelFor(u64 begin, u64 end, Fn &&fn)
+parallelFor(u64 begin, u64 end, Fn &&fn, u64 grain = 1)
 {
     const u64 n = end > begin ? end - begin : 0;
     if (n == 0)
         return;
+    if (grain == 0)
+        grain = 1;
 
+    const u64 chunks = (n + grain - 1) / grain;
     unsigned workers = std::thread::hardware_concurrency();
-    workers = std::max(1u, std::min<unsigned>(workers, unsigned(n)));
+    workers = unsigned(std::max<u64>(1, std::min<u64>(workers, chunks)));
     if (workers == 1) {
         for (u64 i = begin; i < end; ++i)
             fn(i);
         return;
     }
 
-    std::atomic<u64> next{begin};
+    std::atomic<u64> next_chunk{0};
     auto body = [&]() {
         for (;;) {
-            const u64 i = next.fetch_add(1);
-            if (i >= end)
+            const u64 c = next_chunk.fetch_add(1);
+            if (c >= chunks)
                 return;
-            fn(i);
+            const u64 lo = begin + c * grain;
+            const u64 hi = std::min(end, lo + grain);
+            for (u64 i = lo; i < hi; ++i)
+                fn(i);
         }
     };
 

@@ -118,6 +118,19 @@ class RmseTracker
         return ref_rms > 0.0 ? rmse() / ref_rms : rmse();
     }
 
+    /**
+     * Fold another tracker into this one (same per-thread sharding
+     * contract as OnlineStats::merge; the squared sums are plain
+     * additions).
+     */
+    void
+    merge(const RmseTracker &other)
+    {
+        err_.merge(other.err_);
+        sq_sum_ += other.sq_sum_;
+        ref_sq_sum_ += other.ref_sq_sum_;
+    }
+
   private:
     OnlineStats err_;
     double sq_sum_ = 0.0;

@@ -1,7 +1,10 @@
 #include "eval/error_stats.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/cli.h"
+#include "common/parallel_for.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "dnn/backend.h"
@@ -31,21 +34,43 @@ gemmErrorStats(int ebt, int k_dim, u64 seed)
         {"uGEMM-H", NumericMode::UgemmH},
         {"FXP-i-res", NumericMode::FxpIres},
     };
+    constexpr std::size_t n_modes = sizeof(modes) / sizeof(modes[0]);
+
+    // The five mode GEMMs are independent (the shared product-table
+    // caches are mutex-guarded), so they fan out under the packed
+    // engine; statistics shard by output row and merge in fixed row
+    // order, keeping results identical regardless of worker count.
+    std::vector<MatF> results(n_modes);
+    auto run_mode = [&](u64 i) {
+        results[i] = gemmWithMode(a, b, {modes[i].mode, ebt});
+    };
+    if (packedEngineEnabled())
+        parallelFor(0, n_modes, run_mode);
+    else
+        for (u64 i = 0; i < n_modes; ++i)
+            run_mode(i);
 
     std::vector<GemmErrorStats> out;
-    for (const auto &m : modes) {
-        const MatF got = gemmWithMode(a, b, {m.mode, ebt});
-        OnlineStats err, abs_err;
-        RmseTracker rmse;
+    for (std::size_t i = 0; i < n_modes; ++i) {
+        const MatF &got = results[i];
+        std::vector<OnlineStats> err_rows(m_rows), abs_rows(m_rows);
+        std::vector<RmseTracker> rmse_rows(m_rows);
         for (int r = 0; r < m_rows; ++r) {
             for (int c = 0; c < n_cols; ++c) {
                 const double e = double(got(r, c)) - ref(r, c);
-                err.add(e);
-                abs_err.add(std::abs(e));
-                rmse.add(ref(r, c), got(r, c));
+                err_rows[r].add(e);
+                abs_rows[r].add(std::abs(e));
+                rmse_rows[r].add(ref(r, c), got(r, c));
             }
         }
-        out.push_back({m.name, abs_err.mean(), err.stddev(),
+        OnlineStats err, abs_err;
+        RmseTracker rmse;
+        for (int r = 0; r < m_rows; ++r) {
+            err.merge(err_rows[r]);
+            abs_err.merge(abs_rows[r]);
+            rmse.merge(rmse_rows[r]);
+        }
+        out.push_back({modes[i].name, abs_err.mean(), err.stddev(),
                        rmse.normalizedRmse()});
     }
     return out;

@@ -55,17 +55,23 @@ bandwidthCandidates(int bits)
 std::vector<LayerRow>
 sweepAlexnet(bool edge, const std::vector<Candidate> &cands)
 {
+    // Every (layer, candidate) point is independent, so the roofline
+    // math runs as one batch (parallel under the packed engine).
+    std::vector<LayerJob> jobs;
     std::vector<LayerRow> rows;
     for (const auto &layer : alexnetLayers()) {
         for (const auto &cand : cands) {
-            const SystemConfig sys = systemFor(cand, edge);
+            jobs.push_back({systemFor(cand, edge), layer});
             LayerRow row;
             row.layer = layer.name;
             row.candidate = cand.label;
-            row.stats = simulateLayer(sys, layer);
-            row.energy = layerEnergy(sys, row.stats);
             rows.push_back(std::move(row));
         }
+    }
+    const auto stats = simulateLayerBatch(jobs);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i].stats = stats[i];
+        rows[i].energy = layerEnergy(jobs[i].sys, stats[i]);
     }
     return rows;
 }
@@ -110,13 +116,20 @@ fig14Efficiency(bool edge, int bits, const std::vector<GemmLayer> &layers)
     const auto cands = paperCandidates(bits);
     const Candidate *baselines[2] = {&cands[0], &cands[1]};
 
-    // Per-layer on-chip energy/power for every candidate.
-    std::vector<std::vector<EnergyReport>> reports(cands.size());
+    // Per-layer on-chip energy/power for every candidate, batched so
+    // the roofline math can fan out (order of records is unchanged).
+    std::vector<LayerJob> jobs;
     for (std::size_t c = 0; c < cands.size(); ++c) {
         const SystemConfig sys = systemFor(cands[c], edge);
-        for (const auto &layer : layers) {
-            reports[c].push_back(
-                layerEnergy(sys, simulateLayer(sys, layer)));
+        for (const auto &layer : layers)
+            jobs.push_back({sys, layer});
+    }
+    const auto stats = simulateLayerBatch(jobs);
+    std::vector<std::vector<EnergyReport>> reports(cands.size());
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+            const std::size_t i = c * layers.size() + l;
+            reports[c].push_back(layerEnergy(jobs[i].sys, stats[i]));
         }
     }
 
@@ -216,13 +229,19 @@ recordInstrumentedSweep(bool edge, int bits)
         const KernelConfig kern{e.scheme, bits, 0};
         const SystemConfig sys =
             edge ? edgeSystem(kern, e.sram) : cloudSystem(kern, e.sram);
+        // Batch the per-layer roofline math; named stats are recorded
+        // below in layer order, as before.
+        std::vector<LayerJob> jobs;
+        for (const auto &layer : layers)
+            jobs.push_back({sys, layer});
+        const auto layer_stats = simulateLayerBatch(jobs);
         double runtime_s = 0.0;
         double energy_uj = 0.0;
         for (std::size_t i = 0; i < layers.size(); ++i) {
             const std::string prefix =
                 std::string("sim.") + e.slug + ".layer" +
                 std::to_string(i);
-            const LayerStats stats = simulateLayer(sys, layers[i]);
+            const LayerStats &stats = layer_stats[i];
             recordLayerStats(reg, prefix, sys, stats);
             const EnergyReport energy = layerEnergy(sys, stats);
             reg.scalar(prefix + ".onchip_uj", "on-chip energy (uJ)")

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cli.h"
 #include "common/event_trace.h"
+#include "common/parallel_for.h"
 #include "common/stats_registry.h"
 
 namespace usys {
 
 LayerStats
-simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
+computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
 {
     layer.check();
     LayerStats s;
@@ -108,7 +110,16 @@ simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
     s.throughput_gmacs = double(layer.macs()) / s.runtime_s * 1e-9;
     s.gemm_per_s = 1.0 / s.runtime_s;
 
-    // --- Observability ------------------------------------------------
+    return s;
+}
+
+namespace {
+
+/** The registry/trace side effects of one simulateLayer() call. */
+void
+recordLayerObservability(const SystemConfig &sys, const GemmLayer &layer,
+                         const LayerStats &s)
+{
     StatsRegistry &reg = statsRegistry();
     ++reg.counter("sim.roofline.layers",
                   "layer simulations (analytic roofline)");
@@ -137,7 +148,35 @@ simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
                         {"dram_bytes", double(s.dram_total_bytes)},
                         {"overhead_pct", s.overhead_pct}});
     }
+}
+
+} // namespace
+
+LayerStats
+simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
+{
+    LayerStats s = computeLayerStats(sys, layer);
+    recordLayerObservability(sys, layer, s);
     return s;
+}
+
+std::vector<LayerStats>
+simulateLayerBatch(const std::vector<LayerJob> &jobs)
+{
+    std::vector<LayerStats> out(jobs.size());
+    if (packedEngineEnabled() && jobs.size() > 1) {
+        // Pure math in parallel; observability committed serially in job
+        // order so stats/trace dumps match the serial loop byte for byte.
+        parallelFor(0, jobs.size(), [&](u64 i) {
+            out[i] = computeLayerStats(jobs[i].sys, jobs[i].layer);
+        });
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            recordLayerObservability(jobs[i].sys, jobs[i].layer, out[i]);
+    } else {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            out[i] = simulateLayer(jobs[i].sys, jobs[i].layer);
+    }
+    return out;
 }
 
 void

@@ -15,6 +15,7 @@
 #define USYS_SCHED_SIMULATOR_H
 
 #include <array>
+#include <vector>
 
 #include "common/types.h"
 #include "arch/array.h"
@@ -83,8 +84,34 @@ struct LayerStats
     double gemm_per_s = 0.0;       // layer executions per second
 };
 
-/** Simulate one GEMM layer on the configured system. */
+/**
+ * Pure roofline computation behind simulateLayer(): no stats-registry or
+ * event-trace side effects, so it is safe to call from worker threads.
+ */
+LayerStats computeLayerStats(const SystemConfig &sys,
+                             const GemmLayer &layer);
+
+/** Simulate one GEMM layer on the configured system (and record it). */
 LayerStats simulateLayer(const SystemConfig &sys, const GemmLayer &layer);
+
+/** One (system, layer) point of a batched sweep. */
+struct LayerJob
+{
+    SystemConfig sys;
+    GemmLayer layer;
+};
+
+/**
+ * Simulate a batch of independent layer jobs — equivalent to calling
+ * simulateLayer() in a loop over `jobs`, including the order of every
+ * stats-registry update and trace event.
+ *
+ * With the packed engine enabled (see packedEngineEnabled()) the pure
+ * roofline math fans out over parallelFor; observability is then
+ * committed serially in job order, so dumps stay byte-identical to the
+ * serial path (and across repeated parallel runs).
+ */
+std::vector<LayerStats> simulateLayerBatch(const std::vector<LayerJob> &jobs);
 
 class StatsRegistry;
 

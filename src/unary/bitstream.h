@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 #include "unary/sobol.h"
 
@@ -26,6 +27,22 @@ class BitstreamGen
 
     /** Produce the next bit of the stream. */
     virtual bool nextBit() = 0;
+
+    /**
+     * Produce the next 64 bits of the stream packed little-endian (bit i
+     * of the word is the (i+1)-th nextBit()). The base implementation is
+     * the scalar reference path; concrete generators override it with a
+     * batched advance that is state-identical, so word and bit stepping
+     * can be mixed freely.
+     */
+    virtual u64
+    nextWord()
+    {
+        u64 word = 0;
+        for (int i = 0; i < 64; ++i)
+            word |= u64(nextBit()) << i;
+        return word;
+    }
 
     /** Restart the stream from cycle 0. */
     virtual void reset() = 0;
@@ -47,9 +64,14 @@ class RateBsg : public BitstreamGen
      */
     RateBsg(u32 src, int rng_dimension, int bits)
         : src_(src), rng_(rng_dimension, bits)
-    {}
+    {
+        fatalIf(src > (u32(1) << bits),
+                "RateBsg: src " + std::to_string(src) +
+                    " exceeds 2^bits = " + std::to_string(u32(1) << bits));
+    }
 
     bool nextBit() override { return rng_.next() < src_; }
+    u64 nextWord() override { return rng_.nextWord(src_); }
     void reset() override { rng_.reset(); }
 
   private:
@@ -80,6 +102,20 @@ class TemporalBsg : public BitstreamGen
         return bit;
     }
 
+    /** Closed-form word: 1s start at cycle period - src and never stop. */
+    u64
+    nextWord() override
+    {
+        const u64 first_one = period_ - src_;
+        const u64 start = t_;
+        t_ += 64;
+        if (start >= first_one)
+            return ~u64(0);
+        if (t_ <= first_one)
+            return 0;
+        return ~u64(0) << (first_one - start);
+    }
+
     void reset() override { t_ = 0; }
 
   private:
@@ -102,6 +138,7 @@ class BipolarRateBsg : public BitstreamGen
     {}
 
     bool nextBit() override { return rng_.next() < offset_; }
+    u64 nextWord() override { return rng_.nextWord(offset_); }
     void reset() override { rng_.reset(); }
 
   private:

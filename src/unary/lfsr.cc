@@ -47,6 +47,23 @@ Lfsr::next()
     return out;
 }
 
+u64
+Lfsr::nextWord(u32 threshold)
+{
+    const u32 mask = (u32(1) << bits_) - 1;
+    u32 state = state_;
+    u64 word = 0;
+    // Same shift-and-feedback recurrence as next(), kept in a local so
+    // the compiler can hold the register state across all 64 steps.
+    for (int i = 0; i < 64; ++i) {
+        word |= u64(state < threshold) << i;
+        const u32 feedback = u32(__builtin_parity(state & tap_mask_));
+        state = ((state << 1) | feedback) & mask;
+    }
+    state_ = state;
+    return word;
+}
+
 void
 Lfsr::reset()
 {

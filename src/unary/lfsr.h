@@ -32,6 +32,13 @@ class Lfsr
     /** Current value; advances the register. */
     u32 next();
 
+    /**
+     * Batched advance: pack the next 64 threshold comparisons into one
+     * word — bit i is (v_i < threshold) for the i-th of the next 64
+     * register values. State-identical to 64 next() calls.
+     */
+    u64 nextWord(u32 threshold);
+
     /** Restart from the construction seed. */
     void reset();
 

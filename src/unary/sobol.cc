@@ -106,6 +106,19 @@ SobolSequence::next()
     return out;
 }
 
+u64
+SobolSequence::nextWord(u32 threshold)
+{
+    // The recurrence is inherently sequential (each value XORs a
+    // direction number selected by the previous index), so the batched
+    // form keeps the scalar advance but packs the threshold comparisons
+    // — one word op per 64 stream bits for the consumer.
+    u64 word = 0;
+    for (int i = 0; i < 64; ++i)
+        word |= u64(next() < threshold) << i;
+    return word;
+}
+
 void
 SobolSequence::reset()
 {

@@ -44,6 +44,14 @@ class SobolSequence
     /** Next value in [0, 2^bits); advances the generator. */
     u32 next();
 
+    /**
+     * Batched advance: pack the next 64 threshold comparisons into one
+     * word — bit i is (v_i < threshold) for the i-th of the next 64
+     * sequence values. State-identical to 64 next() calls (including
+     * period wrap), so callers can mix word and scalar stepping.
+     */
+    u64 nextWord(u32 threshold);
+
     /** Restart the sequence from index 0. */
     void reset();
 

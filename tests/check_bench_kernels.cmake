@@ -1,0 +1,25 @@
+# ctest driver for the packed-vs-scalar kernel benchmark. Expects:
+#   BENCH     path to the perf_smoke binary
+#   PYTHON    python3 interpreter
+#   TOOLS_DIR repo tools/ directory (schema + checker)
+#   WORK_DIR  scratch directory for the artifact
+
+set(stats ${WORK_DIR}/BENCH_kernels.json)
+
+# perf_smoke itself asserts packed/scalar equivalence per kernel and
+# exits nonzero when the full-period UR speedup misses the 10x floor.
+execute_process(
+    COMMAND ${BENCH} --stats-json ${stats} --min-speedup 10
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "perf_smoke failed (${rc}) — packed/scalar "
+                        "mismatch or UR speedup below 10x")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_stats_schema.py
+            --schema ${TOOLS_DIR}/bench_kernels_schema.json ${stats}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_kernels.json schema validation failed")
+endif()

@@ -210,6 +210,53 @@ TEST(ParallelFor, VisitsEveryIndexOnce)
     parallelFor(7, 3, [&](u64) { FAIL(); });
 }
 
+TEST(ParallelFor, GrainChunkingVisitsEveryIndexOnce)
+{
+    // Coverage must be exact for grains that divide the range, leave a
+    // ragged tail, exceed the range, or are coerced from 0.
+    for (u64 grain : {u64(1), u64(7), u64(64), u64(10000), u64(0)}) {
+        std::vector<std::atomic<int>> hits(1003);
+        parallelFor(3, 3 + hits.size(),
+                    [&](u64 i) { hits[i - 3].fetch_add(1); }, grain);
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "grain " << grain;
+    }
+}
+
+TEST(ParallelFor, GrainEdgeRanges)
+{
+    // Single-element range: exactly one visit regardless of grain.
+    std::atomic<int> calls{0};
+    parallelFor(41, 42, [&](u64 i) {
+        EXPECT_EQ(i, 41u);
+        calls.fetch_add(1);
+    }, 16);
+    EXPECT_EQ(calls.load(), 1);
+    // Empty and reversed ranges stay no-ops with a grain.
+    parallelFor(5, 5, [&](u64) { FAIL(); }, 8);
+    parallelFor(9, 2, [&](u64) { FAIL(); }, 8);
+}
+
+TEST(Stats, RmseTrackerMergeMatchesSinglePass)
+{
+    Prng prng(5);
+    RmseTracker whole, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double ref = prng.gaussian();
+        const double got = ref + 0.1 * prng.gaussian();
+        whole.add(ref, got);
+        (i < 37 ? a : b).add(ref, got);
+    }
+    RmseTracker merged;
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.rmse(), whole.rmse(), 1e-12);
+    EXPECT_NEAR(merged.normalizedRmse(), whole.normalizedRmse(), 1e-12);
+    EXPECT_NEAR(merged.meanError(), whole.meanError(), 1e-12);
+    EXPECT_DOUBLE_EQ(merged.maxAbsError(), whole.maxAbsError());
+}
+
 TEST(Table, NumberFormatting)
 {
     EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Packed-engine cross-validation: the word-packed PackedArray must
+ * reproduce SystolicArray and RtlArray bit-for-bit and cycle-for-cycle
+ * on every scheme, bitwidth, early-termination point, and array shape —
+ * including the masked-final-word boundary (UR EBT windows shorter than
+ * one 64-bit word) — and commit byte-identical stats-registry deltas,
+ * so flipping the engine (or running tiles in parallel) can never
+ * change a result or a dump.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/fixed_point.h"
+#include "common/prng.h"
+#include "common/stats_registry.h"
+#include "arch/packed_array.h"
+#include "arch/rtl_array.h"
+
+namespace usys {
+namespace {
+
+Matrix<i32>
+randomMatrix(int rows, int cols, int bits, Prng &prng)
+{
+    const i32 max_mag = maxMagnitude(bits);
+    Matrix<i32> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(2 * u64(max_mag) + 1)) - max_mag;
+    return m;
+}
+
+using PackedCase = std::tuple<Scheme, int, int, int, int>;
+// scheme, bits, et_bits, rows, cols
+
+class PackedVsScalar : public ::testing::TestWithParam<PackedCase>
+{};
+
+TEST_P(PackedVsScalar, BitCycleAndStatsExactAgreement)
+{
+    const auto [scheme, bits, et_bits, rows, cols] = GetParam();
+    ArrayConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.kernel = {scheme, bits, et_bits};
+
+    // Several random tiles per configuration, including one all-zeros
+    // and one full-scale tile via the magnitude extremes of the PRNG.
+    for (u64 trial = 0; trial < 4; ++trial) {
+        Prng prng(u64(int(scheme)) * 7919 + u64(bits) * 131 +
+                  u64(et_bits) * 13 + u64(rows) * 17 + u64(cols) +
+                  trial * 104729);
+        const int m_rows = 5;
+        auto input = randomMatrix(m_rows, rows, bits, prng);
+        auto weights = randomMatrix(rows, cols, bits, prng);
+        if (trial == 1) {
+            // Magnitude extremes: zeros and +/- full scale.
+            const i32 mm = maxMagnitude(bits);
+            input(0, 0) = 0;
+            weights(0, 0) = 0;
+            input(m_rows - 1, rows - 1) = mm;
+            weights(rows - 1, cols - 1) = -mm;
+        }
+
+        statsRegistry().reset();
+        const auto scalar = SystolicArray(cfg).runFold(input, weights);
+        const std::string scalar_dump = statsRegistry().dumpText();
+
+        statsRegistry().reset();
+        const auto packed = PackedArray(cfg).runFold(input, weights);
+        const std::string packed_dump = statsRegistry().dumpText();
+
+        EXPECT_EQ(packed.output, scalar.output)
+            << cfg.kernel.name() << " trial " << trial;
+        EXPECT_EQ(packed.cycles, scalar.cycles) << cfg.kernel.name();
+        EXPECT_EQ(packed_dump, scalar_dump) << cfg.kernel.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndEbt, PackedVsScalar,
+    ::testing::Values(
+        PackedCase{Scheme::BinaryParallel, 8, 0, 4, 4},
+        PackedCase{Scheme::BinaryParallel, 16, 0, 3, 6},
+        PackedCase{Scheme::BinarySerial, 8, 0, 4, 4},
+        PackedCase{Scheme::BinarySerial, 12, 0, 5, 3},
+        PackedCase{Scheme::USystolicRate, 8, 0, 4, 4},
+        // EBT 6: a 32-cycle window — the masked-final-word boundary.
+        PackedCase{Scheme::USystolicRate, 8, 6, 4, 5},
+        PackedCase{Scheme::USystolicRate, 8, 7, 2, 7},
+        PackedCase{Scheme::USystolicRate, 8, 8, 3, 3},
+        PackedCase{Scheme::USystolicRate, 10, 6, 3, 3},
+        PackedCase{Scheme::USystolicRate, 10, 8, 3, 3},
+        // 4-bit: the whole 8-cycle period fits in a fraction of a word.
+        PackedCase{Scheme::USystolicRate, 4, 0, 4, 4},
+        PackedCase{Scheme::USystolicTemporal, 8, 0, 4, 4},
+        PackedCase{Scheme::USystolicTemporal, 7, 0, 6, 2},
+        PackedCase{Scheme::USystolicTemporal, 4, 0, 3, 5},
+        PackedCase{Scheme::UgemmHybrid, 7, 0, 4, 4},
+        PackedCase{Scheme::UgemmHybrid, 8, 0, 2, 3},
+        PackedCase{Scheme::UgemmHybrid, 4, 0, 4, 4}));
+
+TEST(PackedArray, MatchesRtlRefereeAcrossEbt)
+{
+    // Direct referee check against the two-phase clocked RtlArray for
+    // every unary scheme and EBT point the paper evaluates.
+    const PackedCase cases[] = {
+        {Scheme::USystolicRate, 8, 6, 4, 4},
+        {Scheme::USystolicRate, 8, 7, 4, 4},
+        {Scheme::USystolicRate, 8, 8, 4, 4},
+        {Scheme::USystolicTemporal, 8, 0, 4, 4},
+        {Scheme::UgemmHybrid, 8, 0, 4, 4},
+        {Scheme::BinarySerial, 8, 0, 4, 4},
+        {Scheme::BinaryParallel, 8, 0, 4, 4},
+    };
+    for (const auto &[scheme, bits, et_bits, rows, cols] : cases) {
+        ArrayConfig cfg;
+        cfg.rows = rows;
+        cfg.cols = cols;
+        cfg.kernel = {scheme, bits, et_bits};
+        Prng prng(u64(int(scheme)) * 31 + u64(et_bits));
+        const auto input = randomMatrix(6, rows, bits, prng);
+        const auto weights = randomMatrix(rows, cols, bits, prng);
+        const auto rtl = RtlArray(cfg).runFold(input, weights);
+        const auto packed = PackedArray(cfg).runFold(input, weights);
+        EXPECT_EQ(packed.output, rtl.output) << cfg.kernel.name();
+        EXPECT_EQ(packed.cycles, rtl.cycles) << cfg.kernel.name();
+    }
+}
+
+TEST(PackedArray, DegenerateShapes)
+{
+    for (auto [rows, cols] : {std::pair{1, 5}, std::pair{5, 1},
+                              std::pair{1, 1}}) {
+        ArrayConfig cfg;
+        cfg.rows = rows;
+        cfg.cols = cols;
+        cfg.kernel = {Scheme::USystolicRate, 8, 6};
+        Prng prng(u64(rows) * 100 + u64(cols));
+        const auto input = randomMatrix(4, rows, 8, prng);
+        const auto weights = randomMatrix(rows, cols, 8, prng);
+        const auto ref = SystolicArray(cfg).runFold(input, weights);
+        const auto packed = PackedArray(cfg).runFold(input, weights);
+        EXPECT_EQ(packed.output, ref.output) << rows << "x" << cols;
+        EXPECT_EQ(packed.cycles, ref.cycles) << rows << "x" << cols;
+    }
+}
+
+TEST(PackedArray, FoldStatsDeltaFlushEqualsInlineCommit)
+{
+    ArrayConfig cfg;
+    cfg.rows = 3;
+    cfg.cols = 4;
+    cfg.kernel = {Scheme::USystolicRate, 8, 6};
+    Prng prng(42);
+    const auto input = randomMatrix(5, cfg.rows, 8, prng);
+    const auto weights = randomMatrix(cfg.rows, cfg.cols, 8, prng);
+
+    statsRegistry().reset();
+    PackedArray(cfg).runFold(input, weights);
+    PackedArray(cfg).runFold(input, weights);
+    const std::string inline_dump = statsRegistry().dumpText();
+
+    statsRegistry().reset();
+    FoldStatsDelta delta;
+    PackedArray(cfg).runFold(input, weights, &delta);
+    PackedArray(cfg).runFold(input, weights, &delta);
+    delta.flush(cfg.kernel);
+    const std::string deferred_dump = statsRegistry().dumpText();
+
+    EXPECT_EQ(deferred_dump, inline_dump);
+}
+
+class PackedFlagGuard
+{
+  public:
+    PackedFlagGuard() : saved_(packedEngineEnabled()) {}
+    ~PackedFlagGuard() { setPackedEngineEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+TEST(SystolicGemm, PackedAndScalarEnginesAgreeIncludingStats)
+{
+    PackedFlagGuard guard;
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    // Ragged shapes: K and N not multiples of the array dims, so padded
+    // edge tiles are exercised in both engines.
+    for (const KernelConfig kern :
+         {KernelConfig{Scheme::USystolicRate, 8, 6},
+          KernelConfig{Scheme::USystolicTemporal, 8, 0},
+          KernelConfig{Scheme::UgemmHybrid, 7, 0},
+          KernelConfig{Scheme::BinarySerial, 8, 0}}) {
+        cfg.kernel = kern;
+        Prng prng(u64(int(kern.scheme)) + 1000);
+        const auto a = randomMatrix(6, 10, kern.bits, prng);
+        const auto b = randomMatrix(10, 9, kern.bits, prng);
+
+        setPackedEngineEnabled(false);
+        statsRegistry().reset();
+        const auto scalar = SystolicGemm(cfg).run(a, b);
+        const std::string scalar_dump = statsRegistry().dumpText();
+
+        setPackedEngineEnabled(true);
+        statsRegistry().reset();
+        const auto packed = SystolicGemm(cfg).run(a, b);
+        const std::string packed_dump = statsRegistry().dumpText();
+
+        EXPECT_EQ(packed.acc, scalar.acc) << kern.name();
+        EXPECT_EQ(packed.cycles, scalar.cycles) << kern.name();
+        EXPECT_EQ(packed.folds, scalar.folds) << kern.name();
+        EXPECT_EQ(packed_dump, scalar_dump) << kern.name();
+    }
+}
+
+TEST(SystolicGemm, ParallelRunsAreDeterministic)
+{
+    PackedFlagGuard guard;
+    setPackedEngineEnabled(true);
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.kernel = {Scheme::USystolicRate, 8, 7};
+    Prng prng(7);
+    const auto a = randomMatrix(5, 12, 8, prng);
+    const auto b = randomMatrix(12, 20, 8, prng); // 5 column tiles
+
+    statsRegistry().reset();
+    const auto first = SystolicGemm(cfg).run(a, b);
+    const std::string first_dump = statsRegistry().dumpText();
+
+    statsRegistry().reset();
+    const auto second = SystolicGemm(cfg).run(a, b);
+    const std::string second_dump = statsRegistry().dumpText();
+
+    EXPECT_EQ(first.acc, second.acc);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first_dump, second_dump);
+}
+
+} // namespace
+} // namespace usys

@@ -45,6 +45,49 @@ TEST(Sobol, ResetRestartsStream)
         EXPECT_EQ(seq.next(), first[i]);
 }
 
+/**
+ * The batched word API must be state-identical to 64 scalar next()
+ * calls — same comparison bits, same generator state afterwards — for
+ * every embedded dimension, across a full period and past the wrap.
+ */
+TEST(Sobol, NextWordMatchesScalarOverFullPeriod)
+{
+    const int bits = 8;
+    const u64 period = u64(1) << bits;
+    for (int dim = 0; dim < sobolMaxDimensions(); ++dim) {
+        SobolSequence word_seq(dim, bits);
+        SobolSequence bit_seq(dim, bits);
+        // Thresholds cover empty, sparse, half, dense, and full streams.
+        const u32 thresholds[] = {0, 1, 77, 128, 255, 256};
+        const u32 thr = thresholds[dim % 6];
+        // One full period plus one extra word to cross the wrap.
+        for (u64 w = 0; w < period / 64 + 1; ++w) {
+            const u64 word = word_seq.nextWord(thr);
+            for (int i = 0; i < 64; ++i) {
+                EXPECT_EQ((word >> i) & 1, u64(bit_seq.next() < thr))
+                    << "dim " << dim << " thr " << thr << " word " << w
+                    << " bit " << i;
+            }
+        }
+        // Generators stay interchangeable after mixing word/bit steps.
+        EXPECT_EQ(word_seq.next(), bit_seq.next()) << "dim " << dim;
+    }
+}
+
+TEST(Sobol, NextWordHandlesSubWordPeriods)
+{
+    // 4-bit sequence: period 16, so one word spans four full periods,
+    // exercising the wrap inside a single nextWord() call.
+    for (int dim = 0; dim < sobolMaxDimensions(); ++dim) {
+        SobolSequence word_seq(dim, 4);
+        SobolSequence bit_seq(dim, 4);
+        const u64 word = word_seq.nextWord(9);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ((word >> i) & 1, u64(bit_seq.next() < 9u))
+                << "dim " << dim << " bit " << i;
+    }
+}
+
 class SobolPermutation : public ::testing::TestWithParam<std::tuple<int, int>>
 {};
 

@@ -45,6 +45,67 @@ TEST(Bitstream, TemporalTailPlacement)
         EXPECT_EQ(stream[i], 1);
 }
 
+TEST(Bitstream, RateAllOnesAtFullScale)
+{
+    // src == 2^bits is the documented upper bound: every RNG value
+    // compares below it, so the stream is all 1s.
+    const int bits = 6;
+    const u64 period = u64(1) << bits;
+    RateBsg gen(u32(period), 0, bits);
+    auto stream = generateBits(gen, period);
+    EXPECT_EQ(onesCount(stream), period);
+    gen.reset();
+    EXPECT_EQ(gen.nextWord(), ~u64(0));
+}
+
+TEST(Bitstream, RateSrcAboveFullScaleIsFatal)
+{
+    // fatal() exits with status 1 (user error, not an abort).
+    EXPECT_EXIT(RateBsg(65, 0, 6), ::testing::ExitedWithCode(1),
+                "exceeds");
+}
+
+TEST(Bitstream, NextWordMatchesNextBitForAllGenerators)
+{
+    const int bits = 7;
+    // Rate, temporal (incl. the all-ones tail past the period), and
+    // bipolar generators must produce identical packed words to the
+    // scalar reference path.
+    for (u32 src : {0u, 1u, 55u, 128u}) {
+        RateBsg word_gen(src, 1, bits);
+        RateBsg bit_gen(src, 1, bits);
+        for (int w = 0; w < 4; ++w) {
+            u64 expect = 0;
+            for (int i = 0; i < 64; ++i)
+                expect |= u64(bit_gen.nextBit()) << i;
+            EXPECT_EQ(word_gen.nextWord(), expect)
+                << "rate src " << src << " word " << w;
+        }
+    }
+    for (u32 src : {0u, 3u, 64u, 128u}) {
+        TemporalBsg word_gen(src, bits);
+        TemporalBsg bit_gen(src, bits);
+        for (int w = 0; w < 4; ++w) {
+            u64 expect = 0;
+            for (int i = 0; i < 64; ++i)
+                expect |= u64(bit_gen.nextBit()) << i;
+            EXPECT_EQ(word_gen.nextWord(), expect)
+                << "temporal src " << src << " word " << w;
+        }
+    }
+    for (i32 src : {-64, -5, 0, 17, 63}) {
+        BipolarRateBsg word_gen(src, 1, bits);
+        BipolarRateBsg bit_gen(src, 1, bits);
+        for (int w = 0; w < 4; ++w) {
+            u64 expect = 0;
+            for (int i = 0; i < 64; ++i)
+                expect |= u64(bit_gen.nextBit()) << i;
+            EXPECT_EQ(word_gen.nextWord(), expect)
+                << "bipolar src " << src << " word " << w;
+        }
+    }
+}
+
 TEST(Bitstream, BipolarFullPeriodValue)
 {
     const int bits = 6;
@@ -78,6 +139,29 @@ TEST(Lfsr, ZeroSeedCoerced)
 {
     Lfsr lfsr(4, 0);
     EXPECT_EQ(lfsr.next(), 1u);
+}
+
+/**
+ * Batched word advance vs 64 scalar next() calls, over a full period
+ * (plus the wrap into the next one), for every supported polynomial.
+ */
+TEST(Lfsr, NextWordMatchesScalarOverFullPeriod)
+{
+    for (int bits = 3; bits <= 16; ++bits) {
+        Lfsr word_gen(bits);
+        Lfsr bit_gen(bits);
+        const u32 thr = (u32(1) << bits) / 2 + 1;
+        const u64 words = word_gen.period() / 64 + 1;
+        for (u64 w = 0; w < words; ++w) {
+            const u64 word = word_gen.nextWord(thr);
+            for (int i = 0; i < 64; ++i) {
+                EXPECT_EQ((word >> i) & 1, u64(bit_gen.next() < thr))
+                    << "bits " << bits << " word " << w << " bit " << i;
+            }
+        }
+        // States stay in lockstep after mixing word and scalar steps.
+        EXPECT_EQ(word_gen.next(), bit_gen.next()) << "bits " << bits;
+    }
 }
 
 TEST(Scc, IdenticalStreamsFullyCorrelated)

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "common/logging.h"
 #include "common/table.h"
 #include "eval/network.h"
@@ -41,6 +42,7 @@ usage()
         "  --edge | --cloud          system preset (default edge)\n"
         "  --sram | --no-sram        force SRAM presence\n"
         "  --trace                   use the trace-driven memory model\n"
+        "  --no-packed               force the scalar simulation engine\n"
         "  --csv                     machine-readable output\n"
         "  --network                 chained inference (inter-layer "
         "traffic accounted)\n"
@@ -103,6 +105,8 @@ main(int argc, char **argv)
             sram_override = 0;
         else if (arg == "--trace")
             trace = true;
+        else if (arg == "--no-packed")
+            setPackedEngineEnabled(false);
         else if (arg == "--csv")
             csv = true;
         else if (arg == "--network")
