@@ -1,0 +1,282 @@
+/**
+ * @file
+ * End-to-end sweep benchmark: the executor acceptance gate.
+ *
+ * Runs the paper's 8-bit candidate x AlexNet-layer grid (the Figure
+ * 10-14 shape) where every job does real work — the roofline math of
+ * computeLayerStats plus a packed-engine SystolicGemm on a clamped
+ * GEMM slice of the layer — under three threading regimes:
+ *
+ *   serial    one thread, outer grid loop serial (reference)
+ *   forkjoin  the pre-executor regime: outer grid serial, inner tile
+ *             parallelFor spawning+joining threads per call
+ *   executor  outer grid on the persistent work-stealing pool, inner
+ *             tile parallelism folded inline by the nesting rule
+ *
+ * Per-job checksums (GEMM accumulations + cycle counts) are asserted
+ * identical across the three regimes, and the stats-registry deltas are
+ * flushed exactly once, serially in job order — so `--stats-json`
+ * output is byte-identical at any thread count while the wall-clock
+ * numbers land only in the separate BENCH_e2e.json artifact (schema:
+ * tools/bench_e2e_schema.json).
+ *
+ * With --min-speedup X the binary exits nonzero if the executor regime
+ * is not X times faster than the fork-join regime; the check is skipped
+ * on single-thread hosts where no speedup is possible.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/executor.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/prng.h"
+#include "common/stats_registry.h"
+#include "arch/array.h"
+#include "eval/experiments.h"
+#include "workloads/alexnet.h"
+#include "workloads/systems.h"
+
+namespace usys {
+namespace {
+
+/** One grid point: a candidate's edge system on one AlexNet layer. */
+struct Job
+{
+    SystemConfig sys;
+    GemmLayer layer;
+    Matrix<i32> a, b; // clamped GEMM operands for the bit-level part
+};
+
+/** Deterministic per-job results, compared across threading regimes. */
+struct JobOutcome
+{
+    i64 checksum = 0;
+    FoldStatsDelta delta;
+};
+
+Matrix<i32>
+randomCodes(int rows, int cols, Prng &prng)
+{
+    Matrix<i32> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(255)) - 127;
+    return m;
+}
+
+std::vector<Job>
+buildJobs(int bits)
+{
+    // The full layer GEMMs would take minutes at bit level, so each job
+    // runs a clamped slice — large enough (several folds per job) that
+    // per-call thread-spawn overhead and pool hand-off both show up.
+    const int gemm_m = 16;
+    const int gemm_n = 56; // 4 column tiles on the 12x14 edge array
+
+    std::vector<Job> jobs;
+    u32 seed = 1;
+    for (const auto &cand : paperCandidates(bits)) {
+        for (const auto &layer : alexnetLayers()) {
+            Job job;
+            job.sys = edgeSystem(cand.kern, cand.with_sram);
+            job.layer = layer;
+            const int gemm_k = int(std::min<i64>(96, layer.k()));
+            Prng prng(seed++);
+            job.a = randomCodes(gemm_m, gemm_k, prng);
+            job.b = randomCodes(gemm_k, gemm_n, prng);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+void
+runJob(const Job &job, JobOutcome &out)
+{
+    out.delta = FoldStatsDelta{};
+    const LayerStats roofline = computeLayerStats(job.sys, job.layer);
+    const SystolicGemm gemm(job.sys.array);
+    const auto res = gemm.run(job.a, job.b, &out.delta);
+    i64 sum = 0;
+    for (i64 v : res.acc.data())
+        sum += v;
+    // Fold the roofline cycle totals in so both halves of the job are
+    // covered by the cross-regime equality assertion.
+    out.checksum = sum + i64(res.cycles) * 31 +
+                   i64(roofline.compute_cycles) * 7;
+}
+
+/** One full sweep over the grid; outer parallelism is the regime knob. */
+void
+runSweep(const std::vector<Job> &jobs, std::vector<JobOutcome> &outcomes,
+         bool outer_parallel)
+{
+    if (outer_parallel) {
+        parallelFor(0, jobs.size(),
+                    [&](u64 j) { runJob(jobs[j], outcomes[j]); });
+    } else {
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            runJob(jobs[j], outcomes[j]);
+    }
+}
+
+/** Median wall time in milliseconds of `reps` sweep runs. */
+template <typename Fn>
+double
+medianSweepMs(Fn &&sweep, int reps)
+{
+    std::vector<double> samples;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        sweep();
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+void
+checkOutcomes(const std::vector<JobOutcome> &ref,
+              const std::vector<JobOutcome> &got, const char *regime)
+{
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+        fatalIf(ref[j].checksum != got[j].checksum,
+                std::string("e2e_sweep: ") + regime +
+                    " regime diverged from serial at job " +
+                    std::to_string(j));
+    }
+}
+
+} // namespace
+} // namespace usys
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    BenchOptions opts = parseBenchArgs(&argc, argv, "e2e_sweep");
+
+    int reps = 3;
+    double min_speedup = 0.0;
+    std::string out_path = "BENCH_e2e.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--reps") == 0) {
+            fatalIf(i + 1 >= argc, "--reps requires a value");
+            reps = std::stoi(argv[++i]);
+            fatalIf(reps < 1, "--reps: need at least 1");
+        } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
+            fatalIf(i + 1 >= argc, "--min-speedup requires a value");
+            min_speedup = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            fatalIf(i + 1 >= argc, "--out requires a path");
+            out_path = argv[++i];
+        } else {
+            fatal(std::string("e2e_sweep: unknown argument: ") + argv[i]);
+        }
+    }
+
+    const int bits = 8;
+    const auto jobs = buildJobs(bits);
+    const unsigned threads = Executor::global().threads();
+
+    std::vector<JobOutcome> serial_out(jobs.size());
+    std::vector<JobOutcome> regime_out(jobs.size());
+
+    // --- serial reference -------------------------------------------------
+    Executor::global().setThreads(1);
+    runSweep(jobs, serial_out, false); // warm the scratch arenas
+    const double serial_ms =
+        medianSweepMs([&] { runSweep(jobs, serial_out, false); }, reps);
+
+    // --- pre-executor fork-join regime ------------------------------------
+    Executor::global().setThreads(threads);
+    setForkJoinBaseline(true);
+    runSweep(jobs, regime_out, false);
+    const double forkjoin_ms =
+        medianSweepMs([&] { runSweep(jobs, regime_out, false); }, reps);
+    setForkJoinBaseline(false);
+    checkOutcomes(serial_out, regime_out, "forkjoin");
+
+    // --- persistent executor, outer grid parallel -------------------------
+    runSweep(jobs, regime_out, true);
+    const double executor_ms =
+        medianSweepMs([&] { runSweep(jobs, regime_out, true); }, reps);
+    checkOutcomes(serial_out, regime_out, "executor");
+
+    // Registry deltas from the (many) timed sweeps are intentionally
+    // discarded; commit exactly one sweep's worth, serially in job
+    // order, so the stats artifact is byte-identical at any thread
+    // count (and independent of reps).
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        serial_out[j].delta.flush(jobs[j].sys.array.kernel);
+
+    const double vs_serial = serial_ms / executor_ms;
+    const double vs_forkjoin = forkjoin_ms / executor_ms;
+    i64 checksum = 0;
+    for (const auto &out : serial_out)
+        checksum += out.checksum;
+
+    std::printf("e2e sweep: %zu jobs (%d-bit candidates x AlexNet), "
+                "%u threads, %d reps\n",
+                jobs.size(), bits, threads, reps);
+    std::printf("%-10s %10s\n", "regime", "ms/sweep");
+    std::printf("%-10s %10.2f\n", "serial", serial_ms);
+    std::printf("%-10s %10.2f\n", "forkjoin", forkjoin_ms);
+    std::printf("%-10s %10.2f\n", "executor", executor_ms);
+    std::printf("speedup: %.2fx vs serial, %.2fx vs forkjoin\n",
+                vs_serial, vs_forkjoin);
+
+    // Wall-clock numbers go only into their own artifact, never into
+    // the stats registry (whose dump must stay run-to-run identical).
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "e2e_sweep")
+        .field("schema_version", 1)
+        .beginObject("stats")
+        .beginObject("e2e")
+        .field("jobs", u64(jobs.size()))
+        .field("reps", reps)
+        .field("threads", u64(threads))
+        .field("serial_ms", serial_ms)
+        .field("forkjoin_ms", forkjoin_ms)
+        .field("executor_ms", executor_ms)
+        .field("speedup_vs_serial_x", vs_serial)
+        .field("speedup_vs_forkjoin_x", vs_forkjoin)
+        .field("checksum", checksum)
+        .field("steals", Executor::global().stealCount())
+        .endObject()
+        .endObject()
+        .endObject();
+    fatalIf(!writeTextFile(out_path, w.str()),
+            "cannot write bench artifact: " + out_path);
+    inform("wrote bench artifact: " + out_path);
+
+    finalizeBench(opts);
+
+    // The floor is only meaningful where parallel speedup is physically
+    // possible: skip on single-thread configurations and on hosts whose
+    // hardware cannot run two threads at once.
+    const bool can_speed_up =
+        threads > 1 && std::thread::hardware_concurrency() > 1;
+    if (min_speedup > 0.0 && can_speed_up && vs_forkjoin < min_speedup) {
+        std::fprintf(stderr,
+                     "e2e_sweep: executor speedup %.2fx vs forkjoin "
+                     "below required %.2fx\n",
+                     vs_forkjoin, min_speedup);
+        return 1;
+    }
+    if (min_speedup > 0.0 && !can_speed_up)
+        inform("e2e_sweep: --min-speedup skipped (single-thread host)");
+    return 0;
+}

@@ -1,9 +1,10 @@
 #include "arch/array.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/cli.h"
-#include "common/parallel_for.h"
+#include "common/executor.h"
 #include "common/stats_registry.h"
 #include "arch/packed_array.h"
 #include "arch/pe.h"
@@ -19,6 +20,18 @@ FoldStatsDelta::add(int m_rows, int rows, int cols, Cycles cycles,
     fold_cycles += cycles;
     bitstream_cycles += u64(trace_len) * u64(m_rows) * rows;
     m_rows_samples.push_back(double(m_rows));
+}
+
+void
+FoldStatsDelta::merge(const FoldStatsDelta &other)
+{
+    folds += other.folds;
+    mac_slots += other.mac_slots;
+    fold_cycles += other.fold_cycles;
+    bitstream_cycles += other.bitstream_cycles;
+    m_rows_samples.insert(m_rows_samples.end(),
+                          other.m_rows_samples.begin(),
+                          other.m_rows_samples.end());
 }
 
 void
@@ -144,7 +157,8 @@ SystolicGemm::SystolicGemm(const ArrayConfig &cfg)
 }
 
 SystolicGemm::RunResult
-SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
+SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
+                  FoldStatsDelta *stats) const
 {
     fatalIf(a.cols() != b.rows(), "SystolicGemm: shape mismatch");
     const int m_rows = a.rows();
@@ -171,13 +185,17 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
     std::vector<Cycles> tile_cycles(n_tiles, 0);
     auto run_tile = [&](u64 ti) {
         const int n0 = int(ti) * cols;
+        // Staging tiles are hoisted out of the K loop and re-zeroed in
+        // place, so a shard allocates twice per GEMM instead of twice
+        // per fold. Zero padding models idle PEs on ragged edges.
+        Matrix<i32> in_tile(m_rows, rows, 0);
+        Matrix<i32> w_tile(rows, cols, 0);
         for (int k0 = 0; k0 < k_dim; k0 += rows) {
-            // Zero-padded tiles model idle PEs on ragged edges.
-            Matrix<i32> in_tile(m_rows, rows, 0);
+            std::fill(in_tile.data().begin(), in_tile.data().end(), 0);
+            std::fill(w_tile.data().begin(), w_tile.data().end(), 0);
             for (int m = 0; m < m_rows; ++m)
                 for (int r = 0; r < rows && k0 + r < k_dim; ++r)
                     in_tile(m, r) = a(m, k0 + r);
-            Matrix<i32> w_tile(rows, cols, 0);
             for (int r = 0; r < rows && k0 + r < k_dim; ++r)
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)
                     w_tile(r, c) = b(k0 + r, n0 + c);
@@ -199,7 +217,10 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b) const
 
     for (u64 ti = 0; ti < n_tiles; ++ti) {
         result.cycles += tile_cycles[ti];
-        deltas[ti].flush(cfg_.kernel);
+        if (stats)
+            stats->merge(deltas[ti]);
+        else
+            deltas[ti].flush(cfg_.kernel);
     }
     result.folds = n_tiles * k_tiles;
     return result;

@@ -61,6 +61,11 @@ struct FoldStatsDelta
     /** Record one fold's contribution. */
     void add(int m_rows, int rows, int cols, Cycles cycles, u32 trace_len);
 
+    /** Fold another shard's deltas into this one (append in call
+     *  order, so merging shards by index keeps histogram adds in the
+     *  same sequence a serial run would produce). */
+    void merge(const FoldStatsDelta &other);
+
     /** Commit to the global registry under arch.<kernel-name>.*. */
     void flush(const KernelConfig &kern) const;
 };
@@ -131,8 +136,16 @@ class SystolicGemm
      * disjoint output columns — run under parallelFor; stats deltas are
      * flushed serially in tile order, so results, cycle counts, and
      * stats dumps are identical to the scalar serial path.
+     *
+     * @param stats if non-null, merge this GEMM's registry deltas there
+     *        (in tile order) instead of flushing them to the global
+     *        registry — the flush-free form callers running many GEMMs
+     *        in an outer parallel region need, since the registry is
+     *        not safe for concurrent updates. The caller must flush()
+     *        the merged delta serially.
      */
-    RunResult run(const Matrix<i32> &a, const Matrix<i32> &b) const;
+    RunResult run(const Matrix<i32> &a, const Matrix<i32> &b,
+                  FoldStatsDelta *stats = nullptr) const;
 
   private:
     ArrayConfig cfg_;

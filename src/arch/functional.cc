@@ -3,39 +3,87 @@
 #include <map>
 #include <mutex>
 
+#include "common/executor.h"
 #include "common/fixed_point.h"
 #include "arch/pe.h"
 
 namespace usys {
 
+namespace {
+
+// Bitwidths the per-thread memos below cover (a signed bitwidth beyond
+// this falls back to the locked cache lookup, which stays correct).
+constexpr int kModelMemoSlots = 32;
+
+} // namespace
+
 const UnaryProductModel &
 unaryModelFor(int signed_bits)
 {
+    // Per-thread memo in front of the shared cache: executor workers are
+    // persistent, so after one warm lookup per bitwidth a sweep never
+    // touches the mutex again. The cached models are immutable prefix
+    // tables, so sharing one instance across threads is safe.
+    thread_local const UnaryProductModel *memo[kModelMemoSlots] = {};
+    const bool memoable = signed_bits >= 0 && signed_bits < kModelMemoSlots;
+    if (memoable && memo[signed_bits])
+        return *memo[signed_bits];
+
     static std::mutex mutex;
     static std::map<int, std::unique_ptr<UnaryProductModel>> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto &slot = cache[signed_bits];
-    if (!slot) {
-        slot = std::make_unique<UnaryProductModel>(
-            signed_bits, kWeightRngDim, kInputRngDim);
+    const UnaryProductModel *model = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &slot = cache[signed_bits];
+        if (!slot) {
+            slot = std::make_unique<UnaryProductModel>(
+                signed_bits, kWeightRngDim, kInputRngDim);
+        }
+        model = slot.get();
     }
-    return *slot;
+    if (memoable)
+        memo[signed_bits] = model;
+    return *model;
 }
 
 const BipolarProductModel &
 bipolarModelFor(int signed_bits)
 {
+    thread_local const BipolarProductModel *memo[kModelMemoSlots] = {};
+    const bool memoable = signed_bits >= 0 && signed_bits < kModelMemoSlots;
+    if (memoable && memo[signed_bits])
+        return *memo[signed_bits];
+
     static std::mutex mutex;
     static std::map<int, std::unique_ptr<BipolarProductModel>> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto &slot = cache[signed_bits];
-    if (!slot) {
-        slot = std::make_unique<BipolarProductModel>(
-            signed_bits, kWeightRngDim,
-            kWeightRngDim + kWeightAltRngOffset);
+    const BipolarProductModel *model = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &slot = cache[signed_bits];
+        if (!slot) {
+            slot = std::make_unique<BipolarProductModel>(
+                signed_bits, kWeightRngDim,
+                kWeightRngDim + kWeightAltRngOffset);
+        }
+        model = slot.get();
     }
-    return *slot;
+    if (memoable)
+        memo[signed_bits] = model;
+    return *model;
 }
+
+namespace {
+
+/** Chunk size for row-parallel GEMMs: keep ~4k MACs per chunk so small
+ *  problems stay serial and large ones amortize the hand-off. */
+u64
+rowGrain(int k_dim, int n_dim)
+{
+    const u64 macs_per_row = u64(std::max(1, k_dim)) * std::max(1, n_dim);
+    return std::max<u64>(1, 4096 / macs_per_row);
+}
+
+} // namespace
 
 GemmExecutor::GemmExecutor(const KernelConfig &cfg)
     : cfg_(cfg)
@@ -98,10 +146,18 @@ GemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b) const
     }
 
     if (cfg_.scheme == Scheme::UgemmHybrid) {
-        for (int m = 0; m < m_rows; ++m)
-            for (int k = 0; k < k_dim; ++k)
-                for (int n = 0; n < n_dim; ++n)
-                    out(m, n) += bipolar_->scaledProduct(a(m, k), b(k, n));
+        // Rows are independent (each writes only its own output row), so
+        // the batch loop of dnn inference parallelizes here for free.
+        parallelFor(
+            0, u64(m_rows),
+            [&](u64 mi) {
+                const int m = int(mi);
+                for (int k = 0; k < k_dim; ++k)
+                    for (int n = 0; n < n_dim; ++n)
+                        out(m, n) +=
+                            bipolar_->scaledProduct(a(m, k), b(k, n));
+            },
+            rowGrain(k_dim, n_dim));
         return out;
     }
 
@@ -112,23 +168,30 @@ GemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b) const
     const u32 period = unary_->period();
     const int shift =
         (rate && cfg_.et_bits > 0) ? cfg_.bits - cfg_.et_bits : 0;
-    for (int m = 0; m < m_rows; ++m) {
-        for (int k = 0; k < k_dim; ++k) {
-            const SignMag sa = toSignMag(a(m, k));
-            // The delivered ones-count depends only on the input value
-            // and the termination point, so hoist it out of the n loop.
-            const u32 ones = (rate && cycles < period)
-                                 ? unary_->rateOnes(sa.magnitude, cycles)
-                                 : sa.magnitude;
-            for (int n = 0; n < n_dim; ++n) {
-                const SignMag sb = toSignMag(b(k, n));
-                const i64 count =
-                    i64(unary_->countAfterOnes(ones, sb.magnitude))
-                    << shift;
-                out(m, n) += (sa.negative != sb.negative) ? -count : count;
+    parallelFor(
+        0, u64(m_rows),
+        [&](u64 mi) {
+            const int m = int(mi);
+            for (int k = 0; k < k_dim; ++k) {
+                const SignMag sa = toSignMag(a(m, k));
+                // The delivered ones-count depends only on the input
+                // value and the termination point, so hoist it out of
+                // the n loop.
+                const u32 ones =
+                    (rate && cycles < period)
+                        ? unary_->rateOnes(sa.magnitude, cycles)
+                        : sa.magnitude;
+                for (int n = 0; n < n_dim; ++n) {
+                    const SignMag sb = toSignMag(b(k, n));
+                    const i64 count =
+                        i64(unary_->countAfterOnes(ones, sb.magnitude))
+                        << shift;
+                    out(m, n) +=
+                        (sa.negative != sb.negative) ? -count : count;
+                }
             }
-        }
-    }
+        },
+        rowGrain(k_dim, n_dim));
     return out;
 }
 

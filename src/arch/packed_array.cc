@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "common/fixed_point.h"
@@ -32,7 +35,12 @@ struct PackedStream
     std::vector<u64> words;
     std::vector<u32> prefix; // prefix[w] = ones in words[0..w)
 
-    PackedStream(const std::vector<u32> &values, u32 threshold)
+    PackedStream() = default;
+
+    /** (Re)build in place, reusing the word/prefix capacity — pooled
+     *  instances make a fold allocation-free once warmed up. */
+    void
+    fill(const std::vector<u32> &values, u32 threshold)
     {
         const u32 n = u32(values.size());
         const u32 nwords = (n + 63) / 64;
@@ -59,40 +67,97 @@ struct PackedStream
 };
 
 /**
+ * Per-worker fold scratch. The executor's workers are persistent, so
+ * this arena survives across folds, GEMMs, and whole sweeps: the
+ * stream pool hands back PackedStream instances with their word/prefix
+ * capacity intact and the ones-memo keeps its backing store. Entirely
+ * thread-local — parallel tile shards never share scratch.
+ */
+struct FoldScratch
+{
+    std::vector<i64> ones_memo;
+    std::vector<std::unique_ptr<PackedStream>> stream_pool;
+};
+
+FoldScratch &
+foldScratch()
+{
+    thread_local FoldScratch scratch;
+    return scratch;
+}
+
+/**
  * Lazily built per-threshold packed streams over one shared RNG value
  * sequence. Weights are stationary and every PE row sees the same RNG
  * values, so a fold needs at most one stream per distinct magnitude.
+ * Stream objects are borrowed from the per-worker pool and returned on
+ * destruction, so steady-state folds allocate nothing.
  */
 class StreamCache
 {
   public:
-    StreamCache(std::vector<u32> values, u32 max_threshold)
-        : values_(std::move(values)), slots_(std::size_t(max_threshold) + 1)
+    StreamCache(const std::vector<u32> &values, u32 max_threshold,
+                std::vector<std::unique_ptr<PackedStream>> &pool)
+        : values_(values), pool_(pool),
+          slots_(std::size_t(max_threshold) + 1, nullptr)
     {}
+
+    ~StreamCache()
+    {
+        for (auto &s : owned_)
+            pool_.push_back(std::move(s));
+    }
 
     const PackedStream &
     forThreshold(u32 t)
     {
-        auto &slot = slots_[t];
-        if (!slot)
-            slot = std::make_unique<PackedStream>(values_, t);
+        PackedStream *&slot = slots_[t];
+        if (!slot) {
+            std::unique_ptr<PackedStream> s;
+            if (!pool_.empty()) {
+                s = std::move(pool_.back());
+                pool_.pop_back();
+            } else {
+                s = std::make_unique<PackedStream>();
+            }
+            s->fill(values_, t);
+            slot = s.get();
+            owned_.push_back(std::move(s));
+        }
         return *slot;
     }
 
   private:
-    std::vector<u32> values_;
-    std::vector<std::unique_ptr<PackedStream>> slots_;
+    const std::vector<u32> &values_;
+    std::vector<std::unique_ptr<PackedStream>> &pool_;
+    std::vector<PackedStream *> slots_;
+    std::vector<std::unique_ptr<PackedStream>> owned_;
 };
 
-/** First `count` outputs of a Sobol dimension (the shared lane RNG). */
-std::vector<u32>
-sobolValues(int dimension, int bits, u32 count)
+/**
+ * First `count` outputs of a Sobol dimension (the shared lane RNG),
+ * computed once per (dimension, bits, count) and shared by reference:
+ * every fold of a sweep uses the same few sequences, so regenerating
+ * them per fold was pure churn. Entries are immutable once built and
+ * never evicted, so the returned reference stays valid for the process
+ * lifetime and is safe to read from any thread.
+ */
+const std::vector<u32> &
+sharedSobolValues(int dimension, int bits, u32 count)
 {
-    SobolSequence seq(dimension, bits);
-    std::vector<u32> v(count);
-    for (u32 k = 0; k < count; ++k)
-        v[k] = seq.next();
-    return v;
+    using Key = std::tuple<int, int, u32>;
+    static std::mutex mu;
+    static std::map<Key, std::unique_ptr<const std::vector<u32>>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = cache[Key(dimension, bits, count)];
+    if (!slot) {
+        SobolSequence seq(dimension, bits);
+        auto v = std::make_unique<std::vector<u32>>(count);
+        for (u32 k = 0; k < count; ++k)
+            (*v)[k] = seq.next();
+        slot = std::move(v);
+    }
+    return *slot;
 }
 
 /**
@@ -187,13 +252,15 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
       case Scheme::USystolicTemporal: {
         const bool rate = kern.scheme == Scheme::USystolicRate;
         const int rng_bits = kern.bits - 1;
+        FoldScratch &scratch = foldScratch();
         // One packed weight-comparison stream per distinct |w|, over the
         // row-shared weight RNG values (C-BSG index k = k-th input 1).
-        StreamCache wstreams(sobolValues(kWeightRngDim, rng_bits, mul),
-                             maxAbs(weights));
+        StreamCache wstreams(sharedSobolValues(kWeightRngDim, rng_bits, mul),
+                             maxAbs(weights), scratch.stream_pool);
         // Input 1s delivered inside the (possibly early-terminated)
         // window depend only on |i|, so memoize per magnitude.
-        std::vector<i64> ones_memo(std::size_t(maxAbs(input)) + 1, -1);
+        std::vector<i64> &ones_memo = scratch.ones_memo;
+        ones_memo.assign(std::size_t(maxAbs(input)) + 1, -1);
         auto ones_of = [&](u32 iabs) -> u32 {
             i64 &slot = ones_memo[iabs];
             if (slot < 0) {
@@ -229,12 +296,14 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         // (product bit = rnum < woffset), input 0-cycles the polarity-0
         // RNG (product bit = !(rnum_alt < woffset)).
         const u32 max_woff = u32(maxAbs(weights) + bias);
-        StreamCache s1(sobolValues(kWeightRngDim, rng_bits, mul), max_woff);
-        StreamCache s0(sobolValues(kWeightRngDim + kWeightAltRngOffset,
-                                   rng_bits, mul),
-                       max_woff);
-        std::vector<i64> ones_memo(std::size_t(maxAbs(input) + bias) + 1,
-                                   -1);
+        FoldScratch &scratch = foldScratch();
+        StreamCache s1(sharedSobolValues(kWeightRngDim, rng_bits, mul),
+                       max_woff, scratch.stream_pool);
+        StreamCache s0(sharedSobolValues(kWeightRngDim + kWeightAltRngOffset,
+                                         rng_bits, mul),
+                       max_woff, scratch.stream_pool);
+        std::vector<i64> &ones_memo = scratch.ones_memo;
+        ones_memo.assign(std::size_t(maxAbs(input) + bias) + 1, -1);
         auto ones_of = [&](i32 value) -> u32 {
             i64 &slot = ones_memo[std::size_t(value + bias)];
             if (slot < 0) {

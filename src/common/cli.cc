@@ -1,8 +1,11 @@
 #include "common/cli.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/event_trace.h"
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/stats_registry.h"
 
@@ -48,6 +51,13 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
             setPackedEngineEnabled(false);
         } else if (std::strcmp(arg, "--packed") == 0) {
             setPackedEngineEnabled(true);
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            const char *v = value("--threads");
+            char *tail = nullptr;
+            const long n = std::strtol(v, &tail, 10);
+            fatalIf(tail == v || *tail != '\0' || n < 0 || n > 4096,
+                    std::string("--threads: invalid count: ") + v);
+            Executor::global().setThreads(unsigned(n));
         } else {
             argv[out++] = argv[i];
         }

@@ -8,6 +8,8 @@
  *   --trace-out <path>    write a chrome://tracing / Perfetto JSON trace
  *   --no-packed           force the scalar reference simulation engine
  *   --packed              re-enable the packed engine (the default)
+ *   --threads <n>         executor thread count (0 = auto: USYS_THREADS
+ *                         env, else hardware_concurrency())
  *
  * parseBenchArgs() strips the flags it consumed from argv (so wrapped
  * argument parsers like google-benchmark's see only their own flags) and

@@ -1,0 +1,298 @@
+#include "common/executor.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace usys {
+
+namespace {
+
+/** Set while a thread executes chunks of a parallel region; the signal
+ *  that makes nested parallelFor calls run inline. */
+thread_local bool tl_in_region = false;
+
+bool g_forkjoin_baseline = false;
+
+unsigned
+resolveAutoThreads()
+{
+    if (const char *env = std::getenv("USYS_THREADS")) {
+        char *tail = nullptr;
+        const long v = std::strtol(env, &tail, 10);
+        if (tail != env && *tail == '\0' && v >= 1 && v <= 4096)
+            return unsigned(v);
+        warn(std::string("ignoring invalid USYS_THREADS='") + env + "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+void
+setForkJoinBaseline(bool on)
+{
+    g_forkjoin_baseline = on;
+}
+
+bool
+forkJoinBaseline()
+{
+    return g_forkjoin_baseline;
+}
+
+/**
+ * The worker pool plus the (single) active region's shared state.
+ * Top-level regions are serialized by region_mu_: parallelFor blocks
+ * until its region completes, inner regions run inline, so at most one
+ * region is ever active per process and the per-slot deques can be
+ * reused without versioning.
+ */
+struct Executor::Pool
+{
+    struct Deque
+    {
+        std::mutex mu;
+        std::vector<std::pair<u64, u64>> chunks; // [lo, hi) runs
+        std::size_t head = 0;                    // owner pops here
+    };
+
+    explicit Pool(unsigned threads) : nthreads(threads), deques(threads)
+    {
+        workers.reserve(threads - 1);
+        for (unsigned t = 1; t < threads; ++t)
+            workers.emplace_back([this, t] { workerLoop(t); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(gen_mu);
+            stop = true;
+        }
+        gen_cv.notify_all();
+        for (auto &w : workers)
+            w.join();
+    }
+
+    /** Owner end: next undealt chunk of this slot's deque. */
+    bool
+    popOwn(unsigned slot, std::pair<u64, u64> &out)
+    {
+        Deque &dq = deques[slot];
+        std::lock_guard<std::mutex> lock(dq.mu);
+        if (dq.head >= dq.chunks.size())
+            return false;
+        out = dq.chunks[dq.head++];
+        return true;
+    }
+
+    /** Thief end: take the last chunk of some other slot's deque. */
+    bool
+    steal(unsigned self, std::pair<u64, u64> &out)
+    {
+        for (unsigned off = 1; off < nthreads; ++off) {
+            Deque &dq = deques[(self + off) % nthreads];
+            std::lock_guard<std::mutex> lock(dq.mu);
+            if (dq.head < dq.chunks.size()) {
+                out = dq.chunks.back();
+                dq.chunks.pop_back();
+                steals.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drain the region from slot `self`: own deque first, then steal. */
+    void
+    participate(unsigned self)
+    {
+        tl_in_region = true;
+        std::pair<u64, u64> chunk;
+        while (popOwn(self, chunk) || steal(self, chunk)) {
+            if (!failed.load(std::memory_order_acquire)) {
+                try {
+                    (*body)(chunk.first, chunk.second);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!failed.exchange(true, std::memory_order_acq_rel))
+                        error = std::current_exception();
+                }
+            }
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(done_mu);
+                done_cv.notify_all();
+            }
+        }
+        tl_in_region = false;
+    }
+
+    void
+    workerLoop(unsigned slot)
+    {
+        u64 seen = 0;
+        std::unique_lock<std::mutex> lock(gen_mu);
+        for (;;) {
+            gen_cv.wait(lock, [&] { return stop || generation != seen; });
+            if (stop)
+                return;
+            seen = generation;
+            lock.unlock();
+            participate(slot);
+            lock.lock();
+        }
+    }
+
+    const unsigned nthreads;
+    std::vector<Deque> deques;
+    std::atomic<u64> steals{0};
+
+    // Active-region state; written by the caller before the generation
+    // bump publishes it, cleared only by the next region.
+    const std::function<void(u64, u64)> *body = nullptr;
+    std::atomic<u64> remaining{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    std::mutex region_mu; // one top-level region at a time
+
+    std::mutex gen_mu;
+    std::condition_variable gen_cv;
+    u64 generation = 0;
+    bool stop = false;
+
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    std::vector<std::thread> workers;
+};
+
+Executor &
+Executor::global()
+{
+    // Intentionally leaked: a static destructor would join the worker
+    // threads at exit, which is unsafe in processes that fork (a gtest
+    // death-test child inherits the pool pointer but none of the worker
+    // threads — joining them segfaults). Workers blocked on gen_cv are
+    // simply reaped by process exit.
+    static Executor *ex = new Executor;
+    return *ex;
+}
+
+Executor::~Executor()
+{
+    delete pool_;
+}
+
+Executor::Pool *
+Executor::pool()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_) {
+        const unsigned n =
+            explicit_threads_ ? explicit_threads_ : resolveAutoThreads();
+        pool_ = new Pool(std::max(1u, n));
+    }
+    return pool_;
+}
+
+unsigned
+Executor::threads()
+{
+    return pool()->nthreads;
+}
+
+void
+Executor::setThreads(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    explicit_threads_ = n;
+    if (pool_ && pool_->nthreads !=
+                     (n ? n : resolveAutoThreads())) {
+        delete pool_; // joins the workers
+        pool_ = nullptr;
+    }
+}
+
+bool
+Executor::inParallelRegion()
+{
+    return tl_in_region;
+}
+
+u64
+Executor::stealCount() const
+{
+    // Read-only peek; a pool restart resets the count.
+    return pool_ ? pool_->steals.load(std::memory_order_relaxed) : 0;
+}
+
+void
+Executor::run(u64 begin, u64 end, u64 grain,
+              const std::function<void(u64, u64)> &body)
+{
+    Pool &p = *pool();
+    const u64 n = end - begin;
+    const u64 chunks = (n + grain - 1) / grain;
+
+    std::lock_guard<std::mutex> region(p.region_mu);
+
+    // Publish the region state BEFORE any chunk becomes visible: a
+    // straggler worker still draining the previous region may pop a new
+    // chunk the moment it lands in a deque (the deque mutexes provide
+    // the happens-before edge to these writes).
+    p.body = &body;
+    p.failed.store(false, std::memory_order_relaxed);
+    p.error = nullptr;
+    p.remaining.store(chunks, std::memory_order_release);
+
+    // Deal contiguous runs of chunks to the slots (slot 0 = caller):
+    // contiguous initial ownership keeps per-thread index locality, and
+    // stealing from the back hands a thief the run farthest from the
+    // owner's cursor.
+    const u64 per = (chunks + p.nthreads - 1) / p.nthreads;
+    for (unsigned s = 0; s < p.nthreads; ++s) {
+        Pool::Deque &dq = p.deques[s];
+        std::lock_guard<std::mutex> lock(dq.mu);
+        dq.chunks.clear();
+        dq.head = 0;
+        const u64 first = u64(s) * per;
+        const u64 last = std::min(chunks, first + per);
+        for (u64 c = first; c < last; ++c) {
+            const u64 lo = begin + c * grain;
+            dq.chunks.emplace_back(lo, std::min(end, lo + grain));
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(p.gen_mu);
+        ++p.generation;
+    }
+    p.gen_cv.notify_all();
+
+    p.participate(0);
+
+    if (p.remaining.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lock(p.done_mu);
+        p.done_cv.wait(lock, [&] {
+            return p.remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    if (p.failed.load(std::memory_order_acquire)) {
+        std::exception_ptr e;
+        {
+            std::lock_guard<std::mutex> lock(p.error_mu);
+            e = p.error;
+            p.error = nullptr;
+        }
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace usys

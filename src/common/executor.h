@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Process-wide persistent work-stealing executor.
+ *
+ * One lazily-started pool of worker threads serves every parallelFor in
+ * the process, replacing the old fork-join loop that spawned and joined
+ * threads per call. Each parallel region splits its index range into
+ * grain-sized chunks, deals contiguous runs of chunks to per-thread
+ * deques, and lets idle threads steal from the back of a victim's deque
+ * (owners pop from the front), so skewed per-chunk costs rebalance
+ * without a central cursor fight.
+ *
+ * Guarantees, relied on throughout the simulator:
+ *
+ *  - No oversubscription, ever. A parallelFor issued from inside a
+ *    parallel region runs inline on the calling worker — nested
+ *    tile-/layer-/mode-level parallelism composes without spawning
+ *    hardware_concurrency()^2 threads.
+ *  - Exceptions propagate. The first exception thrown by any worker is
+ *    captured and rethrown at the join point on the calling thread
+ *    (remaining chunks are skipped); the old loop called
+ *    std::terminate.
+ *  - Thread count is controllable: `USYS_THREADS` in the environment,
+ *    `--threads N` on every bench binary and tools/usim, or
+ *    Executor::setThreads(). A count of 1 is a true serial fallback —
+ *    no pool threads are ever started and fn runs on the caller.
+ *  - Worker threads are persistent, so thread_local scratch (the
+ *    packed-array fold arena, the product-model memos) survives across
+ *    parallel regions instead of being rebuilt per call.
+ *
+ * Determinism is the same contract as before: indices are visited
+ * exactly once with nondeterministic assignment to threads, so parallel
+ * bodies only touch per-index state and aggregates merge serially in
+ * index order afterwards (see DESIGN.md §9).
+ */
+
+#ifndef USYS_COMMON_EXECUTOR_H
+#define USYS_COMMON_EXECUTOR_H
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+class Executor
+{
+  public:
+    /** The process-wide pool used by parallelFor. */
+    static Executor &global();
+
+    /**
+     * Threads participating in a parallel region (pool workers plus the
+     * calling thread). Resolved lazily: an explicit setThreads() value,
+     * else USYS_THREADS, else hardware_concurrency().
+     */
+    unsigned threads();
+
+    /**
+     * Override the thread count; 0 re-resolves from the environment.
+     * Joins and restarts an already-running pool, so it must not be
+     * called concurrently with parallelFor (bench/test setup only).
+     */
+    void setThreads(unsigned n);
+
+    /** True while the current thread executes inside a parallel region
+     *  (the nesting signal that makes inner regions run inline). */
+    static bool inParallelRegion();
+
+    /** Chunks executed by a thread other than their initial owner
+     *  (monotonic; for tests and diagnostics). */
+    u64 stealCount() const;
+
+    /**
+     * Run body(lo, hi) over [begin, end) split into grain-sized chunks
+     * on the pool. Blocks until every chunk ran (or was skipped after an
+     * exception); rethrows the first exception. Callers normally use
+     * parallelFor below, which adds the serial/nested fast paths.
+     */
+    void run(u64 begin, u64 end, u64 grain,
+             const std::function<void(u64, u64)> &body);
+
+    ~Executor();
+
+  private:
+    Executor() = default;
+    struct Pool;
+    Pool *pool(); // started lazily under mu_
+
+    std::mutex mu_;
+    Pool *pool_ = nullptr;
+    unsigned explicit_threads_ = 0;
+};
+
+/**
+ * Bench/test hook: when enabled, parallelFor reverts to the pre-executor
+ * fork-join behaviour (spawn threads per call, join, no nesting rule) so
+ * end-to-end benchmarks can time the old regime against the pool.
+ */
+void setForkJoinBaseline(bool on);
+bool forkJoinBaseline();
+
+namespace detail {
+
+/** The legacy fork-join loop, kept verbatim as the benchmark baseline
+ *  (plus exception capture so a bench failure cannot terminate). */
+template <typename Fn>
+void
+forkJoinParallelFor(u64 begin, u64 end, Fn &&fn, u64 grain,
+                    unsigned max_workers)
+{
+    const u64 n = end - begin;
+    const u64 chunks = (n + grain - 1) / grain;
+    unsigned workers =
+        unsigned(std::max<u64>(1, std::min<u64>(max_workers, chunks)));
+    if (workers == 1) {
+        for (u64 i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<u64> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    auto body = [&]() {
+        for (;;) {
+            const u64 c = next_chunk.fetch_add(1);
+            if (c >= chunks)
+                return;
+            if (failed.load(std::memory_order_relaxed))
+                continue;
+            const u64 lo = begin + c * grain;
+            const u64 hi = std::min(end, lo + grain);
+            try {
+                for (u64 i = lo; i < hi; ++i)
+                    fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!failed.exchange(true))
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t)
+        threads.emplace_back(body);
+    body();
+    for (auto &th : threads)
+        th.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace detail
+
+/**
+ * Apply fn(i) for all i in [begin, end) across the executor's threads.
+ *
+ * Indices are handed out in chunks of `grain` consecutive indices; each
+ * index is visited exactly once (unless an exception aborts the region)
+ * with nondeterministic index-to-thread assignment, so fn must only
+ * touch per-index state and aggregates must be reduced serially in
+ * index order afterwards. Runs serially inline when the range fits one
+ * chunk, when the executor resolves to one thread, or when called from
+ * inside another parallel region (the no-oversubscription rule).
+ *
+ * @param begin first index
+ * @param end one past the last index
+ * @param fn callable taking a single index
+ * @param grain indices handed to a thread per chunk (0 is coerced to 1)
+ */
+template <typename Fn>
+void
+parallelFor(u64 begin, u64 end, Fn &&fn, u64 grain = 1)
+{
+    const u64 n = end > begin ? end - begin : 0;
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+
+    Executor &ex = Executor::global();
+    if (forkJoinBaseline() && !Executor::inParallelRegion()) {
+        detail::forkJoinParallelFor(begin, end, fn, grain, ex.threads());
+        return;
+    }
+
+    const u64 chunks = (n + grain - 1) / grain;
+    if (chunks == 1 || Executor::inParallelRegion() || ex.threads() == 1) {
+        for (u64 i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    ex.run(begin, end, grain, [&fn](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i)
+            fn(i);
+    });
+}
+
+} // namespace usys
+
+#endif // USYS_COMMON_EXECUTOR_H

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/types.h"
 
@@ -74,15 +75,24 @@ referenceGemm(const Matrix<i32> &a, const Matrix<i32> &b)
 {
     fatalIf(a.cols() != b.rows(), "referenceGemm: shape mismatch");
     Matrix<i64> c(a.rows(), b.cols(), 0);
-    for (int m = 0; m < a.rows(); ++m) {
-        for (int k = 0; k < a.cols(); ++k) {
-            const i64 av = a(m, k);
-            if (av == 0)
-                continue;
-            for (int n = 0; n < b.cols(); ++n)
-                c(m, n) += av * i64(b(k, n));
-        }
-    }
+    // Row-parallel; each row owns its output slice and the i64
+    // accumulation is exact, so the result is independent of the thread
+    // count. Small products stay serial via the grain.
+    const u64 grain = std::max<u64>(
+        1, 4096 / u64(std::max(1, a.cols() * b.cols())));
+    parallelFor(
+        0, u64(a.rows()),
+        [&](u64 mi) {
+            const int m = int(mi);
+            for (int k = 0; k < a.cols(); ++k) {
+                const i64 av = a(m, k);
+                if (av == 0)
+                    continue;
+                for (int n = 0; n < b.cols(); ++n)
+                    c(m, n) += av * i64(b(k, n));
+            }
+        },
+        grain);
     return c;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/executor.h"
 #include "common/fixed_point.h"
 #include "arch/functional.h"
 
@@ -45,17 +46,27 @@ gemmFp32(const MatF &a, const MatF &b)
 {
     fatalIf(a.cols() != b.rows(), "gemmFp32: shape mismatch");
     MatF c(a.rows(), b.cols(), 0.0f);
-    for (int m = 0; m < a.rows(); ++m) {
-        for (int k = 0; k < a.cols(); ++k) {
-            const float av = a(m, k);
-            if (av == 0.0f)
-                continue;
-            const float *brow = &b(k, 0);
-            float *crow = &c(m, 0);
-            for (int n = 0; n < b.cols(); ++n)
-                crow[n] += av * brow[n];
-        }
-    }
+    // Row-parallel: the dnn inference batch loop funnels every image of
+    // a batch through one GEMM, so rows == batch here. Each row writes
+    // only its own output slice and fp32 adds stay in row order, so the
+    // result is bitwise-identical at any thread count.
+    const u64 grain = std::max<u64>(
+        1, 4096 / u64(std::max(1, a.cols() * b.cols())));
+    parallelFor(
+        0, u64(a.rows()),
+        [&](u64 mi) {
+            const int m = int(mi);
+            for (int k = 0; k < a.cols(); ++k) {
+                const float av = a(m, k);
+                if (av == 0.0f)
+                    continue;
+                const float *brow = &b(k, 0);
+                float *crow = &c(m, 0);
+                for (int n = 0; n < b.cols(); ++n)
+                    crow[n] += av * brow[n];
+            }
+        },
+        grain);
     return c;
 }
 

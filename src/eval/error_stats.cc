@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/cli.h"
-#include "common/parallel_for.h"
+#include "common/executor.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "dnn/backend.h"

@@ -1,6 +1,7 @@
 #include "eval/experiments.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/event_trace.h"
 #include "common/stats_registry.h"
@@ -224,24 +225,37 @@ recordInstrumentedSweep(bool edge, int bits)
 
     StatsRegistry &reg = statsRegistry();
     const auto layers = alexnetLayers();
+
+    // Batch the whole scheme x layer grid into one simulateLayerBatch
+    // call, so the executor fans out over all 5 * layers points at once
+    // instead of joining at every scheme boundary.
+    std::vector<LayerJob> jobs;
     for (const auto &e : entries) {
-        ScopedTimer timer(std::string("sweep ") + e.slug, "eval");
         const KernelConfig kern{e.scheme, bits, 0};
         const SystemConfig sys =
             edge ? edgeSystem(kern, e.sram) : cloudSystem(kern, e.sram);
-        // Batch the per-layer roofline math; named stats are recorded
-        // below in layer order, as before.
-        std::vector<LayerJob> jobs;
         for (const auto &layer : layers)
             jobs.push_back({sys, layer});
-        const auto layer_stats = simulateLayerBatch(jobs);
+    }
+    std::vector<LayerStats> grid_stats;
+    {
+        ScopedTimer timer("sweep grid", "eval");
+        grid_stats = simulateLayerBatch(jobs);
+    }
+
+    // Named stats are recorded serially in (scheme, layer) order, same
+    // sequence as the old per-scheme loop.
+    for (std::size_t s = 0; s < std::size(entries); ++s) {
+        const auto &e = entries[s];
+        ScopedTimer timer(std::string("record ") + e.slug, "eval");
+        const SystemConfig &sys = jobs[s * layers.size()].sys;
         double runtime_s = 0.0;
         double energy_uj = 0.0;
         for (std::size_t i = 0; i < layers.size(); ++i) {
             const std::string prefix =
                 std::string("sim.") + e.slug + ".layer" +
                 std::to_string(i);
-            const LayerStats &stats = layer_stats[i];
+            const LayerStats &stats = grid_stats[s * layers.size() + i];
             recordLayerStats(reg, prefix, sys, stats);
             const EnergyReport energy = layerEnergy(sys, stats);
             reg.scalar(prefix + ".onchip_uj", "on-chip energy (uJ)")

@@ -5,7 +5,7 @@
 
 #include "common/cli.h"
 #include "common/event_trace.h"
-#include "common/parallel_for.h"
+#include "common/executor.h"
 #include "common/stats_registry.h"
 
 namespace usys {

@@ -1,0 +1,61 @@
+# ctest driver for the end-to-end sweep benchmark. Expects:
+#   BENCH     path to the e2e_sweep binary
+#   PYTHON    python3 interpreter
+#   TOOLS_DIR repo tools/ directory (schema + checker)
+#   WORK_DIR  scratch directory for the artifacts
+#
+# Runs the sweep at 1 and 3 executor threads and requires the
+# stats-registry dumps byte-identical (the thread-count determinism
+# contract), then validates BENCH_e2e.json against its schema. On hosts
+# with at least 4 physical cores a third run at the auto thread count
+# additionally enforces the >= 2x executor-vs-forkjoin speedup floor
+# (pointless on smaller hosts, where the binary would skip it anyway).
+
+set(stats1 ${WORK_DIR}/e2e.stats.t1.json)
+set(stats3 ${WORK_DIR}/e2e.stats.t3.json)
+set(artifact ${WORK_DIR}/BENCH_e2e.json)
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env USYS_THREADS=1
+            ${BENCH} --reps 1 --out ${artifact} --stats-json ${stats1}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "e2e_sweep (1 thread) failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env USYS_THREADS=3
+            ${BENCH} --reps 1 --out ${artifact} --stats-json ${stats3}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "e2e_sweep (3 threads) failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${stats1} ${stats3}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between thread counts "
+                        "(${stats1} vs ${stats3}) — the parallel sweep "
+                        "leaked nondeterminism into the registry")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_stats_schema.py
+            --schema ${TOOLS_DIR}/bench_e2e_schema.json ${artifact}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_e2e.json schema validation failed")
+endif()
+
+cmake_host_system_information(RESULT cores QUERY NUMBER_OF_PHYSICAL_CORES)
+if(cores GREATER_EQUAL 4)
+    execute_process(
+        COMMAND ${BENCH} --reps 3 --min-speedup 2
+                --out ${artifact} --stats-json ${WORK_DIR}/e2e.stats.perf.json
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "e2e_sweep perf gate failed (${rc}) — "
+                            "executor below 2x over the fork-join baseline")
+    endif()
+endif()

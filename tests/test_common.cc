@@ -12,7 +12,7 @@
 #include "common/fixed_point.h"
 #include "common/logging.h"
 #include "common/matrix.h"
-#include "common/parallel_for.h"
+#include "common/executor.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "common/table.h"

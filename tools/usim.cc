@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/cli.h"
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/table.h"
 #include "eval/network.h"
@@ -43,6 +44,8 @@ usage()
         "  --sram | --no-sram        force SRAM presence\n"
         "  --trace                   use the trace-driven memory model\n"
         "  --no-packed               force the scalar simulation engine\n"
+        "  --threads N               executor thread count (0 = auto:\n"
+        "                            USYS_THREADS, else all cores)\n"
         "  --csv                     machine-readable output\n"
         "  --network                 chained inference (inter-layer "
         "traffic accounted)\n"
@@ -107,6 +110,12 @@ main(int argc, char **argv)
             trace = true;
         else if (arg == "--no-packed")
             setPackedEngineEnabled(false);
+        else if (arg == "--threads") {
+            const int n = std::stoi(next());
+            if (n < 0 || n > 4096)
+                usage();
+            Executor::global().setThreads(unsigned(n));
+        }
         else if (arg == "--csv")
             csv = true;
         else if (arg == "--network")
