@@ -43,14 +43,14 @@ ablateBitstreamReuse()
     for (const Shape &shape : {Shape{12, 14, "edge"},
                                Shape{256, 256, "cloud"}}) {
         const auto [rows, cols, tag] = shape;
-        const ArrayConfig cfg{rows, cols, kern};
+        const ArrayConfig cfg{rows, cols, kern, {}};
         const auto with = arrayCost(cfg);
 
         // Without reuse every PE carries the leftmost column's BSGs —
         // modeled as a single-column array of the same PE count (every
         // PE of a one-column array is a "leftmost" PE), which keeps the
         // congestion model identical.
-        const ArrayConfig no_reuse{rows * cols, 1, kern};
+        const ArrayConfig no_reuse{rows * cols, 1, kern, {}};
         const auto without = arrayCost(no_reuse);
         const double without_mm2 = without.area_mm2.total();
         const double without_e = without.e_per_mac_slot_pj;
@@ -163,7 +163,7 @@ ablatePreloadOverlap()
                         "saved %"});
     for (Scheme s : {Scheme::BinaryParallel, Scheme::USystolicRate}) {
         const int ebt = s == Scheme::USystolicRate ? 6 : 0;
-        const ArrayConfig array{12, 14, {s, 8, ebt}};
+        const ArrayConfig array{12, 14, {s, 8, ebt}, {}};
         u64 serial = 0, pipelined = 0;
         for (const auto &layer : alexnetLayers()) {
             const auto t = tileLayer(array, layer);

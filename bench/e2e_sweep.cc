@@ -23,15 +23,25 @@
  * With --min-speedup X the binary exits nonzero if the executor regime
  * is not X times faster than the fork-join regime; the check is skipped
  * on single-thread hosts where no speedup is possible.
+ *
+ * With --checkpoint PATH every job completed by the serial reference
+ * pass is persisted (atomic rename-on-write); --resume restores those
+ * outcomes verbatim (checksums, stats deltas, exact double bit
+ * patterns) and runs only the remaining jobs, so the --stats-json dump
+ * of a killed-and-resumed sweep is byte-identical to a straight run.
+ * --die-after N SIGKILLs the process after N computed jobs (the ctest
+ * crash-safety leg).
  */
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/cli.h"
 #include "common/executor.h"
 #include "common/json.h"
@@ -113,18 +123,88 @@ runJob(const Job &job, JobOutcome &out)
                    i64(roofline.compute_cycles) * 7;
 }
 
-/** One full sweep over the grid; outer parallelism is the regime knob. */
+/**
+ * One sweep over the non-restored jobs; outer parallelism is the
+ * regime knob. Restored jobs keep their checkpointed outcome.
+ */
 void
-runSweep(const std::vector<Job> &jobs, std::vector<JobOutcome> &outcomes,
-         bool outer_parallel)
+runSweep(const std::vector<Job> &jobs, const std::vector<u64> &pending,
+         std::vector<JobOutcome> &outcomes, bool outer_parallel)
 {
     if (outer_parallel) {
-        parallelFor(0, jobs.size(),
-                    [&](u64 j) { runJob(jobs[j], outcomes[j]); });
+        parallelFor(0, pending.size(), [&](u64 i) {
+            runJob(jobs[pending[i]], outcomes[pending[i]]);
+        });
     } else {
-        for (std::size_t j = 0; j < jobs.size(); ++j)
+        for (const u64 j : pending)
             runJob(jobs[j], outcomes[j]);
     }
+}
+
+/**
+ * Checkpoint payload of one job outcome: the checksum, the counter
+ * fields of the stats delta, and the histogram samples as exact double
+ * bit patterns — everything flush() touches, so a restored job commits
+ * byte-identical stats.
+ */
+std::string
+serializeOutcome(const JobOutcome &out)
+{
+    using CK = ShardCheckpoint;
+    const FoldStatsDelta &d = out.delta;
+    std::string p = CK::packU64(u64(out.checksum));
+    for (const u64 v :
+         {d.folds, d.mac_slots, d.fold_cycles, d.bitstream_cycles,
+          d.faults_weight_reg, d.faults_activation, d.faults_weight_stream,
+          d.faults_accumulator, d.faults_dram,
+          u64(d.m_rows_samples.size())}) {
+        p += ' ';
+        p += CK::packU64(v);
+    }
+    for (const double v : d.m_rows_samples) {
+        p += ' ';
+        p += CK::packDouble(v);
+    }
+    return p;
+}
+
+JobOutcome
+deserializeOutcome(const std::string &payload)
+{
+    using CK = ShardCheckpoint;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= payload.size()) {
+        const std::size_t sp = payload.find(' ', pos);
+        if (sp == std::string::npos) {
+            fields.push_back(payload.substr(pos));
+            break;
+        }
+        fields.push_back(payload.substr(pos, sp - pos));
+        pos = sp + 1;
+    }
+    fatalIf(fields.size() < 11,
+            "e2e checkpoint payload: too few fields");
+    JobOutcome out;
+    out.checksum = i64(CK::unpackU64(fields[0]));
+    FoldStatsDelta &d = out.delta;
+    d.folds = CK::unpackU64(fields[1]);
+    d.mac_slots = CK::unpackU64(fields[2]);
+    d.fold_cycles = CK::unpackU64(fields[3]);
+    d.bitstream_cycles = CK::unpackU64(fields[4]);
+    d.faults_weight_reg = CK::unpackU64(fields[5]);
+    d.faults_activation = CK::unpackU64(fields[6]);
+    d.faults_weight_stream = CK::unpackU64(fields[7]);
+    d.faults_accumulator = CK::unpackU64(fields[8]);
+    d.faults_dram = CK::unpackU64(fields[9]);
+    const u64 n_samples = CK::unpackU64(fields[10]);
+    fatalIf(fields.size() != 11 + n_samples,
+            "e2e checkpoint payload: sample count mismatch");
+    d.m_rows_samples.reserve(n_samples);
+    for (u64 i = 0; i < n_samples; ++i)
+        d.m_rows_samples.push_back(
+            CK::unpackDouble(fields[11 + std::size_t(i)]));
+    return out;
 }
 
 /** Median wall time in milliseconds of `reps` sweep runs. */
@@ -147,9 +227,10 @@ medianSweepMs(Fn &&sweep, int reps)
 
 void
 checkOutcomes(const std::vector<JobOutcome> &ref,
-              const std::vector<JobOutcome> &got, const char *regime)
+              const std::vector<JobOutcome> &got,
+              const std::vector<u64> &pending, const char *regime)
 {
-    for (std::size_t j = 0; j < ref.size(); ++j) {
+    for (const u64 j : pending) {
         fatalIf(ref[j].checksum != got[j].checksum,
                 std::string("e2e_sweep: ") + regime +
                     " regime diverged from serial at job " +
@@ -170,21 +251,35 @@ main(int argc, char **argv)
     int reps = 3;
     double min_speedup = 0.0;
     std::string out_path = "BENCH_e2e.json";
+    std::string checkpoint_path;
+    bool resume = false;
+    i64 die_after = 0;
     for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            fatalIf(i + 1 >= argc,
+                    std::string(flag) + " requires a value");
+            return argv[++i];
+        };
         if (std::strcmp(argv[i], "--reps") == 0) {
-            fatalIf(i + 1 >= argc, "--reps requires a value");
-            reps = std::stoi(argv[++i]);
-            fatalIf(reps < 1, "--reps: need at least 1");
+            reps = int(parseIntFlag("--reps", value("--reps"), 1, 1000));
         } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
-            fatalIf(i + 1 >= argc, "--min-speedup requires a value");
-            min_speedup = std::stod(argv[++i]);
+            min_speedup = parseDoubleFlag(
+                "--min-speedup", value("--min-speedup"), 0.0, 1e6);
         } else if (std::strcmp(argv[i], "--out") == 0) {
-            fatalIf(i + 1 >= argc, "--out requires a path");
-            out_path = argv[++i];
+            out_path = value("--out");
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            checkpoint_path = value("--checkpoint");
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "--die-after") == 0) {
+            die_after = parseIntFlag("--die-after", value("--die-after"),
+                                     1, 1 << 20);
         } else {
             fatal(std::string("e2e_sweep: unknown argument: ") + argv[i]);
         }
     }
+    fatalIf(resume && checkpoint_path.empty(),
+            "--resume requires --checkpoint");
 
     const int bits = 8;
     const auto jobs = buildJobs(bits);
@@ -193,26 +288,53 @@ main(int argc, char **argv)
     std::vector<JobOutcome> serial_out(jobs.size());
     std::vector<JobOutcome> regime_out(jobs.size());
 
+    // Restore checkpointed outcomes; only the rest is (re)computed —
+    // in every regime, so timings compare like with like.
+    ShardCheckpoint ckpt(checkpoint_path);
+    if (resume)
+        ckpt.load();
+    std::vector<u64> pending;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const std::string key = "job" + std::to_string(j);
+        if (resume && ckpt.has(key))
+            serial_out[j] = deserializeOutcome(ckpt.find(key));
+        else
+            pending.push_back(u64(j));
+    }
+
     // --- serial reference -------------------------------------------------
+    // The warm pass doubles as the checkpoint-recording pass (and hosts
+    // the --die-after crash hook); the timed reps below re-run the same
+    // pending jobs without touching the checkpoint.
     Executor::global().setThreads(1);
-    runSweep(jobs, serial_out, false); // warm the scratch arenas
-    const double serial_ms =
-        medianSweepMs([&] { runSweep(jobs, serial_out, false); }, reps);
+    i64 computed = 0;
+    for (const u64 j : pending) {
+        runJob(jobs[j], serial_out[j]);
+        ckpt.record("job" + std::to_string(j),
+                    serializeOutcome(serial_out[j]));
+        ++computed;
+        if (die_after > 0 && computed >= die_after) {
+            std::fflush(nullptr);
+            raise(SIGKILL);
+        }
+    }
+    const double serial_ms = medianSweepMs(
+        [&] { runSweep(jobs, pending, serial_out, false); }, reps);
 
     // --- pre-executor fork-join regime ------------------------------------
     Executor::global().setThreads(threads);
     setForkJoinBaseline(true);
-    runSweep(jobs, regime_out, false);
-    const double forkjoin_ms =
-        medianSweepMs([&] { runSweep(jobs, regime_out, false); }, reps);
+    runSweep(jobs, pending, regime_out, false);
+    const double forkjoin_ms = medianSweepMs(
+        [&] { runSweep(jobs, pending, regime_out, false); }, reps);
     setForkJoinBaseline(false);
-    checkOutcomes(serial_out, regime_out, "forkjoin");
+    checkOutcomes(serial_out, regime_out, pending, "forkjoin");
 
     // --- persistent executor, outer grid parallel -------------------------
-    runSweep(jobs, regime_out, true);
-    const double executor_ms =
-        medianSweepMs([&] { runSweep(jobs, regime_out, true); }, reps);
-    checkOutcomes(serial_out, regime_out, "executor");
+    runSweep(jobs, pending, regime_out, true);
+    const double executor_ms = medianSweepMs(
+        [&] { runSweep(jobs, pending, regime_out, true); }, reps);
+    checkOutcomes(serial_out, regime_out, pending, "executor");
 
     // Registry deltas from the (many) timed sweeps are intentionally
     // discarded; commit exactly one sweep's worth, serially in job

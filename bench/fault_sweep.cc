@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Fault-resilience sweep: accuracy degradation of the five computing
+ * schemes under escalating fault-injection rates.
+ *
+ * For each scheme (BP/BS/UR/UT/UG, 8-bit) and each rate point the
+ * bench runs a resilience shard (see eval/resilience.h): `--trials`
+ * random GEMMs through SystolicGemm, fault-free vs faulted, and books
+ * the NRMSE of the faulted outputs into the stats registry. The
+ * expected picture is the paper's resilience argument made
+ * quantitative: the unary schemes degrade gracefully (a corrupted
+ * stream bit is worth 1/2^(N-1) of a product) while binary-parallel
+ * collapses (an MSB flip is worth half the range); `--check-resilience
+ * EPS` turns that into an exit-code gate.
+ *
+ * The sweep checkpoints each completed shard (`--checkpoint PATH`,
+ * atomic rename-on-write) and `--resume` restores completed shards and
+ * recomputes only the rest — the merged BENCH_fault.json is
+ * byte-identical to an uninterrupted run, which the bench_fault ctest
+ * enforces by SIGKILLing a run mid-sweep (`--die-after N`) and
+ * resuming it. To keep that guarantee the artifact contains no
+ * wall-clock values, and shard arch deltas never reach the registry.
+ *
+ * Schema: tools/bench_fault_schema.json.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/stats_registry.h"
+#include "eval/resilience.h"
+
+namespace usys {
+namespace {
+
+struct SweepScheme
+{
+    const char *tag; // registry slug (lowercase schemeTag)
+    Scheme scheme;
+};
+
+constexpr SweepScheme kSchemes[] = {
+    {"bp", Scheme::BinaryParallel},
+    {"bs", Scheme::BinarySerial},
+    {"ur", Scheme::USystolicRate},
+    {"ut", Scheme::USystolicTemporal},
+    {"ug", Scheme::UgemmHybrid},
+};
+
+// Escalating per-site rates. The floor of 1e-2 keeps the lowest
+// nonzero point statistically meaningful for BP: its only stream site
+// (the activation code) has ~1.5k instances per trial here, so 1e-3
+// would leave the gate hostage to a handful of hash realizations.
+constexpr double kRates[] = {0.0, 1e-2, 3e-2, 1e-1};
+constexpr int kNumRates = int(sizeof(kRates) / sizeof(kRates[0]));
+
+FaultRates
+ratesForSite(const std::string &site, double rate)
+{
+    FaultRates r;
+    if (site == "stream") {
+        // Stream-only sites: the bits actually traveling the unary
+        // datapath (input BSG output + C-BSG comparisons).
+        r.activation_stream = rate;
+        r.weight_stream = rate;
+    } else if (site == "all") {
+        r.weight_reg = rate;
+        r.activation_stream = rate;
+        r.weight_stream = rate;
+        r.accumulator = rate;
+        r.dram_word = rate;
+    } else {
+        fatal("--fault-site must be 'stream' or 'all', got '" + site +
+              "'");
+    }
+    return r;
+}
+
+} // namespace
+} // namespace usys
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    BenchOptions opts = parseBenchArgs(&argc, argv, "fault_sweep");
+
+    std::string out_path = "BENCH_fault.json";
+    std::string checkpoint_path;
+    // The stream sites are the default: they carry the paper's
+    // resilience claim (a corrupted unary stream bit is worth
+    // 1/2^(N-1) of a product; a binary code bit up to half the range).
+    // --fault-site all adds weight registers, accumulators, and DRAM
+    // words — where a high-bit flip is catastrophic for *every*
+    // scheme, and relatively worse in unary count units.
+    std::string site = "stream";
+    bool resume = false;
+    i64 trials = 3;
+    i64 die_after = 0;
+    u64 fault_seed = 0x5EEDu;
+    i64 burst = 4;
+    FaultKind kind = FaultKind::BitFlip;
+    double check_eps = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            fatalIf(i + 1 >= argc,
+                    std::string(flag) + " requires a value");
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--out") == 0) {
+            out_path = value("--out");
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            checkpoint_path = value("--checkpoint");
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "--trials") == 0) {
+            trials = parseIntFlag("--trials", value("--trials"), 1, 1000);
+        } else if (std::strcmp(argv[i], "--die-after") == 0) {
+            die_after = parseIntFlag("--die-after", value("--die-after"),
+                                     1, 1 << 20);
+        } else if (std::strcmp(argv[i], "--fault-kind") == 0) {
+            kind = parseFaultKind(value("--fault-kind"));
+        } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+            fault_seed = u64(parseIntFlag(
+                "--fault-seed", value("--fault-seed"), 0, i64(1) << 62));
+        } else if (std::strcmp(argv[i], "--fault-burst") == 0) {
+            burst = parseIntFlag("--fault-burst", value("--fault-burst"),
+                                 1, 64);
+        } else if (std::strcmp(argv[i], "--fault-site") == 0) {
+            site = value("--fault-site");
+        } else if (std::strcmp(argv[i], "--check-resilience") == 0) {
+            check_eps = parseDoubleFlag("--check-resilience",
+                                        value("--check-resilience"),
+                                        0.0, 1e9);
+        } else {
+            fatal(std::string("fault_sweep: unknown argument: ") +
+                  argv[i]);
+        }
+    }
+    fatalIf(resume && checkpoint_path.empty(),
+            "--resume requires --checkpoint");
+
+    ShardCheckpoint ckpt(checkpoint_path);
+    if (resume)
+        ckpt.load();
+
+    StatsRegistry &reg = statsRegistry();
+    for (int ri = 0; ri < kNumRates; ++ri)
+        reg.scalar("fault.rates.r" + std::to_string(ri),
+                   "per-site fault rate of sweep point r" +
+                       std::to_string(ri))
+            .set(kRates[ri]);
+
+    // nrmse[scheme][rate] for the printed table and the gate.
+    double nrmse[sizeof(kSchemes) / sizeof(kSchemes[0])][kNumRates] = {};
+    i64 computed = 0;
+    int si = 0;
+    for (const auto &sw : kSchemes) {
+        for (int ri = 0; ri < kNumRates; ++ri) {
+            const std::string key =
+                std::string(sw.tag) + "-r" + std::to_string(ri);
+            ResilienceResult res;
+            if (resume && ckpt.has(key)) {
+                res = ResilienceResult::deserialize(ckpt.find(key));
+            } else {
+                ResilienceSpec spec;
+                spec.kern.scheme = sw.scheme;
+                spec.kern.bits = 8;
+                spec.trials = int(trials);
+                spec.seed = fault_seed;
+                spec.kind = kind;
+                spec.burst_len = u32(burst);
+                spec.rates = ratesForSite(site, kRates[ri]);
+                res = runResilienceShard(spec);
+                ckpt.record(key, res.serialize());
+                ++computed;
+                if (die_after > 0 && computed >= die_after) {
+                    // Crash-safety self-test hook: die the hard way
+                    // (no exit handlers, no artifact) after N computed
+                    // shards, as a power cut would.
+                    std::fflush(nullptr);
+                    raise(SIGKILL);
+                }
+            }
+            nrmse[si][ri] = res.nrmse();
+            const std::string slug =
+                "fault." + std::string(sw.tag) + ".r" +
+                std::to_string(ri);
+            reg.scalar(slug + ".nrmse",
+                       "faulted-vs-clean NRMSE (accumulator units)")
+                .set(res.nrmse());
+            reg.scalar(slug + ".mean_abs_err",
+                       "mean |faulted - clean| per output")
+                .set(res.meanAbsErr());
+            reg.counter(slug + ".events",
+                        "fault events injected in this shard") +=
+                res.fault_events;
+        }
+        ++si;
+    }
+
+    std::printf("fault sweep: %d trials/shard, kind=%s, site=%s, "
+                "seed=%llu\n",
+                int(trials), faultKindName(kind), site.c_str(),
+                static_cast<unsigned long long>(fault_seed));
+    std::printf("%-8s", "scheme");
+    for (int ri = 0; ri < kNumRates; ++ri)
+        std::printf(" %12.0e", kRates[ri]);
+    std::printf("\n");
+    si = 0;
+    for (const auto &sw : kSchemes) {
+        std::printf("%-8s", sw.tag);
+        for (int ri = 0; ri < kNumRates; ++ri)
+            std::printf(" %12.3e", nrmse[si][ri]);
+        std::printf("\n");
+        ++si;
+    }
+
+    fatalIf(!reg.writeJsonFile(out_path, "fault_sweep"),
+            "cannot write bench artifact: " + out_path);
+    inform("wrote bench artifact: " + out_path);
+
+    finalizeBench(opts);
+
+    if (check_eps > 0.0) {
+        // The resilience gate, on the lowest nonzero rate (r1): unary
+        // rate coding must stay within EPS of fault-free while binary
+        // parallel must not — the cross-over the paper's resilience
+        // claim predicts.
+        const double ur_r1 = nrmse[2][1];
+        const double bp_r1 = nrmse[0][1];
+        if (ur_r1 > check_eps) {
+            std::fprintf(stderr,
+                         "fault_sweep: UR nrmse %.3e at r1 exceeds "
+                         "epsilon %.3e\n",
+                         ur_r1, check_eps);
+            return 1;
+        }
+        if (bp_r1 <= check_eps) {
+            std::fprintf(stderr,
+                         "fault_sweep: BP nrmse %.3e at r1 within "
+                         "epsilon %.3e — binary should not be this "
+                         "resilient\n",
+                         bp_r1, check_eps);
+            return 1;
+        }
+    }
+    return 0;
+}

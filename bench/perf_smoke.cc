@@ -86,7 +86,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
             fatalIf(i + 1 >= argc, "--min-speedup requires a value");
-            min_speedup = std::stod(argv[++i]);
+            min_speedup = parseDoubleFlag("--min-speedup", argv[++i],
+                                          0.0, 1e6);
         } else {
             fatal(std::string("perf_smoke: unknown argument: ") + argv[i]);
         }

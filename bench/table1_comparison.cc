@@ -79,10 +79,10 @@ double
 perPeInflation(Scheme scheme)
 {
     const double edge =
-        arrayCost(ArrayConfig{12, 14, {scheme, 8, 0}}).area_mm2.total() /
+        arrayCost(ArrayConfig{12, 14, {scheme, 8, 0}, {}}).area_mm2.total() /
         168.0;
     const double cloud =
-        arrayCost(ArrayConfig{256, 256, {scheme, 8, 0}})
+        arrayCost(ArrayConfig{256, 256, {scheme, 8, 0}, {}})
             .area_mm2.total() /
         65536.0;
     return cloud / edge;

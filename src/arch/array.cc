@@ -8,6 +8,7 @@
 #include "common/stats_registry.h"
 #include "arch/packed_array.h"
 #include "arch/pe.h"
+#include "mem/dram_faults.h"
 
 namespace usys {
 
@@ -23,6 +24,15 @@ FoldStatsDelta::add(int m_rows, int rows, int cols, Cycles cycles,
 }
 
 void
+FoldStatsDelta::addFaults(const FoldFaultCounts &counts)
+{
+    faults_weight_reg += counts.weight_reg;
+    faults_activation += counts.activation;
+    faults_weight_stream += counts.weight_stream;
+    faults_accumulator += counts.accumulator;
+}
+
+void
 FoldStatsDelta::merge(const FoldStatsDelta &other)
 {
     folds += other.folds;
@@ -32,6 +42,11 @@ FoldStatsDelta::merge(const FoldStatsDelta &other)
     m_rows_samples.insert(m_rows_samples.end(),
                           other.m_rows_samples.begin(),
                           other.m_rows_samples.end());
+    faults_weight_reg += other.faults_weight_reg;
+    faults_activation += other.faults_activation;
+    faults_weight_stream += other.faults_weight_stream;
+    faults_accumulator += other.faults_accumulator;
+    faults_dram += other.faults_dram;
 }
 
 void
@@ -51,6 +66,21 @@ FoldStatsDelta::flush(const KernelConfig &kern) const
                                "input rows streamed per fold");
     for (double m : m_rows_samples)
         hist.add(m);
+    if (faultTotal()) {
+        reg.counter(slug + ".faults_injected",
+                    "fault events injected (all sites)") += faultTotal();
+        reg.counter(slug + ".faults_weight_reg",
+                    "weight-register fault events") += faults_weight_reg;
+        reg.counter(slug + ".faults_activation",
+                    "activation-stream fault events") += faults_activation;
+        reg.counter(slug + ".faults_weight_stream",
+                    "weight-stream (C-BSG) fault events") +=
+            faults_weight_stream;
+        reg.counter(slug + ".faults_accumulator",
+                    "accumulator fault events") += faults_accumulator;
+        reg.counter(slug + ".faults_dram",
+                    "DRAM read-word fault events") += faults_dram;
+    }
 }
 
 SystolicArray::SystolicArray(const ArrayConfig &cfg)
@@ -62,7 +92,7 @@ SystolicArray::SystolicArray(const ArrayConfig &cfg)
 SystolicArray::FoldResult
 SystolicArray::runFold(const Matrix<i32> &input,
                        const Matrix<i32> &weights,
-                       FoldStatsDelta *stats) const
+                       FoldStatsDelta *stats, u64 tile) const
 {
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
@@ -98,12 +128,44 @@ SystolicArray::runFold(const Matrix<i32> &input,
     FoldStatsDelta local;
     FoldStatsDelta &delta = stats ? *stats : local;
     delta.add(m_rows, rows, cols, cycles, trace_len);
+
+    const FaultPlan *plan = cfg_.faults.enabled() ? &cfg_.faults : nullptr;
+    if (plan)
+        delta.addFaults(
+            countFoldFaults(*plan, kern, tile, m_rows, rows, cols));
+
+    // WeightReg site: corrupt the stationary weight codes before the
+    // preload latches them (identical pre-corruption in every engine).
+    const Matrix<i32> *wp = &weights;
+    Matrix<i32> wfaulted;
+    if (plan && plan->rates.weight_reg > 0.0) {
+        wfaulted = weights;
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+                if (const auto f =
+                        plan->weightReg(tile, r, c, u32(kern.bits)))
+                    wfaulted(r, c) =
+                        corruptCode(*f, wfaulted(r, c), kern.bits);
+        wp = &wfaulted;
+    }
+
+    const bool unary = isUnary(kern.scheme);
     std::vector<std::vector<std::vector<LaneSignals>>> traces(rows);
     for (int r = 0; r < rows; ++r) {
         RowFrontEnd fe(kern);
         traces[r].resize(m_rows);
         for (int m = 0; m < m_rows; ++m) {
-            fe.loadInput(input(m, r));
+            i32 value = input(m, r);
+            std::optional<Fault> af;
+            if (plan)
+                af = plan->activationStream(tile, m, r,
+                                            activationWindow(kern));
+            // BP/BS activation faults corrupt the latched code; the
+            // unary schemes corrupt the BSG output stream bit-by-bit.
+            if (af && !unary)
+                value = corruptActivationCode(*af, value, kern);
+            fe.loadInput(value);
+            fe.setStreamFault(unary && af ? &*af : nullptr);
             auto &t = traces[r][m];
             t.resize(trace_len);
             for (u32 p = 0; p < trace_len; ++p)
@@ -119,9 +181,13 @@ SystolicArray::runFold(const Matrix<i32> &input,
     // hardware schedule).
     std::vector<std::vector<PeCore>> cores(
         rows, std::vector<PeCore>(cols, PeCore(kern)));
-    for (int r = 0; r < rows; ++r)
-        for (int c = 0; c < cols; ++c)
-            cores[r][c].loadWeight(weights(r, c));
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            cores[r][c].loadWeight((*wp)(r, c));
+            if (plan)
+                cores[r][c].attachFaults(plan, tile, r, c);
+        }
+    }
 
     const int shift =
         (kern.scheme == Scheme::USystolicRate && kern.et_bits > 0)
@@ -177,11 +243,30 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
     RunResult result;
     result.acc = Matrix<i64>(m_rows, n_dim, 0);
 
+    // DramWord site: operand codes corrupt once per GEMM, as they leave
+    // memory — before tiling, so every fold (and either engine)
+    // consumes identical corrupted reads.
+    const FaultPlan &fp = cfg_.faults;
+    const Matrix<i32> *pa = &a, *pb = &b;
+    Matrix<i32> a_faulted, b_faulted;
+    u64 dram_events = 0;
+    if (fp.enabled() && fp.rates.dram_word > 0.0) {
+        a_faulted = a;
+        b_faulted = b;
+        dram_events += applyDramFaults(fp, a_faulted, kDramOperandA,
+                                       cfg_.kernel.bits);
+        dram_events += applyDramFaults(fp, b_faulted, kDramOperandB,
+                                       cfg_.kernel.bits);
+        pa = &a_faulted;
+        pb = &b_faulted;
+    }
+
     // Each column-tile shard owns a disjoint slice of the output matrix,
     // so the shards can run concurrently; per-shard cycle counts and
     // stats deltas are reduced serially in tile order below, keeping
     // totals and dumps identical to the serial loop.
     std::vector<FoldStatsDelta> deltas(n_tiles);
+    deltas[0].faults_dram = dram_events;
     std::vector<Cycles> tile_cycles(n_tiles, 0);
     auto run_tile = [&](u64 ti) {
         const int n0 = int(ti) * cols;
@@ -195,14 +280,19 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
             std::fill(w_tile.data().begin(), w_tile.data().end(), 0);
             for (int m = 0; m < m_rows; ++m)
                 for (int r = 0; r < rows && k0 + r < k_dim; ++r)
-                    in_tile(m, r) = a(m, k0 + r);
+                    in_tile(m, r) = (*pa)(m, k0 + r);
             for (int r = 0; r < rows && k0 + r < k_dim; ++r)
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)
-                    w_tile(r, c) = b(k0 + r, n0 + c);
+                    w_tile(r, c) = (*pb)(k0 + r, n0 + c);
 
+            // Global fold index: the coordinate every per-fold fault
+            // site hashes, identical under any tile schedule.
+            const u64 tile = ti * k_tiles + u64(k0 / rows);
             const auto fold =
-                packed ? packed_array.runFold(in_tile, w_tile, &deltas[ti])
-                       : scalar_array.runFold(in_tile, w_tile, &deltas[ti]);
+                packed ? packed_array.runFold(in_tile, w_tile,
+                                              &deltas[ti], tile)
+                       : scalar_array.runFold(in_tile, w_tile,
+                                              &deltas[ti], tile);
             tile_cycles[ti] += fold.cycles;
             for (int m = 0; m < m_rows; ++m)
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)

@@ -24,6 +24,7 @@
 #include "common/matrix.h"
 #include "common/types.h"
 #include "arch/scheme.h"
+#include "fault/fault.h"
 
 namespace usys {
 
@@ -34,10 +35,19 @@ struct ArrayConfig
     int cols = 8;
     KernelConfig kernel;
 
+    /**
+     * Deterministic fault-injection plan (default: disabled). Every
+     * engine driven by this config — scalar, RTL referee, packed —
+     * resolves the same plan to the same fault events, so they remain
+     * bit-exact against each other with injection enabled.
+     */
+    FaultPlan faults;
+
     void
     check() const
     {
         kernel.check();
+        faults.check();
         fatalIf(rows < 1 || cols < 1, "ArrayConfig: degenerate shape");
     }
 };
@@ -58,8 +68,28 @@ struct FoldStatsDelta
     u64 bitstream_cycles = 0;
     std::vector<double> m_rows_samples; // arch.fold_m_rows histogram adds
 
+    // Fault events injected, per site (all zero on fault-free runs;
+    // flush() emits the arch.<kern>.faults_* counters only when any
+    // fired, so fault-free stats dumps are unchanged).
+    u64 faults_weight_reg = 0;
+    u64 faults_activation = 0;
+    u64 faults_weight_stream = 0;
+    u64 faults_accumulator = 0;
+    u64 faults_dram = 0;
+
     /** Record one fold's contribution. */
     void add(int m_rows, int rows, int cols, Cycles cycles, u32 trace_len);
+
+    /** Record one fold's analytic fault census. */
+    void addFaults(const FoldFaultCounts &counts);
+
+    /** Total fault events across all sites. */
+    u64
+    faultTotal() const
+    {
+        return faults_weight_reg + faults_activation +
+               faults_weight_stream + faults_accumulator + faults_dram;
+    }
 
     /** Fold another shard's deltas into this one (append in call
      *  order, so merging shards by index keeps histogram adds in the
@@ -90,10 +120,13 @@ class SystolicArray
      * @param stats if non-null, accumulate registry deltas here instead
      *        of committing to the global registry (for parallel shards;
      *        the caller must flush() in deterministic order)
+     * @param tile fold index for fault-site resolution (SystolicGemm
+     *        numbers folds ti * k_tiles + kt; standalone folds use 0)
      */
     FoldResult runFold(const Matrix<i32> &input,
                        const Matrix<i32> &weights,
-                       FoldStatsDelta *stats = nullptr) const;
+                       FoldStatsDelta *stats = nullptr,
+                       u64 tile = 0) const;
 
     /**
      * Closed-form fold latency; runFold() is asserted against this.

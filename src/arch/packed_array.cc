@@ -17,13 +17,6 @@ namespace usys {
 
 namespace {
 
-/** Mask selecting the low n bits of a word (n in [0, 64]). */
-inline u64
-lowMask(u32 n)
-{
-    return n >= 64 ? ~u64(0) : (u64(1) << n) - 1;
-}
-
 /**
  * Packed threshold-comparison stream with per-word prefix popcounts:
  * stream bit k is (values[k] < threshold), and prefixOnes(n) counts the
@@ -160,24 +153,6 @@ sharedSobolValues(int dimension, int bits, u32 count)
     return *slot;
 }
 
-/**
- * 1s in the first `mul` cycles of a fresh bitstream, via packed words.
- * A final partial word (early-termination boundary, or mul < 64) is
- * masked so bits past the window never count.
- */
-u32
-packedOnes(BitstreamGen &gen, u32 mul)
-{
-    u32 ones = 0;
-    for (u32 t = 0; t < mul; t += 64) {
-        u64 word = gen.nextWord();
-        if (mul - t < 64)
-            word &= lowMask(mul - t);
-        ones += u32(std::popcount(word));
-    }
-    return ones;
-}
-
 /** Largest sign-magnitude |value| in a tile (for cache sizing). */
 u32
 maxAbs(const Matrix<i32> &m)
@@ -199,7 +174,7 @@ PackedArray::PackedArray(const ArrayConfig &cfg)
 
 SystolicArray::FoldResult
 PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
-                     FoldStatsDelta *stats) const
+                     FoldStatsDelta *stats, u64 tile) const
 {
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
@@ -223,6 +198,50 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
     FoldStatsDelta &delta = stats ? *stats : local;
     delta.add(m_rows, rows, cols, cycles, trace_len);
 
+    // Fault plan: the census is analytic (coordinate enumeration), so
+    // it matches SystolicArray's by construction; the event *effects*
+    // are applied below at the packed formulation's equivalent points.
+    const FaultPlan *plan = cfg_.faults.enabled() ? &cfg_.faults : nullptr;
+    if (plan)
+        delta.addFaults(countFoldFaults(*plan, kern, tile, m_rows, rows,
+                                        cols));
+    const bool fw = plan && plan->rates.weight_reg > 0.0;
+    const bool fa = plan && plan->rates.activation_stream > 0.0;
+    const bool fs = plan && plan->rates.weight_stream > 0.0;
+    const bool fo = plan && plan->rates.accumulator > 0.0;
+    const u32 acc_width = accumulatorWidth(kern);
+
+    // WeightReg site: stationary weights corrupt once at preload, so a
+    // corrupted copy up front is exactly the scalar engine's behavior.
+    const Matrix<i32> *wp = &weights;
+    Matrix<i32> wfaulted;
+    if (fw) {
+        wfaulted = weights;
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+                if (const auto f = plan->weightReg(tile, r, c,
+                                                   u32(kern.bits)))
+                    wfaulted(r, c) =
+                        corruptCode(*f, wfaulted(r, c), kern.bits);
+        wp = &wfaulted;
+    }
+
+    // ActivationStream site, binary schemes: the stream *is* the code
+    // bits, so corruption lands on the input codes themselves.
+    const bool unary = isUnary(kern.scheme);
+    const Matrix<i32> *ip = &input;
+    Matrix<i32> ifaulted;
+    if (fa && !unary) {
+        ifaulted = input;
+        for (int m = 0; m < m_rows; ++m)
+            for (int r = 0; r < rows; ++r)
+                if (const auto f = plan->activationStream(
+                        tile, m, r, activationWindow(kern)))
+                    ifaulted(m, r) =
+                        corruptActivationCode(*f, ifaulted(m, r), kern);
+        ip = &ifaulted;
+    }
+
     const int shift =
         (kern.scheme == Scheme::USystolicRate && kern.et_bits > 0)
             ? kern.bits - kern.et_bits
@@ -236,12 +255,20 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         // Both binary kernels compute the exact product per MAC: parallel
         // multiplies in one cycle; serial accumulates wabs << phase over
         // the input magnitude bits (= wabs * iabs) and sign-corrects at
-        // M-end. Either way the fold is a plain integer GEMM.
+        // M-end. Either way the fold is a plain integer GEMM. The
+        // Accumulator site hits each PE's signed per-interval product
+        // before the partial-sum merge, same as PeCore::finishMac.
         for (int m = 0; m < m_rows; ++m) {
             for (int c = 0; c < cols; ++c) {
                 i64 acc = 0;
-                for (int r = 0; r < rows; ++r)
-                    acc += i64(input(m, r)) * i64(weights(r, c));
+                for (int r = 0; r < rows; ++r) {
+                    i64 contrib = i64((*ip)(m, r)) * i64((*wp)(r, c));
+                    if (fo)
+                        if (const auto f = plan->accumulator(tile, m, r, c,
+                                                             acc_width))
+                            contrib = f->applyToInt(contrib, acc_width);
+                    acc += contrib;
+                }
                 out(m, c) = acc;
             }
         }
@@ -255,8 +282,9 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         FoldScratch &scratch = foldScratch();
         // One packed weight-comparison stream per distinct |w|, over the
         // row-shared weight RNG values (C-BSG index k = k-th input 1).
-        StreamCache wstreams(sharedSobolValues(kWeightRngDim, rng_bits, mul),
-                             maxAbs(weights), scratch.stream_pool);
+        const std::vector<u32> &wvals =
+            sharedSobolValues(kWeightRngDim, rng_bits, mul);
+        StreamCache wstreams(wvals, maxAbs(*wp), scratch.stream_pool);
         // Input 1s delivered inside the (possibly early-terminated)
         // window depend only on |i|, so memoize per magnitude.
         std::vector<i64> &ones_memo = scratch.ones_memo;
@@ -266,10 +294,10 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             if (slot < 0) {
                 if (rate) {
                     RateBsg gen(iabs, kInputRngDim, rng_bits);
-                    slot = packedOnes(gen, mul);
+                    slot = i64(onesInWindow(gen, mul));
                 } else {
                     TemporalBsg gen(iabs, rng_bits);
-                    slot = packedOnes(gen, mul);
+                    slot = i64(onesInWindow(gen, mul));
                 }
             }
             return u32(slot);
@@ -277,12 +305,56 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         for (int m = 0; m < m_rows; ++m) {
             for (int r = 0; r < rows; ++r) {
                 const SignMag in = toSignMag(input(m, r));
-                const u32 ones = ones_of(in.magnitude);
+                // ActivationStream site: corrupt the packed input stream
+                // before counting — the corrupted ones-count is all the
+                // weight side ever sees (the C-BSG advances on observed
+                // 1-bits), matching the scalar engine's corrupted
+                // consumption counters. Faulted MACs bypass the memo.
+                u32 ones;
+                std::optional<Fault> af;
+                if (fa)
+                    af = plan->activationStream(tile, m, r, mul);
+                if (af) {
+                    if (rate) {
+                        RateBsg gen(in.magnitude, kInputRngDim, rng_bits);
+                        ones = u32(onesInWindow(gen, mul, &*af));
+                    } else {
+                        TemporalBsg gen(in.magnitude, rng_bits);
+                        ones = u32(onesInWindow(gen, mul, &*af));
+                    }
+                } else {
+                    ones = ones_of(in.magnitude);
+                }
                 for (int c = 0; c < cols; ++c) {
-                    const SignMag w = toSignMag(weights(r, c));
-                    const i64 count =
+                    const SignMag w = toSignMag((*wp)(r, c));
+                    i64 count =
                         wstreams.forThreshold(w.magnitude).prefixOnes(ones);
-                    out(m, c) += (in.negative != w.negative) ? -count : count;
+                    // WeightStream site: re-derive the covered
+                    // comparison bits b_k = (wrng.at(k) < |w|) and swap
+                    // each for its corrupted value — only indices below
+                    // the delivered ones-count ever reach a comparator.
+                    if (fs)
+                        if (const auto f = plan->weightStream(tile, m, r,
+                                                              c, mul)) {
+                            const u64 hi =
+                                std::min<u64>(u64(f->first) + f->len,
+                                              ones);
+                            for (u64 k = f->first; k < hi; ++k) {
+                                const bool b =
+                                    wvals[std::size_t(k)] < w.magnitude;
+                                count += i64(f->corruptBit(b, u32(k))) -
+                                         i64(b);
+                            }
+                        }
+                    i64 contrib =
+                        (in.negative != w.negative) ? -count : count;
+                    // Accumulator site: per-MAC signed OREG contribution,
+                    // pre-merge, pre-shift — same point as finishMac.
+                    if (fo)
+                        if (const auto f = plan->accumulator(tile, m, r, c,
+                                                             acc_width))
+                            contrib = f->applyToInt(contrib, acc_width);
+                    out(m, c) += contrib;
                 }
             }
         }
@@ -295,10 +367,11 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         // Bipolar uMUL: input 1-cycles consume the polarity-1 weight RNG
         // (product bit = rnum < woffset), input 0-cycles the polarity-0
         // RNG (product bit = !(rnum_alt < woffset)).
-        const u32 max_woff = u32(maxAbs(weights) + bias);
+        const u32 max_woff = u32(maxAbs(*wp) + bias);
         FoldScratch &scratch = foldScratch();
-        StreamCache s1(sharedSobolValues(kWeightRngDim, rng_bits, mul),
-                       max_woff, scratch.stream_pool);
+        const std::vector<u32> &s1vals =
+            sharedSobolValues(kWeightRngDim, rng_bits, mul);
+        StreamCache s1(s1vals, max_woff, scratch.stream_pool);
         StreamCache s0(sharedSobolValues(kWeightRngDim + kWeightAltRngOffset,
                                          rng_bits, mul),
                        max_woff, scratch.stream_pool);
@@ -308,21 +381,57 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             i64 &slot = ones_memo[std::size_t(value + bias)];
             if (slot < 0) {
                 BipolarRateBsg gen(value, kInputRngDim, kern.bits);
-                slot = packedOnes(gen, mul);
+                slot = i64(onesInWindow(gen, mul));
             }
             return u32(slot);
         };
         for (int m = 0; m < m_rows; ++m) {
             for (int r = 0; r < rows; ++r) {
-                const u32 ones = ones_of(input(m, r));
+                // ActivationStream site: corrupt the packed bipolar
+                // stream before counting (memo bypassed); the corrupted
+                // split between 1-cycles and 0-cycles drives both
+                // polarity lanes exactly as the scalar front end's
+                // corrupted consumption counters do.
+                u32 ones;
+                std::optional<Fault> af;
+                if (fa)
+                    af = plan->activationStream(tile, m, r, mul);
+                if (af) {
+                    BipolarRateBsg gen(input(m, r), kInputRngDim,
+                                       kern.bits);
+                    ones = u32(onesInWindow(gen, mul, &*af));
+                } else {
+                    ones = ones_of(input(m, r));
+                }
                 const u32 zeros = mul - ones;
                 for (int c = 0; c < cols; ++c) {
-                    const u32 woff = u32(weights(r, c) + bias);
-                    const i64 count =
+                    const u32 woff = u32((*wp)(r, c) + bias);
+                    i64 count =
                         i64(s1.forThreshold(woff).prefixOnes(ones)) +
                         (i64(zeros) - s0.forThreshold(woff).prefixOnes(zeros));
+                    // WeightStream site: the polarity-1 lane is the same
+                    // C-BSG structure the unipolar schemes fault, so
+                    // corrupt its covered comparison bits only.
+                    if (fs)
+                        if (const auto f = plan->weightStream(tile, m, r,
+                                                              c, mul)) {
+                            const u64 hi =
+                                std::min<u64>(u64(f->first) + f->len,
+                                              ones);
+                            for (u64 k = f->first; k < hi; ++k) {
+                                const bool b =
+                                    s1vals[std::size_t(k)] < woff;
+                                count += i64(f->corruptBit(b, u32(k))) -
+                                         i64(b);
+                            }
+                        }
                     // finishMac's bipolar count -> signed product offset.
-                    out(m, c) += count - bias;
+                    i64 contrib = count - bias;
+                    if (fo)
+                        if (const auto f = plan->accumulator(tile, m, r, c,
+                                                             acc_width))
+                            contrib = f->applyToInt(contrib, acc_width);
+                    out(m, c) += contrib;
                 }
             }
         }

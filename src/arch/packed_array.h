@@ -42,14 +42,19 @@ class PackedArray
 
     /**
      * Run one fold: output (M x C) = input (M x R) x weights (R x C),
-     * bit-exact with SystolicArray::runFold (outputs, cycles, stats).
+     * bit-exact with SystolicArray::runFold (outputs, cycles, stats) —
+     * including under an enabled fault plan, where both engines resolve
+     * identical fault events per (tile, m, r, c) coordinate.
      *
      * @param stats same contract as SystolicArray::runFold — non-null
      *        accumulates the registry delta for a later ordered flush()
+     * @param tile fold index for fault-site resolution (SystolicGemm
+     *        numbers folds ti * k_tiles + kt; standalone folds use 0)
      */
     SystolicArray::FoldResult runFold(const Matrix<i32> &input,
                                       const Matrix<i32> &weights,
-                                      FoldStatsDelta *stats = nullptr) const;
+                                      FoldStatsDelta *stats = nullptr,
+                                      u64 tile = 0) const;
 
     const ArrayConfig &config() const { return cfg_; }
 

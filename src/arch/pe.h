@@ -27,6 +27,7 @@
 #include "common/fixed_point.h"
 #include "common/types.h"
 #include "arch/scheme.h"
+#include "fault/fault.h"
 #include "unary/sobol.h"
 
 namespace usys {
@@ -113,6 +114,8 @@ class RowFrontEnd
                 ibit = cnt_ >= period - iabs_;
                 ++cnt_;
             }
+            if (sfault_ && sfault_->covers(phase))
+                ibit = sfault_->corruptBit(ibit, phase);
             lane.ibit = ibit;
             lane.rnum = wrng_.at(consumed_);
             if (ibit)
@@ -120,7 +123,9 @@ class RowFrontEnd
             break;
           }
           case Scheme::UgemmHybrid: {
-            const bool ibit = irng_.next() < ioffset_;
+            bool ibit = irng_.next() < ioffset_;
+            if (sfault_ && sfault_->covers(phase))
+                ibit = sfault_->corruptBit(ibit, phase);
             lane.ibit = ibit;
             lane.rnum = wrng_.at(consumed_);
             lane.rnum_alt = wrng_alt_.at(consumed_alt_);
@@ -142,6 +147,16 @@ class RowFrontEnd
         consumed_alt_ = 0;
     }
 
+    /**
+     * Attach the current MAC interval's ActivationStream fault (null =
+     * none); the engine resolves it per (tile, m, r) alongside
+     * loadInput(). The corrupted bit is what the consumption counters
+     * see, so the weight-side RNG advances exactly as it would in
+     * faulty hardware — and exactly as the packed engine's corrupted
+     * ones-count implies.
+     */
+    void setStreamFault(const Fault *fault) { sfault_ = fault; }
+
   private:
     static int
     rngBits(const KernelConfig &cfg)
@@ -161,6 +176,7 @@ class RowFrontEnd
     u32 cnt_ = 0;
     u64 consumed_ = 0;
     u64 consumed_alt_ = 0;
+    const Fault *sfault_ = nullptr;
 };
 
 /** Per-PE arithmetic core: uMUL + sign XOR + OREG accumulate. */
@@ -168,6 +184,29 @@ class PeCore
 {
   public:
     explicit PeCore(const KernelConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Enable fault injection for this PE at array position (r, c) of
+     * fold `tile`. The core tracks its own MAC-interval index (engines
+     * evaluate intervals in order per PE) and resolves the
+     * WeightStream / Accumulator sites from the plan on demand, so the
+     * scalar reference and the RTL referee corrupt exactly the
+     * coordinates the packed engine does.
+     */
+    void
+    attachFaults(const FaultPlan *plan, u64 tile, int r, int c)
+    {
+        faults_ = plan;
+        ftile_ = tile;
+        fr_ = r;
+        fc_ = c;
+        finterval_ = 0;
+        cmp_ = 0;
+        wsf_resolved_ = false;
+        wsf_.reset();
+        wsf_window_ = cfg_.mulCycles();
+        acc_width_ = accumulatorWidth(cfg_);
+    }
 
     /** Latch a stationary weight (WABS/WSIGN). */
     void
@@ -195,14 +234,19 @@ class PeCore
             break;
           case Scheme::USystolicRate:
           case Scheme::USystolicTemporal: {
-            const bool pbit = lane.ibit && (lane.rnum < wabs_);
+            bool pbit = false;
+            if (lane.ibit)
+                pbit = corruptedCompare(lane.rnum < wabs_);
             if (pbit)
                 oreg_ += (lane.isign != wsign_) ? -1 : 1;
             break;
           }
           case Scheme::UgemmHybrid: {
-            const bool pbit = lane.ibit ? (lane.rnum < woffset_)
-                                        : !(lane.rnum_alt < woffset_);
+            // WeightStream faults hit the polarity-1 lane only (the
+            // same C-BSG structure the unipolar schemes fault).
+            const bool pbit =
+                lane.ibit ? corruptedCompare(lane.rnum < woffset_)
+                          : !(lane.rnum_alt < woffset_);
             if (pbit)
                 ++oreg_;
             break;
@@ -227,6 +271,17 @@ class PeCore
             // Bipolar count -> signed scaled product (x*w / 2^(N-1)).
             value -= i64(1) << (cfg_.bits - 1);
         }
+        if (faults_) {
+            // Accumulator site: corrupt this interval's signed OREG
+            // contribution before the partial-sum merge.
+            if (const auto f = faults_->accumulator(ftile_, finterval_,
+                                                    fr_, fc_, acc_width_))
+                value = f->applyToInt(value, acc_width_);
+            ++finterval_;
+            cmp_ = 0;
+            wsf_resolved_ = false;
+            wsf_.reset();
+        }
         oreg_ = 0;
         return value + psum_below;
     }
@@ -235,12 +290,46 @@ class PeCore
     i32 weight() const { return wvalue_; }
 
   private:
+    /**
+     * Run one weight-side comparison bit through this interval's
+     * WeightStream fault (resolved lazily on the first comparison; the
+     * fault position is the *comparison index* — the count of input
+     * 1-bits so far — which is the coordinate the packed engine's
+     * prefix-popcount formulation can also address).
+     */
+    bool
+    corruptedCompare(bool bit)
+    {
+        if (!faults_)
+            return bit;
+        if (!wsf_resolved_) {
+            wsf_ = faults_->weightStream(ftile_, finterval_, fr_, fc_,
+                                         wsf_window_);
+            wsf_resolved_ = true;
+        }
+        if (wsf_ && wsf_->covers(cmp_))
+            bit = wsf_->corruptBit(bit, cmp_);
+        ++cmp_;
+        return bit;
+    }
+
     KernelConfig cfg_;
     u32 wabs_ = 0;
     bool wsign_ = false;
     i32 wvalue_ = 0;
     u32 woffset_ = 0;
     i64 oreg_ = 0;
+
+    // Fault-injection state (inactive unless attachFaults() was called).
+    const FaultPlan *faults_ = nullptr;
+    u64 ftile_ = 0;
+    int fr_ = 0, fc_ = 0;
+    u32 finterval_ = 0;        // MAC-interval index m within the fold
+    u32 cmp_ = 0;              // comparison index k within the interval
+    bool wsf_resolved_ = false;
+    std::optional<Fault> wsf_; // this interval's WeightStream event
+    u32 wsf_window_ = 0;
+    u32 acc_width_ = 0;
 };
 
 } // namespace usys

@@ -46,10 +46,20 @@ RtlArray::runFold(const Matrix<i32> &input,
             ? kern.bits - kern.et_bits
             : 0;
 
+    // Fault plan, tile 0 (RtlArray folds are standalone; the referee is
+    // compared against SystolicArray::runFold at the same tile id).
+    // Fault *effects* are identical to the other engines; the referee
+    // keeps its direct registry stats and books no fault counters.
+    const FaultPlan *plan = cfg_.faults.enabled() ? &cfg_.faults : nullptr;
+    const bool unary = isUnary(kern.scheme);
+
     // --- PE and wire state ----------------------------------------------
     std::vector<std::vector<PeCore>> cores(
         rows, std::vector<PeCore>(cols, PeCore(kern)));
     std::vector<RowFrontEnd> fes(rows, RowFrontEnd(kern));
+    // Per-row ActivationStream event for the row's current MAC interval
+    // (stable addresses: RowFrontEnd holds a pointer for the interval).
+    std::vector<std::optional<Fault>> row_fault(rows);
     // Registered lane outputs of each PE (consumed by column c+1).
     std::vector<std::vector<LaneWire>> lane_q(
         rows, std::vector<LaneWire>(cols));
@@ -60,17 +70,35 @@ RtlArray::runFold(const Matrix<i32> &input,
     // --- Weight preload: shift one row per cycle down the columns. ------
     // Feeding rows bottom-up means after `rows` shifts PE row r holds
     // weight row r.
+    // WeightReg faults corrupt the codes entering the preload pipe, so
+    // the corrupted value is what shifts down and latches.
+    const Matrix<i32> *wsrc = &weights;
+    Matrix<i32> wfaulted;
+    if (plan && plan->rates.weight_reg > 0.0) {
+        wfaulted = weights;
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+                if (const auto f =
+                        plan->weightReg(0, r, c, u32(kern.bits)))
+                    wfaulted(r, c) =
+                        corruptCode(*f, wfaulted(r, c), kern.bits);
+        wsrc = &wfaulted;
+    }
+
     std::vector<std::vector<i32>> wpipe(rows, std::vector<i32>(cols, 0));
     Cycles cycle = 0;
     for (int beat = 0; beat < rows; ++beat, ++cycle) {
         for (int r = rows - 1; r > 0; --r)
             wpipe[r] = wpipe[r - 1];
         for (int c = 0; c < cols; ++c)
-            wpipe[0][c] = weights(rows - 1 - beat, c);
+            wpipe[0][c] = (*wsrc)(rows - 1 - beat, c);
     }
     for (int r = 0; r < rows; ++r)
-        for (int c = 0; c < cols; ++c)
+        for (int c = 0; c < cols; ++c) {
             cores[r][c].loadWeight(wpipe[r][c]);
+            if (plan)
+                cores[r][c].attachFaults(plan, 0, r, c);
+        }
 
     // --- Streaming -------------------------------------------------------
     // Row r starts its first MAC interval (rows-1-r) intervals after the
@@ -104,8 +132,19 @@ RtlArray::runFold(const Matrix<i32> &input,
             const u32 phase = u32(local % mac);
             if (interval >= u64(m_rows))
                 continue;
-            if (phase == 0)
-                fes[r].loadInput(input(int(interval), r));
+            if (phase == 0) {
+                i32 value = input(int(interval), r);
+                row_fault[r].reset();
+                if (plan && plan->rates.activation_stream > 0.0)
+                    row_fault[r] = plan->activationStream(
+                        0, int(interval), r, activationWindow(kern));
+                if (row_fault[r] && !unary)
+                    value =
+                        corruptActivationCode(*row_fault[r], value, kern);
+                fes[r].loadInput(value);
+                fes[r].setStreamFault(
+                    unary && row_fault[r] ? &*row_fault[r] : nullptr);
+            }
             if (phase < mul) {
                 fe_wire[r].ivalid = true;
                 fe_wire[r].phase = phase;

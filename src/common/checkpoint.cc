@@ -1,0 +1,141 @@
+#include "common/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace usys {
+
+namespace {
+
+constexpr const char *kHeader = "usys-checkpoint v1";
+
+void
+checkToken(const std::string &what, const std::string &s)
+{
+    fatalIf(s.find('\t') != std::string::npos ||
+                s.find('\n') != std::string::npos ||
+                s.find('\r') != std::string::npos,
+            "checkpoint " + what + " contains tab/newline: '" + s + "'");
+}
+
+} // namespace
+
+ShardCheckpoint::ShardCheckpoint(std::string path)
+    : path_(std::move(path))
+{}
+
+void
+ShardCheckpoint::load()
+{
+    if (!enabled())
+        return;
+    std::ifstream in(path_);
+    if (!in.is_open())
+        return; // fresh start
+    std::string line;
+    fatalIf(!std::getline(in, line) || line != kHeader,
+            "checkpoint " + path_ + ": bad header (expected '" +
+                kHeader + "')");
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::size_t tab = line.find('\t');
+        fatalIf(tab == std::string::npos,
+                "checkpoint " + path_ + ": malformed line: '" + line +
+                    "'");
+        entries_[line.substr(0, tab)] = line.substr(tab + 1);
+    }
+    inform("checkpoint " + path_ + ": restored " +
+           std::to_string(entries_.size()) + " shard(s)");
+}
+
+bool
+ShardCheckpoint::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+const std::string &
+ShardCheckpoint::find(const std::string &key) const
+{
+    static const std::string empty;
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? empty : it->second;
+}
+
+void
+ShardCheckpoint::record(const std::string &key, const std::string &payload)
+{
+    if (!enabled())
+        return;
+    checkToken("key", key);
+    checkToken("payload", payload);
+    entries_[key] = payload;
+    persist();
+}
+
+void
+ShardCheckpoint::persist() const
+{
+    std::string text(kHeader);
+    text += '\n';
+    for (const auto &e : entries_) {
+        text += e.first;
+        text += '\t';
+        text += e.second;
+        text += '\n';
+    }
+    fatalIf(!writeTextFile(path_, text),
+            "cannot write checkpoint: " + path_);
+}
+
+std::string
+ShardCheckpoint::packDouble(double v)
+{
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return packU64(bits);
+}
+
+double
+ShardCheckpoint::unpackDouble(const std::string &s)
+{
+    const u64 bits = unpackU64(s);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ShardCheckpoint::packU64(u64 v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+u64
+ShardCheckpoint::unpackU64(const std::string &s)
+{
+    fatalIf(s.size() != 16, "checkpoint: bad u64 field: '" + s + "'");
+    u64 v = 0;
+    for (const char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            fatal("checkpoint: bad hex digit in '" + s + "'");
+        v = (v << 4) | u64(digit);
+    }
+    return v;
+}
+
+} // namespace usys

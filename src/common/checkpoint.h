@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Crash-safe shard checkpointing for long-running sweeps.
+ *
+ * A ShardCheckpoint is a tiny key -> payload store persisted after every
+ * completed shard via the atomic writeTextFile() (write-temp-then-rename),
+ * so a sweep killed at any instant leaves either the previous complete
+ * checkpoint or the new complete checkpoint on disk — never a torn file.
+ * On --resume the driver loads the store, restores the recorded shard
+ * results verbatim, and recomputes only the missing shards; because
+ * payloads round-trip doubles by their exact u64 bit pattern, a resumed
+ * sweep's merged artifact is byte-identical to an uninterrupted run.
+ *
+ * File format (line-oriented, no JSON parser needed):
+ *
+ *     usys-checkpoint v1
+ *     <key>\t<payload>
+ *     ...
+ *
+ * Keys and payloads must not contain tabs or newlines (enforced).
+ */
+
+#ifndef USYS_COMMON_CHECKPOINT_H
+#define USYS_COMMON_CHECKPOINT_H
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace usys {
+
+class ShardCheckpoint
+{
+  public:
+    /** @param path checkpoint file; empty = checkpointing disabled. */
+    explicit ShardCheckpoint(std::string path);
+
+    bool enabled() const { return !path_.empty(); }
+
+    /**
+     * Load an existing checkpoint file. Missing file is fine (fresh
+     * start); a malformed file is fatal() — a corrupt checkpoint must
+     * not silently restore garbage shard results.
+     */
+    void load();
+
+    bool has(const std::string &key) const;
+
+    /** Payload for `key`, or the empty string when absent. */
+    const std::string &find(const std::string &key) const;
+
+    /**
+     * Record a completed shard and persist the whole store atomically.
+     * No-op when disabled. Re-recording a key overwrites it.
+     */
+    void record(const std::string &key, const std::string &payload);
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string &path() const { return path_; }
+
+    // --- Payload field packing --------------------------------------
+    // Doubles travel as their 16-hex-digit IEEE-754 bit pattern, so
+    // restore-then-merge reproduces the uninterrupted run bit for bit
+    // (decimal round-tripping would not).
+    static std::string packDouble(double v);
+    static double unpackDouble(const std::string &s);
+    static std::string packU64(u64 v);
+    static u64 unpackU64(const std::string &s);
+
+  private:
+    void persist() const;
+
+    std::string path_;
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace usys
+
+#endif // USYS_COMMON_CHECKPOINT_H

@@ -1,5 +1,7 @@
 #include "common/cli.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -27,6 +29,40 @@ setPackedEngineEnabled(bool on)
     g_packed_engine = on;
 }
 
+i64
+parseIntFlag(const char *flag, const char *text, i64 lo, i64 hi)
+{
+    fatalIf(text == nullptr || *text == '\0',
+            std::string(flag) + ": empty numeric value");
+    errno = 0;
+    char *tail = nullptr;
+    const long long v = std::strtoll(text, &tail, 10);
+    fatalIf(tail == text || *tail != '\0',
+            std::string(flag) + ": not an integer: '" + text + "'");
+    fatalIf(errno == ERANGE || v < lo || v > hi,
+            std::string(flag) + ": value " + text + " outside [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    return i64(v);
+}
+
+double
+parseDoubleFlag(const char *flag, const char *text, double lo, double hi)
+{
+    fatalIf(text == nullptr || *text == '\0',
+            std::string(flag) + ": empty numeric value");
+    errno = 0;
+    char *tail = nullptr;
+    const double v = std::strtod(text, &tail);
+    fatalIf(tail == text || *tail != '\0',
+            std::string(flag) + ": not a number: '" + text + "'");
+    fatalIf(errno == ERANGE || !std::isfinite(v),
+            std::string(flag) + ": value not finite: '" + text + "'");
+    fatalIf(v < lo || v > hi,
+            std::string(flag) + ": value " + text + " outside [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    return v;
+}
+
 BenchOptions
 parseBenchArgs(int *argc, char **argv, const std::string &bench)
 {
@@ -52,11 +88,8 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
         } else if (std::strcmp(arg, "--packed") == 0) {
             setPackedEngineEnabled(true);
         } else if (std::strcmp(arg, "--threads") == 0) {
-            const char *v = value("--threads");
-            char *tail = nullptr;
-            const long n = std::strtol(v, &tail, 10);
-            fatalIf(tail == v || *tail != '\0' || n < 0 || n > 4096,
-                    std::string("--threads: invalid count: ") + v);
+            const i64 n =
+                parseIntFlag("--threads", value("--threads"), 0, 4096);
             Executor::global().setThreads(unsigned(n));
         } else {
             argv[out++] = argv[i];

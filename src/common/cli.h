@@ -22,6 +22,8 @@
 
 #include <string>
 
+#include "common/types.h"
+
 namespace usys {
 
 /** Observability options shared by every bench driver. */
@@ -39,6 +41,23 @@ struct BenchOptions
  */
 BenchOptions parseBenchArgs(int *argc, char **argv,
                             const std::string &bench);
+
+/**
+ * Parse an integer flag value strictly: the whole token must be a
+ * decimal integer within [lo, hi]. Empty strings, non-numeric input,
+ * trailing garbage ("12x"), and out-of-range values are fatal() with a
+ * message naming the flag — a silently truncated `--reps 1e3` has
+ * burned enough CPU hours.
+ */
+i64 parseIntFlag(const char *flag, const char *text, i64 lo, i64 hi);
+
+/**
+ * Parse a floating-point flag value strictly: the whole token must be
+ * a finite decimal/scientific number within [lo, hi]. Same fatal()
+ * contract as parseIntFlag (rejects "", "1.5.2", "nan", overflow).
+ */
+double parseDoubleFlag(const char *flag, const char *text, double lo,
+                       double hi);
 
 /** Write the requested artifacts and report where they went. */
 void finalizeBench(const BenchOptions &opts);

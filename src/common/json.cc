@@ -264,17 +264,31 @@ JsonWriter::str() const
 bool
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write-temp-then-rename so a reader (or a crash mid-write) never
+    // observes a truncated artifact: rename() within a directory is
+    // atomic, so `path` either holds its previous content or the full
+    // new text. Checkpoint resume and the byte-identical artifact
+    // guarantees both lean on this.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-        warn("cannot open " + path + " for writing");
+        warn("cannot open " + tmp + " for writing");
         return false;
     }
-    const bool ok =
-        std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    std::fclose(f);
-    if (!ok)
-        warn("short write to " + path);
-    return ok;
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        warn("short write to " + tmp);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot rename " + tmp + " to " + path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace usys

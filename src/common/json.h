@@ -79,7 +79,11 @@ class JsonWriter
     int indent_;
 };
 
-/** Write a string to a file; returns false (and warns) on I/O error. */
+/**
+ * Write a string to a file atomically (write `path`.tmp, then rename):
+ * the destination either keeps its old content or holds the complete
+ * new text, never a truncation. Returns false (and warns) on I/O error.
+ */
 bool writeTextFile(const std::string &path, const std::string &text);
 
 } // namespace usys

@@ -1,0 +1,118 @@
+#include "eval/resilience.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/checkpoint.h"
+#include "common/fixed_point.h"
+#include "common/logging.h"
+#include "common/matrix.h"
+#include "common/prng.h"
+#include "arch/array.h"
+
+namespace usys {
+
+namespace {
+
+Matrix<i32>
+randomOperand(Prng &prng, int rows, int cols, int bits)
+{
+    const i32 max_mag = maxMagnitude(bits);
+    Matrix<i32> m(rows, cols, 0);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(r, c) = i32(prng.below(u64(2 * max_mag + 1))) - max_mag;
+    return m;
+}
+
+} // namespace
+
+std::string
+ResilienceResult::serialize() const
+{
+    return ShardCheckpoint::packU64(samples) + ' ' +
+           ShardCheckpoint::packU64(fault_events) + ' ' +
+           ShardCheckpoint::packDouble(sum_sq_err) + ' ' +
+           ShardCheckpoint::packDouble(sum_sq_ref) + ' ' +
+           ShardCheckpoint::packDouble(sum_abs_err);
+}
+
+ResilienceResult
+ResilienceResult::deserialize(const std::string &payload)
+{
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= payload.size()) {
+        const std::size_t sp = payload.find(' ', pos);
+        if (sp == std::string::npos) {
+            fields.push_back(payload.substr(pos));
+            break;
+        }
+        fields.push_back(payload.substr(pos, sp - pos));
+        pos = sp + 1;
+    }
+    fatalIf(fields.size() != 5,
+            "resilience checkpoint payload: expected 5 fields, got " +
+                std::to_string(fields.size()));
+    ResilienceResult r;
+    r.samples = ShardCheckpoint::unpackU64(fields[0]);
+    r.fault_events = ShardCheckpoint::unpackU64(fields[1]);
+    r.sum_sq_err = ShardCheckpoint::unpackDouble(fields[2]);
+    r.sum_sq_ref = ShardCheckpoint::unpackDouble(fields[3]);
+    r.sum_abs_err = ShardCheckpoint::unpackDouble(fields[4]);
+    return r;
+}
+
+ResilienceResult
+runResilienceShard(const ResilienceSpec &spec)
+{
+    ResilienceResult result;
+    for (int t = 0; t < spec.trials; ++t) {
+        // Operands are a function of (seed, trial) only, so every rate
+        // point of a scheme compares faulted outputs against the same
+        // clean GEMMs; the plan seed shifts per trial so trials sample
+        // independent fault patterns.
+        Prng prng(spec.seed * 0x9E3779B9ull + u64(t) * 1000003ull + 7);
+        const Matrix<i32> a =
+            randomOperand(prng, spec.m, spec.k, spec.kern.bits);
+        const Matrix<i32> b =
+            randomOperand(prng, spec.k, spec.n, spec.kern.bits);
+
+        ArrayConfig clean_cfg;
+        clean_cfg.rows = spec.rows;
+        clean_cfg.cols = spec.cols;
+        clean_cfg.kernel = spec.kern;
+
+        ArrayConfig fault_cfg = clean_cfg;
+        fault_cfg.faults.seed = spec.seed + u64(t);
+        fault_cfg.faults.kind = spec.kind;
+        fault_cfg.faults.burst_len = spec.burst_len;
+        fault_cfg.faults.rates = spec.rates;
+
+        // Local deltas keep the stats registry free of per-shard arch
+        // stats (only the fault counters matter to the sweep, and they
+        // are re-booked from the shard results) — which is what lets a
+        // resumed sweep's registry dump match a straight run's exactly.
+        FoldStatsDelta clean_delta, fault_delta;
+        const auto clean =
+            SystolicGemm(clean_cfg).run(a, b, &clean_delta);
+        const auto faulted =
+            SystolicGemm(fault_cfg).run(a, b, &fault_delta);
+        result.fault_events += fault_delta.faultTotal();
+
+        for (int m = 0; m < spec.m; ++m) {
+            for (int n = 0; n < spec.n; ++n) {
+                const double ref = double(clean.acc(m, n));
+                const double err = double(faulted.acc(m, n)) - ref;
+                result.sum_sq_err += err * err;
+                result.sum_sq_ref += ref * ref;
+                result.sum_abs_err += std::abs(err);
+                ++result.samples;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace usys

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fault-resilience sweep shards: accuracy degradation of each numeric
+ * scheme under escalating fault rates.
+ *
+ * A shard runs one (kernel, fault-rate) point: `trials` random GEMMs
+ * through SystolicGemm twice — fault-free and under a deterministic
+ * FaultPlan — and accumulates the error of the faulted outputs against
+ * the clean ones (both in the scheme's own accumulator units, so the
+ * NRMSE is unit-free and comparable across schemes). This is the
+ * quantitative form of the paper's resilience argument: a corrupted
+ * rate-coded stream bit perturbs a product by at most 1/2^(N-1) of its
+ * range, while a binary-parallel MSB flip moves it by half the range —
+ * so unary NRMSE degrades gracefully with the fault rate where binary
+ * collapses.
+ *
+ * Shards are the checkpointing granule of bench/fault_sweep: a
+ * ResilienceResult serializes to a compact text payload (doubles as
+ * exact bit patterns) so a killed-and-resumed sweep reproduces the
+ * uninterrupted artifact byte for byte.
+ */
+
+#ifndef USYS_EVAL_RESILIENCE_H
+#define USYS_EVAL_RESILIENCE_H
+
+#include <cmath>
+#include <string>
+
+#include "common/types.h"
+#include "arch/scheme.h"
+#include "fault/fault.h"
+
+namespace usys {
+
+/** One (kernel, fault-rate) sweep point. */
+struct ResilienceSpec
+{
+    KernelConfig kern;
+    int rows = 8, cols = 8;     // array shape
+    int m = 16, k = 48, n = 16; // GEMM shape (k spans multiple folds)
+    int trials = 3;             // random GEMMs averaged per point
+    u64 seed = 0x5EEDu;         // operand + fault-plan seed base
+    FaultKind kind = FaultKind::BitFlip;
+    u32 burst_len = 4;
+    FaultRates rates; // all-zero = the fault-free baseline point
+};
+
+/** Accumulated faulted-vs-clean error of one shard. */
+struct ResilienceResult
+{
+    u64 samples = 0;      // output elements compared
+    u64 fault_events = 0; // injected fault events (all sites)
+    double sum_sq_err = 0.0;
+    double sum_sq_ref = 0.0; // clean-output energy (NRMSE denominator)
+    double sum_abs_err = 0.0;
+
+    double
+    nrmse() const
+    {
+        if (sum_sq_ref <= 0.0)
+            return 0.0;
+        return std::sqrt(sum_sq_err / sum_sq_ref);
+    }
+
+    double
+    meanAbsErr() const
+    {
+        return samples ? sum_abs_err / double(samples) : 0.0;
+    }
+
+    /** Checkpoint payload (exact bit-pattern round trip). */
+    std::string serialize() const;
+    static ResilienceResult deserialize(const std::string &payload);
+};
+
+/**
+ * Run one sweep point. Deterministic for a given spec: operands come
+ * from a Prng derived from (seed, trial), the fault plan from
+ * (seed + trial), and both engines resolve the plan identically — so
+ * the result is independent of the packed/scalar engine choice and of
+ * the executor thread count.
+ */
+ResilienceResult runResilienceShard(const ResilienceSpec &spec);
+
+} // namespace usys
+
+#endif // USYS_EVAL_RESILIENCE_H

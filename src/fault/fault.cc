@@ -1,0 +1,198 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+namespace usys {
+
+namespace {
+
+/** splitmix64 finalizer: the stateless mixing step of common/prng.h. */
+inline u64
+mix64(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Hash-chain absorption of one site coordinate tuple. */
+inline u64
+siteHash(u64 seed, u32 site, u64 a, u64 b, u64 c, u64 d)
+{
+    u64 h = mix64(seed ^ (u64(site) << 56));
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    h = mix64(h ^ d);
+    return h;
+}
+
+/** Uniform double in [0, 1) from a hash (same scheme as Prng::uniform). */
+inline double
+hashU01(u64 h)
+{
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+/** Site identifiers absorbed into the hash (stable across releases). */
+enum SiteId : u32
+{
+    kSiteDramWord = 1,
+    kSiteWeightReg = 2,
+    kSiteActivation = 3,
+    kSiteWeightStream = 4,
+    kSiteAccumulator = 5,
+};
+
+std::optional<Fault>
+resolve(const FaultPlan &plan, double rate, u32 window, u64 h)
+{
+    if (rate <= 0.0 || window == 0)
+        return std::nullopt;
+    if (!(hashU01(mix64(h ^ 0xE7E47ull)) < rate))
+        return std::nullopt;
+    Fault f;
+    f.kind = plan.kind;
+    f.first = u32(mix64(h ^ 0x9051710Aull) % window);
+    f.len = plan.kind == FaultKind::Burst
+                ? std::min(plan.burst_len, window - f.first)
+                : 1;
+    return f;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BitFlip: return "flip";
+      case FaultKind::StuckAt0: return "sa0";
+      case FaultKind::StuckAt1: return "sa1";
+      case FaultKind::Burst: return "burst";
+    }
+    return "?";
+}
+
+FaultKind
+parseFaultKind(const std::string &text)
+{
+    if (text == "flip")
+        return FaultKind::BitFlip;
+    if (text == "sa0")
+        return FaultKind::StuckAt0;
+    if (text == "sa1")
+        return FaultKind::StuckAt1;
+    if (text == "burst")
+        return FaultKind::Burst;
+    fatal("unknown fault kind: " + text +
+          " (expected flip, sa0, sa1, or burst)");
+    return FaultKind::BitFlip;
+}
+
+i32
+corruptCode(const Fault &f, i32 code, int bits)
+{
+    const u32 w = u32(bits);
+    u64 u = u64(u32(code)) & lowMask(w);
+    u = f.applyToWord(u, 0) & lowMask(w);
+    i64 v = i64(u);
+    if (u & (u64(1) << (w - 1)))
+        v = i64(u | ~lowMask(w));
+    const i64 max_mag = maxMagnitude(bits);
+    return i32(std::clamp<i64>(v, -max_mag, max_mag));
+}
+
+i32
+corruptMagnitude(const Fault &f, i32 code, int bits)
+{
+    const SignMag sm = toSignMag(code);
+    const u32 w = u32(bits - 1);
+    u64 mag = u64(sm.magnitude) & lowMask(w);
+    mag = f.applyToWord(mag, 0) & lowMask(w);
+    return sm.negative ? -i32(mag) : i32(mag);
+}
+
+std::optional<Fault>
+FaultPlan::dramWord(int operand, int r, int c, u32 window) const
+{
+    return resolve(*this, rates.dram_word, window,
+                   siteHash(seed, kSiteDramWord, u64(operand), u64(r),
+                            u64(c), 0));
+}
+
+std::optional<Fault>
+FaultPlan::weightReg(u64 tile, int r, int c, u32 window) const
+{
+    return resolve(*this, rates.weight_reg, window,
+                   siteHash(seed, kSiteWeightReg, tile, u64(r), u64(c),
+                            0));
+}
+
+std::optional<Fault>
+FaultPlan::activationStream(u64 tile, int m, int r, u32 window) const
+{
+    return resolve(*this, rates.activation_stream, window,
+                   siteHash(seed, kSiteActivation, tile, u64(m), u64(r),
+                            0));
+}
+
+std::optional<Fault>
+FaultPlan::weightStream(u64 tile, int m, int r, int c, u32 window) const
+{
+    return resolve(*this, rates.weight_stream, window,
+                   siteHash(seed, kSiteWeightStream, tile, u64(m),
+                            u64(r), u64(c)));
+}
+
+std::optional<Fault>
+FaultPlan::accumulator(u64 tile, int m, int r, int c, u32 window) const
+{
+    return resolve(*this, rates.accumulator, window,
+                   siteHash(seed, kSiteAccumulator, tile, u64(m), u64(r),
+                            u64(c)));
+}
+
+FoldFaultCounts
+countFoldFaults(const FaultPlan &plan, const KernelConfig &kern,
+                u64 tile, int m_rows, int rows, int cols)
+{
+    FoldFaultCounts counts;
+    if (!plan.enabled())
+        return counts;
+
+    if (plan.rates.weight_reg > 0.0) {
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+                if (plan.weightReg(tile, r, c, u32(kern.bits)))
+                    ++counts.weight_reg;
+    }
+    if (plan.rates.activation_stream > 0.0) {
+        const u32 window = activationWindow(kern);
+        for (int m = 0; m < m_rows; ++m)
+            for (int r = 0; r < rows; ++r)
+                if (plan.activationStream(tile, m, r, window))
+                    ++counts.activation;
+    }
+    if (plan.rates.weight_stream > 0.0 && isUnary(kern.scheme)) {
+        const u32 window = kern.mulCycles();
+        for (int m = 0; m < m_rows; ++m)
+            for (int r = 0; r < rows; ++r)
+                for (int c = 0; c < cols; ++c)
+                    if (plan.weightStream(tile, m, r, c, window))
+                        ++counts.weight_stream;
+    }
+    if (plan.rates.accumulator > 0.0) {
+        const u32 window = accumulatorWidth(kern);
+        for (int m = 0; m < m_rows; ++m)
+            for (int r = 0; r < rows; ++r)
+                for (int c = 0; c < cols; ++c)
+                    if (plan.accumulator(tile, m, r, c, window))
+                        ++counts.accumulator;
+    }
+    return counts;
+}
+
+} // namespace usys

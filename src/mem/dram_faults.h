@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DRAM read-word fault application (header-only; included by the GEMM
+ * engines and the functional executor).
+ *
+ * The DramWord site models a corrupted read of an operand code from
+ * DRAM: every element of an operand matrix is one DRAM word, read once
+ * per GEMM, so a fault on it propagates identically to every tile and
+ * fold that consumes the element — which is exactly what applying the
+ * corruption to the operand matrix up front gives, with no per-engine
+ * code at all.
+ */
+
+#ifndef USYS_MEM_DRAM_FAULTS_H
+#define USYS_MEM_DRAM_FAULTS_H
+
+#include "common/matrix.h"
+#include "fault/fault.h"
+
+namespace usys {
+
+/** Operand identifiers absorbed into the DramWord site hash. */
+constexpr int kDramOperandA = 0;
+constexpr int kDramOperandB = 1;
+
+/**
+ * Corrupt an operand matrix in place per the plan's dram_word rate;
+ * returns the number of fault events applied. Deterministic in
+ * (plan.seed, operand, element coordinates) only.
+ */
+inline u64
+applyDramFaults(const FaultPlan &plan, Matrix<i32> &m, int operand,
+                int bits)
+{
+    u64 events = 0;
+    if (plan.rates.dram_word <= 0.0)
+        return events;
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            if (const auto f = plan.dramWord(operand, r, c, u32(bits))) {
+                m(r, c) = corruptCode(*f, m(r, c), bits);
+                ++events;
+            }
+        }
+    }
+    return events;
+}
+
+} // namespace usys
+
+#endif // USYS_MEM_DRAM_FAULTS_H

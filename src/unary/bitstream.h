@@ -11,10 +11,12 @@
 #ifndef USYS_UNARY_BITSTREAM_H
 #define USYS_UNARY_BITSTREAM_H
 
+#include <bit>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "unary/sobol.h"
 
 namespace usys {
@@ -145,6 +147,30 @@ class BipolarRateBsg : public BitstreamGen
     u32 offset_;
     SobolSequence rng_;
 };
+
+/**
+ * 1s among the first `window` bits of a fresh stream, advanced one
+ * packed word at a time (the SWAR form of counting nextBit() results).
+ * A final partial word (early-termination boundary, or window < 64) is
+ * masked so bits past the window never count. An optional fault event
+ * corrupts the covered stream positions *before* counting — the packed
+ * engines and the scalar reference both consume the corrupted stream,
+ * which is what keeps them bit-exact under injection.
+ */
+inline u64
+onesInWindow(BitstreamGen &gen, u32 window, const Fault *fault = nullptr)
+{
+    u64 ones = 0;
+    for (u32 t = 0; t < window; t += 64) {
+        u64 word = gen.nextWord();
+        if (fault)
+            word = fault->applyToWord(word, t);
+        if (window - t < 64)
+            word &= lowMask(window - t);
+        ones += u64(std::popcount(word));
+    }
+    return ones;
+}
 
 /** Materialize n bits of a stream as 0/1 bytes. */
 inline std::vector<u8>

@@ -20,7 +20,7 @@ inline SystemConfig
 edgeSystem(const KernelConfig &kern, bool with_sram)
 {
     SystemConfig sys;
-    sys.array = ArrayConfig{12, 14, kern};
+    sys.array = ArrayConfig{12, 14, kern, {}};
     sys.freq_ghz = 0.4;
     sys.sram = with_sram ? edgeSram() : noSram();
     // 16-bit designs double the SRAM to hold the same element count
@@ -35,7 +35,7 @@ inline SystemConfig
 cloudSystem(const KernelConfig &kern, bool with_sram)
 {
     SystemConfig sys;
-    sys.array = ArrayConfig{256, 256, kern};
+    sys.array = ArrayConfig{256, 256, kern, {}};
     sys.freq_ghz = 0.4;
     sys.sram = with_sram ? cloudSram() : noSram();
     sys.sram.bytes *= u64(sys.elemBytes());

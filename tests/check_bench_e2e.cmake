@@ -48,6 +48,41 @@ if(NOT rc EQUAL 0)
     message(FATAL_ERROR "BENCH_e2e.json schema validation failed")
 endif()
 
+# Crash-safety leg: kill the sweep after two computed jobs, resume from
+# the checkpoint, and require the resumed stats dump byte-identical to
+# the straight single-thread run above.
+set(ckpt ${WORK_DIR}/e2e_sweep.ckpt)
+set(stats_resumed ${WORK_DIR}/e2e.stats.resumed.json)
+file(REMOVE ${ckpt})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env USYS_THREADS=1
+            ${BENCH} --reps 1 --out ${artifact}
+            --checkpoint ${ckpt} --die-after 2
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "e2e_sweep --die-after 2 exited cleanly — "
+                        "the crash leg did not crash")
+endif()
+if(NOT EXISTS ${ckpt})
+    message(FATAL_ERROR "e2e_sweep died without leaving a checkpoint")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env USYS_THREADS=1
+            ${BENCH} --reps 1 --out ${artifact}
+            --checkpoint ${ckpt} --resume --stats-json ${stats_resumed}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "e2e_sweep --resume failed (${rc})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${stats1} ${stats_resumed}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed stats JSON differs from the straight "
+                        "run (${stats1} vs ${stats_resumed}) — "
+                        "checkpoint restore is not byte-exact")
+endif()
+
 cmake_host_system_information(RESULT cores QUERY NUMBER_OF_PHYSICAL_CORES)
 if(cores GREATER_EQUAL 4)
     execute_process(

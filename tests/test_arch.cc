@@ -308,6 +308,82 @@ TEST(Functional, ResultScale)
               128.0);
 }
 
+// --- EBT boundaries ---------------------------------------------------
+
+TEST(Ebt, DegenerateAndFullPointsValidate)
+{
+    // EBT=1 would leave a single unary cycle and no shift-back headroom;
+    // the config layer rejects it (0 or [2, bits] only).
+    KernelConfig ebt1{Scheme::USystolicRate, 8, 1};
+    EXPECT_EXIT(ebt1.check(), ::testing::ExitedWithCode(1), "et_bits");
+    KernelConfig ebt_over{Scheme::USystolicRate, 8, 9};
+    EXPECT_EXIT(ebt_over.check(), ::testing::ExitedWithCode(1),
+                "et_bits");
+    KernelConfig ebt_bs{Scheme::BinarySerial, 8, 4};
+    EXPECT_EXIT(ebt_bs.check(), ::testing::ExitedWithCode(1),
+                "rate coding");
+
+    // EBT=2 is the shortest legal window (2 unary cycles).
+    KernelConfig ebt2{Scheme::USystolicRate, 8, 2};
+    ebt2.check();
+    EXPECT_EQ(ebt2.mulCycles(), 2u);
+}
+
+TEST(Ebt, FullWidthPointEqualsNoTermination)
+{
+    // EBT=N runs the full 2^(N-1) period: bit-exact against EBT=0 on
+    // every output, and the same fold latency.
+    const int bits = 6;
+    ArrayConfig full, ebt;
+    full.rows = ebt.rows = 4;
+    full.cols = ebt.cols = 4;
+    full.kernel = {Scheme::USystolicRate, bits, 0};
+    ebt.kernel = {Scheme::USystolicRate, bits, bits};
+    EXPECT_EQ(ebt.kernel.mulCycles(), full.kernel.mulCycles());
+
+    Prng prng(0xEB7ull);
+    const auto input = randomMatrix(5, 4, bits, prng);
+    const auto weights = randomMatrix(4, 4, bits, prng);
+    const auto a = SystolicArray(full).runFold(input, weights);
+    const auto b = SystolicArray(ebt).runFold(input, weights);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Ebt, ZeroMagnitudeOperandsSurviveEveryScheme)
+{
+    // All-zero tiles exercise the zero-magnitude BSG paths (no 1-bits
+    // ever emitted, bipolar bias-only lanes) at full and minimum EBT.
+    const int bits = 6;
+    const std::tuple<Scheme, int> cases[] = {
+        {Scheme::BinaryParallel, 0}, {Scheme::BinarySerial, 0},
+        {Scheme::USystolicRate, 0},  {Scheme::USystolicRate, 2},
+        {Scheme::USystolicTemporal, 0}, {Scheme::UgemmHybrid, 0}};
+    for (const auto &[scheme, et] : cases) {
+        ArrayConfig cfg;
+        cfg.rows = 3;
+        cfg.cols = 3;
+        cfg.kernel = {scheme, bits, et};
+        Matrix<i32> zeros_in(4, 3), zeros_w(3, 3);
+        Prng prng(u64(int(scheme)) + 1);
+        const auto rand_w = randomMatrix(3, 3, bits, prng);
+
+        const auto zz = SystolicArray(cfg).runFold(zeros_in, zeros_w);
+        const auto zw = SystolicArray(cfg).runFold(zeros_in, rand_w);
+        const auto fz = GemmExecutor(cfg.kernel).run(zeros_in, zeros_w);
+        const auto fw = GemmExecutor(cfg.kernel).run(zeros_in, rand_w);
+        EXPECT_EQ(zz.output, fz) << cfg.kernel.name();
+        EXPECT_EQ(zw.output, fw) << cfg.kernel.name();
+        // Zero x zero must accumulate to exactly zero for the exact
+        // schemes (unary bipolar has a bias term, so only check BP/BS).
+        if (!isUnary(scheme)) {
+            for (int m = 0; m < 4; ++m)
+                for (int c = 0; c < 3; ++c)
+                    EXPECT_EQ(zz.output(m, c), 0);
+        }
+    }
+}
+
 TEST(Functional, UgemmAccuracyComparableToUSystolic)
 {
     // uGEMM-H merely changes the hardware cost, not the resolution

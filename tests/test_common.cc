@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cli.h"
 #include "common/fixed_point.h"
 #include "common/logging.h"
 #include "common/matrix.h"
@@ -262,6 +263,63 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
     EXPECT_EQ(TablePrinter::num(-1.0, 0), "-1");
     EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Cli, ParseIntFlagAcceptsStrictDecimals)
+{
+    EXPECT_EQ(parseIntFlag("--reps", "0", 0, 100), 0);
+    EXPECT_EQ(parseIntFlag("--reps", "42", 0, 100), 42);
+    EXPECT_EQ(parseIntFlag("--off", "-7", -10, 10), -7);
+    EXPECT_EQ(parseIntFlag("--big", "9223372036854775807",
+                           i64(0), i64(9223372036854775807ll)),
+              9223372036854775807ll);
+}
+
+TEST(Cli, ParseIntFlagRejectsGarbage)
+{
+    // Truncation bugs this guards against: "1e3" parsed as 1 would
+    // silently run 1 rep instead of 1000.
+    EXPECT_EXIT(parseIntFlag("--reps", "12x", 0, 100),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "1e3", 0, 10000),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "", 0, 100),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "abc", 0, 100),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "101", 0, 100),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "-1", 0, 100),
+                ::testing::ExitedWithCode(1), "--reps");
+    EXPECT_EXIT(parseIntFlag("--reps", "99999999999999999999", 0,
+                             100),
+                ::testing::ExitedWithCode(1), "--reps");
+}
+
+TEST(Cli, ParseDoubleFlagAcceptsFiniteNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--eps", "0.25", 0.0, 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--eps", "1e-3", 0.0, 1.0), 1e-3);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--x", "-2.5", -10.0, 10.0), -2.5);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--x", "3", 0.0, 10.0), 3.0);
+}
+
+TEST(Cli, ParseDoubleFlagRejectsGarbage)
+{
+    EXPECT_EXIT(parseDoubleFlag("--eps", "1.5.2", 0.0, 10.0),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "", 0.0, 10.0),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "nan", 0.0, 10.0),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "inf", 0.0, 10.0),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "1e400", 0.0, 1e308),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "2.0", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "--eps");
+    EXPECT_EXIT(parseDoubleFlag("--eps", "0.5x", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "--eps");
 }
 
 } // namespace

@@ -42,7 +42,7 @@ TEST(Isa, OversizedTileRejected)
 
 TEST(Isa, ProgramStructure)
 {
-    ArrayConfig array{12, 14, {Scheme::USystolicRate, 8, 6}};
+    ArrayConfig array{12, 14, {Scheme::USystolicRate, 8, 6}, {}};
     const auto layer = GemmLayer::matmul("m", 10, 24, 28); // 2x2 folds
     const auto program = buildProgram(array, layer);
     // 4 folds x (load + stream) + barrier + halt.
@@ -62,7 +62,7 @@ class IsaTiming
 TEST_P(IsaTiming, MatchesTiling)
 {
     const auto [scheme, layer_idx] = GetParam();
-    ArrayConfig array{12, 14, {scheme, 8, 0}};
+    ArrayConfig array{12, 14, {scheme, 8, 0}, {}};
     const auto layer = alexnetLayers()[layer_idx];
     const auto program = buildProgram(array, layer);
     const auto stats = interpretProgram(program);

@@ -77,7 +77,7 @@ TEST(PeCost, LeftmostCarriesTheGenerators)
 TEST(ArrayCost, Figure11Ordering)
 {
     auto area = [](Scheme s, int bits) {
-        return arrayCost(ArrayConfig{12, 14, {s, bits, 0}})
+        return arrayCost(ArrayConfig{12, 14, {s, bits, 0}, {}})
             .area_mm2.total();
     };
     for (int bits : {8, 16}) {
@@ -96,7 +96,7 @@ TEST(ArrayCost, Figure11Ordering)
 TEST(ArrayCost, EdgeReductionsNearPaper)
 {
     auto area = [](Scheme s) {
-        return arrayCost(ArrayConfig{12, 14, {s, 8, 0}})
+        return arrayCost(ArrayConfig{12, 14, {s, 8, 0}, {}})
             .area_mm2.total();
     };
     const double bp = area(Scheme::BinaryParallel);
@@ -111,9 +111,9 @@ TEST(ArrayCost, EdgeReductionsNearPaper)
 TEST(ArrayCost, UnaryMulHalvesUgemmMul)
 {
     const auto ug =
-        arrayCost(ArrayConfig{12, 14, {Scheme::UgemmHybrid, 8, 0}});
+        arrayCost(ArrayConfig{12, 14, {Scheme::UgemmHybrid, 8, 0}, {}});
     const auto ur =
-        arrayCost(ArrayConfig{12, 14, {Scheme::USystolicRate, 8, 0}});
+        arrayCost(ArrayConfig{12, 14, {Scheme::USystolicRate, 8, 0}, {}});
     // Paper: 58.2% smaller MUL via sign-magnitude unipolar uMUL.
     const double red = 1.0 - ur.area_mm2.mul / ug.area_mm2.mul;
     EXPECT_NEAR(red, 0.582, 0.12);
@@ -122,7 +122,7 @@ TEST(ArrayCost, UnaryMulHalvesUgemmMul)
 TEST(ArrayCost, CongestionGrowsWithArrayAndHitsBinaryHarder)
 {
     auto per_pe = [](Scheme s, int rows, int cols) {
-        return arrayCost(ArrayConfig{rows, cols, {s, 8, 0}})
+        return arrayCost(ArrayConfig{rows, cols, {s, 8, 0}, {}})
                    .area_mm2.total() /
                (rows * cols);
     };
@@ -139,7 +139,7 @@ TEST(ArrayCost, BlockAreasSumToTotal)
 {
     for (Scheme s : {Scheme::BinaryParallel, Scheme::BinarySerial,
                      Scheme::USystolicRate, Scheme::UgemmHybrid}) {
-        const auto cost = arrayCost(ArrayConfig{12, 14, {s, 8, 0}});
+        const auto cost = arrayCost(ArrayConfig{12, 14, {s, 8, 0}, {}});
         const auto &b = cost.area_mm2;
         EXPECT_NEAR(b.ireg + b.wreg + b.mul + b.acc, b.total(), 1e-12);
         EXPECT_GT(cost.leak_mw, 0.0);

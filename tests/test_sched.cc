@@ -54,7 +54,7 @@ TEST(GemmLayer, MatmulEncoding)
 
 TEST(Tiling, FoldCountsAndUtilization)
 {
-    ArrayConfig array{12, 14, {Scheme::BinaryParallel, 8, 0}};
+    ArrayConfig array{12, 14, {Scheme::BinaryParallel, 8, 0}, {}};
     const auto l = GemmLayer::matmul("m", 10, 24, 28);
     const auto t = tileLayer(array, l);
     EXPECT_EQ(t.folds_k, 2);
@@ -74,7 +74,7 @@ TEST(Tiling, MatchesCycleLevelArray)
     // measured fold cycles for every scheme.
     for (Scheme scheme : {Scheme::BinaryParallel, Scheme::BinarySerial,
                           Scheme::USystolicRate, Scheme::UgemmHybrid}) {
-        ArrayConfig array{4, 5, {scheme, 8, 0}};
+        ArrayConfig array{4, 5, {scheme, 8, 0}, {}};
         const auto layer = GemmLayer::matmul("m", 6, 4, 5);
         const auto t = tileLayer(array, layer);
 
@@ -92,7 +92,7 @@ TEST(Tiling, MatchesCycleLevelArray)
 
 TEST(Tiling, TiledGemmMatchesSimulatorCycles)
 {
-    ArrayConfig array{4, 4, {Scheme::USystolicRate, 8, 6}};
+    ArrayConfig array{4, 4, {Scheme::USystolicRate, 8, 6}, {}};
     const auto layer = GemmLayer::matmul("m", 5, 9, 7); // ragged tiles
     const auto t = tileLayer(array, layer);
 
@@ -108,14 +108,14 @@ TEST(Tiling, TiledGemmMatchesSimulatorCycles)
 
 TEST(Tiling, PipelinedPreloadSavesAtMostFoldsTimesRows)
 {
-    ArrayConfig array{12, 14, {Scheme::BinaryParallel, 8, 0}};
+    ArrayConfig array{12, 14, {Scheme::BinaryParallel, 8, 0}, {}};
     const auto layer = GemmLayer::conv("c", 31, 31, 96, 5, 5, 1, 256);
     const auto t = tileLayer(array, layer);
     EXPECT_EQ(t.compute_cycles - t.pipelined_compute_cycles,
               u64(t.folds - 1) * 12);
     EXPECT_LT(t.pipelined_compute_cycles, t.compute_cycles);
     // The relative saving shrinks as MAC cycles grow.
-    ArrayConfig unary{12, 14, {Scheme::USystolicRate, 8, 6}};
+    ArrayConfig unary{12, 14, {Scheme::USystolicRate, 8, 6}, {}};
     const auto tu = tileLayer(unary, layer);
     const double bin_save = 1.0 - double(t.pipelined_compute_cycles) /
                                       double(t.compute_cycles);

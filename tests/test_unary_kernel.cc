@@ -58,6 +58,43 @@ TEST(Bitstream, RateAllOnesAtFullScale)
     EXPECT_EQ(gen.nextWord(), ~u64(0));
 }
 
+TEST(Bitstream, RateAllZerosAtZeroSource)
+{
+    // src == 0 is the other threshold extreme: no RNG value compares
+    // below it, so both stepping paths emit all 0s forever.
+    const int bits = 6;
+    const u64 period = u64(1) << bits;
+    RateBsg gen(0, 0, bits);
+    auto stream = generateBits(gen, 2 * period);
+    EXPECT_EQ(onesCount(stream), 0u);
+    gen.reset();
+    EXPECT_EQ(gen.nextWord(), u64(0));
+    EXPECT_EQ(gen.nextWord(), u64(0));
+}
+
+TEST(Bitstream, RateMixedBitAndWordSteppingIsStateIdentical)
+{
+    // nextWord() must advance the Sobol state exactly 64 nextBit()
+    // steps, so arbitrary interleavings of the two stay on the same
+    // stream — including at both threshold extremes.
+    const int bits = 6;
+    for (u32 src : {0u, 1u, 29u, 63u, 64u}) {
+        RateBsg mixed(src, 3, bits);
+        RateBsg scalar(src, 3, bits);
+        std::vector<u8> got, want;
+        for (int round = 0; round < 3; ++round) {
+            for (int i = 0; i < 7; ++i)
+                got.push_back(mixed.nextBit() ? 1 : 0);
+            const u64 w = mixed.nextWord();
+            for (int i = 0; i < 64; ++i)
+                got.push_back(u8((w >> i) & 1));
+        }
+        for (std::size_t i = 0; i < got.size(); ++i)
+            want.push_back(scalar.nextBit() ? 1 : 0);
+        EXPECT_EQ(got, want) << "src " << src;
+    }
+}
+
 TEST(Bitstream, RateSrcAboveFullScaleIsFatal)
 {
     // fatal() exits with status 1 (user error, not an abort).

@@ -91,13 +91,13 @@ main(int argc, char **argv)
         if (arg == "--scheme")
             scheme = parseScheme(next());
         else if (arg == "--bits")
-            bits = std::stoi(next());
+            bits = int(parseIntFlag("--bits", next().c_str(), 2, 16));
         else if (arg == "--ebt")
-            ebt = std::stoi(next());
+            ebt = int(parseIntFlag("--ebt", next().c_str(), 0, 16));
         else if (arg == "--rows")
-            rows = std::stoi(next());
+            rows = int(parseIntFlag("--rows", next().c_str(), 1, 4096));
         else if (arg == "--cols")
-            cols = std::stoi(next());
+            cols = int(parseIntFlag("--cols", next().c_str(), 1, 4096));
         else if (arg == "--edge")
             edge = true;
         else if (arg == "--cloud")
@@ -111,9 +111,8 @@ main(int argc, char **argv)
         else if (arg == "--no-packed")
             setPackedEngineEnabled(false);
         else if (arg == "--threads") {
-            const int n = std::stoi(next());
-            if (n < 0 || n > 4096)
-                usage();
+            const i64 n =
+                parseIntFlag("--threads", next().c_str(), 0, 4096);
             Executor::global().setThreads(unsigned(n));
         }
         else if (arg == "--csv")
