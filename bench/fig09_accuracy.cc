@@ -8,17 +8,22 @@
  * scaling; rate and temporal coding essentially identical at equal EBT;
  * uGEMM-H identical to uSystolic (resolution unchanged).
  *
- * Models are trained in FP32 on first run and cached on disk
- * (USYS_CACHE_DIR, default ./usys_fig9_cache), so reruns only evaluate.
+ * Models are trained in FP32 on first run and cached on disk, so
+ * reruns only evaluate. Cache location precedence: --cache-dir flag,
+ * then the USYS_CACHE_DIR env, then the build-tree default baked in at
+ * configure time (USYS_FIG9_CACHE_DEFAULT) — so a default run never
+ * litters the source tree or the invoking directory.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <string>
 
 #include "common/cli.h"
+#include "common/logging.h"
 #include "common/event_trace.h"
 #include "common/table.h"
 #include "eval/error_stats.h"
@@ -30,12 +35,20 @@ using namespace usys;
 
 namespace {
 
+std::string g_cache_dir; // --cache-dir override (highest precedence)
+
 std::string
 cacheDir()
 {
+    if (!g_cache_dir.empty())
+        return g_cache_dir;
     if (const char *env = std::getenv("USYS_CACHE_DIR"))
         return env;
+#ifdef USYS_FIG9_CACHE_DEFAULT
+    return USYS_FIG9_CACHE_DEFAULT;
+#else
     return "usys_fig9_cache";
+#endif
 }
 
 struct Tier
@@ -126,6 +139,15 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(&argc, argv, "fig09_accuracy");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache-dir") == 0) {
+            fatalIf(i + 1 >= argc, "--cache-dir requires a path");
+            g_cache_dir = argv[++i];
+        } else {
+            fatal(std::string("fig09_accuracy: unknown argument: ") +
+                  argv[i]);
+        }
+    }
     Tier tiers[] = {
         {"9a", "digit glyphs, 4-layer CNN (MNIST tier)",
          [](std::size_t n, u64 s) { return makeDigits(n, s); },

@@ -11,6 +11,7 @@
 #include "common/event_trace.h"
 #include "common/matrix.h"
 #include "common/prng.h"
+#include "common/simd.h"
 #include "arch/array.h"
 #include "arch/rtl_array.h"
 #include "mem/dram_timing.h"
@@ -123,6 +124,117 @@ BM_RtlArrayFold(benchmark::State &state)
         benchmark::DoNotOptimize(array.runFold(input, weights));
 }
 BENCHMARK(BM_RtlArrayFold);
+
+// SIMD kernel tiers: Arg(0) = generic, Arg(1) = avx2 (skips with an
+// error on hosts/builds without the AVX2 table).
+const SimdKernels *
+tierForArg(benchmark::State &state)
+{
+    if (state.range(0) == 0)
+        return &genericKernels();
+    const SimdKernels *avx2 = avx2Kernels();
+    if (!avx2)
+        state.SkipWithError("AVX2 unavailable on this host/build");
+    return avx2;
+}
+
+void
+BM_SimdPopcountWords(benchmark::State &state)
+{
+    const SimdKernels *k = tierForArg(state);
+    if (!k)
+        return;
+    Prng prng(5);
+    std::vector<u64> words(std::size_t(1) << 14);
+    for (auto &w : words)
+        w = prng.next();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            k->popcountWords(words.data(), words.size()));
+    state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_SimdPopcountWords)->Arg(0)->Arg(1);
+
+void
+BM_SimdThresholdPack(benchmark::State &state)
+{
+    const SimdKernels *k = tierForArg(state);
+    if (!k)
+        return;
+    Prng prng(6);
+    const u32 n = u32(1) << 15;
+    std::vector<u32> vals(n);
+    for (auto &v : vals)
+        v = u32(prng.below(257));
+    std::vector<u64> out(n / 64);
+    for (auto _ : state) {
+        k->thresholdPackWords(vals.data(), n, 128, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdThresholdPack)->Arg(0)->Arg(1);
+
+void
+BM_SimdPrefixPopcount(benchmark::State &state)
+{
+    const SimdKernels *k = tierForArg(state);
+    if (!k)
+        return;
+    Prng prng(7);
+    const u32 nwords = u32(1) << 14;
+    std::vector<u64> words(nwords);
+    for (auto &w : words)
+        w = prng.next();
+    std::vector<u32> prefix(nwords + 1);
+    for (auto _ : state) {
+        k->prefixPopcount(words.data(), nwords, prefix.data());
+        benchmark::DoNotOptimize(prefix.data());
+    }
+    state.SetBytesProcessed(state.iterations() * nwords * 8);
+}
+BENCHMARK(BM_SimdPrefixPopcount)->Arg(0)->Arg(1);
+
+void
+BM_SimdAxpyF32(benchmark::State &state)
+{
+    const SimdKernels *k = tierForArg(state);
+    if (!k)
+        return;
+    Prng prng(8);
+    const int n = 4096;
+    std::vector<float> c(n), b(n);
+    for (int j = 0; j < n; ++j) {
+        c[j] = float(prng.uniform(-1.0, 1.0));
+        b[j] = float(prng.uniform(-1.0, 1.0));
+    }
+    for (auto _ : state) {
+        k->axpyF32(c.data(), b.data(), 1e-6f, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdAxpyF32)->Arg(0)->Arg(1);
+
+void
+BM_SimdGemmRowI32(benchmark::State &state)
+{
+    const SimdKernels *k = tierForArg(state);
+    if (!k)
+        return;
+    Prng prng(9);
+    const int n = 4096;
+    std::vector<i64> c(n, 0);
+    std::vector<i32> b(n);
+    for (auto &v : b)
+        v = i32(prng.next());
+    for (auto _ : state) {
+        k->gemmRowI32(c.data(), b.data(), 7, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdGemmRowI32)->Arg(0)->Arg(1);
 
 void
 BM_DramDeviceStream(benchmark::State &state)

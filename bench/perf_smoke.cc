@@ -13,6 +13,12 @@
  * speedup falls short — the hook the perf ctest uses to enforce the
  * packed engine's >= 10x floor. Timings use the median of several
  * trials so a loaded CI host doesn't flake the check.
+ *
+ * A second section times each dispatched SIMD kernel (common/simd.h)
+ * generic-vs-best-available and records simd.<tag>.* stats. With
+ * --min-simd-speedup X the bulk-popcount speedup must clear the floor;
+ * the gate self-skips (with a note) on hosts without AVX2, where
+ * generic is the only tier and the ratio is 1 by construction.
  */
 
 #include <algorithm>
@@ -26,6 +32,7 @@
 #include "common/event_trace.h"
 #include "common/logging.h"
 #include "common/prng.h"
+#include "common/simd.h"
 #include "common/stats_registry.h"
 #include "arch/packed_array.h"
 
@@ -82,12 +89,16 @@ main(int argc, char **argv)
     if (opts.stats_json.empty())
         opts.stats_json = "BENCH_kernels.json";
 
-    double min_speedup = 0.0;
+    double min_speedup = 0.0, min_simd_speedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
             fatalIf(i + 1 >= argc, "--min-speedup requires a value");
             min_speedup = parseDoubleFlag("--min-speedup", argv[++i],
                                           0.0, 1e6);
+        } else if (std::strcmp(argv[i], "--min-simd-speedup") == 0) {
+            fatalIf(i + 1 >= argc, "--min-simd-speedup requires a value");
+            min_simd_speedup = parseDoubleFlag("--min-simd-speedup",
+                                               argv[++i], 0.0, 1e6);
         } else {
             fatal(std::string("perf_smoke: unknown argument: ") + argv[i]);
         }
@@ -160,7 +171,137 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- SIMD kernel tier: generic vs best-available ------------------
+    const SimdKernels &gen = genericKernels();
+    const SimdKernels *best = avx2Kernels();
+    const bool have_avx2 = best != nullptr;
+    reg.counter("simd.avx2_available",
+                "1 when the AVX2 kernel table is usable on this host")
+        .set(u64(have_avx2));
+    reg.counter("simd.active_level",
+                "dispatched SIMD tier (0 generic, 1 avx2)")
+        .set(u64(simdLevel()));
+
+    double popcount_speedup = 1.0;
+    {
+        ScopedTimer timer("perf_smoke_simd", "bench");
+        Prng prng(29);
+        const std::size_t nwords = std::size_t(1) << 15; // 2 Mbit
+        std::vector<u64> words(nwords);
+        for (auto &w : words)
+            w = prng.next();
+        const u32 nvals = u32(1) << 16;
+        std::vector<u32> vals(nvals);
+        for (auto &v : vals)
+            v = u32(prng.below(257));
+        std::vector<u64> pack_a(nvals / 64), pack_b(nvals / 64);
+        std::vector<u32> pfx_a(nwords + 1), pfx_b(nwords + 1);
+        const int vn = 4096;
+        std::vector<float> fb(vn), fc_a(vn), fc_b(vn);
+        std::vector<i32> ib(vn);
+        std::vector<i64> ic_a(vn, 0), ic_b(vn, 0);
+        for (int j = 0; j < vn; ++j) {
+            fb[j] = float(prng.uniform(-1.0, 1.0));
+            fc_a[j] = fc_b[j] = float(prng.uniform(-1.0, 1.0));
+            ib[j] = i32(prng.next());
+        }
+
+        // Parity before timing: a fast wrong kernel must fail here, not
+        // ship a perf number.
+        const SimdKernels &chk = have_avx2 ? *best : gen;
+        fatalIf(gen.popcountWords(words.data(), nwords) !=
+                    chk.popcountWords(words.data(), nwords),
+                "simd popcount parity failure");
+        gen.thresholdPackWords(vals.data(), nvals, 128, pack_a.data());
+        chk.thresholdPackWords(vals.data(), nvals, 128, pack_b.data());
+        fatalIf(pack_a != pack_b, "simd threshold-pack parity failure");
+        gen.prefixPopcount(words.data(), u32(nwords), pfx_a.data());
+        chk.prefixPopcount(words.data(), u32(nwords), pfx_b.data());
+        fatalIf(pfx_a != pfx_b, "simd prefix-popcount parity failure");
+        gen.axpyF32(fc_a.data(), fb.data(), 0.25f, vn);
+        chk.axpyF32(fc_b.data(), fb.data(), 0.25f, vn);
+        fatalIf(std::memcmp(fc_a.data(), fc_b.data(),
+                            std::size_t(vn) * sizeof(float)) != 0,
+                "simd axpy parity failure");
+        gen.gemmRowI32(ic_a.data(), ib.data(), -12345, vn);
+        chk.gemmRowI32(ic_b.data(), ib.data(), -12345, vn);
+        fatalIf(ic_a != ic_b, "simd gemm-row parity failure");
+
+        std::printf("\n%-16s %14s %14s %10s   (active: %s)\n",
+                    "simd kernel", "generic us", "simd us", "speedup",
+                    simdLevelName(simdLevel()));
+        volatile u64 sink = 0;
+        auto record = [&](const char *tag, auto &&gen_fn, auto &&best_fn,
+                          int reps) {
+            const double gen_us = medianUsPerFold(gen_fn, reps, 3);
+            const double best_us = medianUsPerFold(best_fn, reps, 3);
+            const double speedup = gen_us / best_us;
+            const std::string slug = std::string("simd.") + tag;
+            reg.scalar(slug + ".generic_us",
+                       "portable kernel us per call")
+                .set(gen_us);
+            reg.scalar(slug + ".simd_us",
+                       "best-available kernel us per call")
+                .set(best_us);
+            reg.scalar(slug + ".speedup_x",
+                       "generic/simd kernel-time ratio")
+                .set(speedup);
+            std::printf("%-16s %14.3f %14.3f %9.1fx\n", tag, gen_us,
+                        best_us, speedup);
+            return speedup;
+        };
+
+        popcount_speedup = record(
+            "popcount",
+            [&] { sink = sink + gen.popcountWords(words.data(), nwords); },
+            [&] { sink = sink + chk.popcountWords(words.data(), nwords); },
+            50);
+        record(
+            "threshold_pack",
+            [&] {
+                gen.thresholdPackWords(vals.data(), nvals, 128,
+                                       pack_a.data());
+            },
+            [&] {
+                chk.thresholdPackWords(vals.data(), nvals, 128,
+                                       pack_b.data());
+            },
+            50);
+        record(
+            "prefix_popcount",
+            [&] {
+                gen.prefixPopcount(words.data(), u32(nwords),
+                                   pfx_a.data());
+            },
+            [&] {
+                chk.prefixPopcount(words.data(), u32(nwords),
+                                   pfx_b.data());
+            },
+            50);
+        record(
+            "axpy_f32",
+            [&] { gen.axpyF32(fc_a.data(), fb.data(), 1.0f, vn); },
+            [&] { chk.axpyF32(fc_b.data(), fb.data(), 1.0f, vn); }, 500);
+        record(
+            "gemm_row_i32",
+            [&] { gen.gemmRowI32(ic_a.data(), ib.data(), 7, vn); },
+            [&] { chk.gemmRowI32(ic_b.data(), ib.data(), 7, vn); }, 500);
+    }
+
     finalizeBench(opts);
+
+    if (min_simd_speedup > 0.0) {
+        if (!have_avx2) {
+            std::printf("perf_smoke: SIMD speedup gate skipped — AVX2 "
+                        "unavailable on this host/build\n");
+        } else if (popcount_speedup < min_simd_speedup) {
+            std::fprintf(stderr,
+                         "perf_smoke: SIMD popcount speedup %.1fx below "
+                         "required %.1fx\n",
+                         popcount_speedup, min_simd_speedup);
+            return 1;
+        }
+    }
 
     if (min_speedup > 0.0 && ur_speedup < min_speedup) {
         std::fprintf(stderr,

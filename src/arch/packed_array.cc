@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/fixed_point.h"
+#include "common/simd.h"
 #include "arch/pe.h"
 #include "unary/bitstream.h"
 #include "unary/sobol.h"
@@ -37,13 +38,13 @@ struct PackedStream
     {
         const u32 n = u32(values.size());
         const u32 nwords = (n + 63) / 64;
-        words.assign(nwords, 0);
-        for (u32 k = 0; k < n; ++k)
-            words[k >> 6] |= u64(values[k] < threshold) << (k & 63);
+        const SimdKernels &simd = simdKernels();
+        words.resize(nwords);
+        if (n)
+            simd.thresholdPackWords(values.data(), n, threshold,
+                                    words.data());
         prefix.resize(nwords + 1);
-        prefix[0] = 0;
-        for (u32 w = 0; w < nwords; ++w)
-            prefix[w + 1] = prefix[w] + u32(std::popcount(words[w]));
+        simd.prefixPopcount(words.data(), nwords, prefix.data());
     }
 
     /** 1s among stream bits [0, n). */

@@ -9,6 +9,7 @@
 #include "common/event_trace.h"
 #include "common/executor.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/stats_registry.h"
 
 namespace usys {
@@ -91,6 +92,8 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
             const i64 n =
                 parseIntFlag("--threads", value("--threads"), 0, 4096);
             Executor::global().setThreads(unsigned(n));
+        } else if (std::strcmp(arg, "--simd") == 0) {
+            setSimdMode(value("--simd"));
         } else {
             argv[out++] = argv[i];
         }

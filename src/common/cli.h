@@ -10,6 +10,10 @@
  *   --packed              re-enable the packed engine (the default)
  *   --threads <n>         executor thread count (0 = auto: USYS_THREADS
  *                         env, else hardware_concurrency())
+ *   --simd <mode>         SIMD kernel tier: auto (default; best the CPU
+ *                         supports), avx2, or generic — overrides the
+ *                         USYS_SIMD env; requesting an unavailable
+ *                         tier is fatal
  *
  * parseBenchArgs() strips the flags it consumed from argv (so wrapped
  * argument parsers like google-benchmark's see only their own flags) and

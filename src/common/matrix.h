@@ -10,6 +10,7 @@
 
 #include "common/executor.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 namespace usys {
@@ -80,16 +81,16 @@ referenceGemm(const Matrix<i32> &a, const Matrix<i32> &b)
     // count. Small products stay serial via the grain.
     const u64 grain = std::max<u64>(
         1, 4096 / u64(std::max(1, a.cols() * b.cols())));
+    const SimdKernels &simd = simdKernels();
     parallelFor(
         0, u64(a.rows()),
         [&](u64 mi) {
             const int m = int(mi);
             for (int k = 0; k < a.cols(); ++k) {
-                const i64 av = a(m, k);
+                const i32 av = a(m, k);
                 if (av == 0)
                     continue;
-                for (int n = 0; n < b.cols(); ++n)
-                    c(m, n) += av * i64(b(k, n));
+                simd.gemmRowI32(&c(m, 0), &b(k, 0), av, b.cols());
             }
         },
         grain);

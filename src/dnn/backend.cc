@@ -4,6 +4,7 @@
 
 #include "common/executor.h"
 #include "common/fixed_point.h"
+#include "common/simd.h"
 #include "arch/functional.h"
 
 namespace usys {
@@ -52,6 +53,7 @@ gemmFp32(const MatF &a, const MatF &b)
     // result is bitwise-identical at any thread count.
     const u64 grain = std::max<u64>(
         1, 4096 / u64(std::max(1, a.cols() * b.cols())));
+    const SimdKernels &simd = simdKernels();
     parallelFor(
         0, u64(a.rows()),
         [&](u64 mi) {
@@ -60,10 +62,7 @@ gemmFp32(const MatF &a, const MatF &b)
                 const float av = a(m, k);
                 if (av == 0.0f)
                     continue;
-                const float *brow = &b(k, 0);
-                float *crow = &c(m, 0);
-                for (int n = 0; n < b.cols(); ++n)
-                    crow[n] += av * brow[n];
+                simd.axpyF32(&c(m, 0), &b(k, 0), av, b.cols());
             }
         },
         grain);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "fault/fault.h"
 #include "unary/sobol.h"
@@ -46,6 +47,20 @@ class BitstreamGen
         return word;
     }
 
+    /**
+     * Produce the next nwords packed words at once. State-identical to
+     * nwords nextWord() calls; generators whose word step is already
+     * closed-form keep this default, the RNG-compared ones override it
+     * with one batched threshold-pack over the whole block so the SIMD
+     * kernels see long runs (see common/simd.h).
+     */
+    virtual void
+    nextWords(u64 *out, u32 nwords)
+    {
+        for (u32 i = 0; i < nwords; ++i)
+            out[i] = nextWord();
+    }
+
     /** Restart the stream from cycle 0. */
     virtual void reset() = 0;
 };
@@ -74,6 +89,11 @@ class RateBsg : public BitstreamGen
 
     bool nextBit() override { return rng_.next() < src_; }
     u64 nextWord() override { return rng_.nextWord(src_); }
+    void
+    nextWords(u64 *out, u32 nwords) override
+    {
+        rng_.nextWords(src_, out, nwords);
+    }
     void reset() override { rng_.reset(); }
 
   private:
@@ -141,6 +161,11 @@ class BipolarRateBsg : public BitstreamGen
 
     bool nextBit() override { return rng_.next() < offset_; }
     u64 nextWord() override { return rng_.nextWord(offset_); }
+    void
+    nextWords(u64 *out, u32 nwords) override
+    {
+        rng_.nextWords(offset_, out, nwords);
+    }
     void reset() override { rng_.reset(); }
 
   private:
@@ -160,16 +185,22 @@ class BipolarRateBsg : public BitstreamGen
 inline u64
 onesInWindow(BitstreamGen &gen, u32 window, const Fault *fault = nullptr)
 {
-    u64 ones = 0;
-    for (u32 t = 0; t < window; t += 64) {
-        u64 word = gen.nextWord();
-        if (fault)
-            word = fault->applyToWord(word, t);
-        if (window - t < 64)
-            word &= lowMask(window - t);
-        ones += u64(std::popcount(word));
-    }
-    return ones;
+    if (window == 0)
+        return 0;
+    // Batch the whole window: one nextWords() advance, the (rare)
+    // fault pass, the boundary mask, then one bulk popcount through
+    // the dispatched SIMD kernel. The scratch is per-thread so packed
+    // folds running on the executor never share it.
+    thread_local std::vector<u64> buf;
+    const u32 nwords = (window + 63) / 64;
+    buf.resize(nwords);
+    gen.nextWords(buf.data(), nwords);
+    if (fault)
+        for (u32 w = 0; w < nwords; ++w)
+            buf[w] = fault->applyToWord(buf[w], u64(w) * 64);
+    if (window & 63)
+        buf[nwords - 1] &= lowMask(window & 63);
+    return simdKernels().popcountWords(buf.data(), nwords);
 }
 
 /** Materialize n bits of a stream as 0/1 bytes. */

@@ -1,6 +1,9 @@
 #include "unary/lfsr.h"
 
+#include <vector>
+
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace usys {
 
@@ -62,6 +65,26 @@ Lfsr::nextWord(u32 threshold)
     }
     state_ = state;
     return word;
+}
+
+void
+Lfsr::nextWords(u32 threshold, u64 *out, u32 nwords)
+{
+    // Same register recurrence as next()/nextWord(), swept once over a
+    // scratch value buffer; the comparisons pack in one SIMD call.
+    thread_local std::vector<u32> vals;
+    const std::size_t count = std::size_t(nwords) * 64;
+    vals.resize(count);
+    const u32 mask = (u32(1) << bits_) - 1;
+    u32 state = state_;
+    for (std::size_t k = 0; k < count; ++k) {
+        vals[k] = state;
+        const u32 feedback = u32(__builtin_parity(state & tap_mask_));
+        state = ((state << 1) | feedback) & mask;
+    }
+    state_ = state;
+    simdKernels().thresholdPackWords(vals.data(), u32(count), threshold,
+                                     out);
 }
 
 void

@@ -39,6 +39,14 @@ class Lfsr
      */
     u64 nextWord(u32 threshold);
 
+    /**
+     * Batched form of nextWord(): pack the next nwords * 64 threshold
+     * comparisons into out[0..nwords) through the dispatched SIMD
+     * threshold-pack kernel. State-identical to nwords nextWord()
+     * calls.
+     */
+    void nextWords(u32 threshold, u64 *out, u32 nwords);
+
     /** Restart from the construction seed. */
     void reset();
 

@@ -1,6 +1,7 @@
 #include "unary/sobol.h"
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace usys {
 
@@ -117,6 +118,35 @@ SobolSequence::nextWord(u32 threshold)
     for (int i = 0; i < 64; ++i)
         word |= u64(next() < threshold) << i;
     return word;
+}
+
+void
+SobolSequence::nextWords(u32 threshold, u64 *out, u32 nwords)
+{
+    // Materialize the next nwords * 64 sequence values with the same
+    // recurrence next() runs (including the period wrap), keeping the
+    // register state in locals across the whole block, then pack all
+    // the threshold comparisons in one SIMD call.
+    thread_local std::vector<u32> vals;
+    const std::size_t count = std::size_t(nwords) * 64;
+    vals.resize(count);
+    u32 value = value_;
+    u64 index = index_;
+    const u64 p = period();
+    for (std::size_t k = 0; k < count; ++k) {
+        vals[k] = value;
+        ++index;
+        if (index == p) {
+            index = 0;
+            value = 0;
+        } else {
+            value ^= direction_[lowestZeroBit(index - 1)];
+        }
+    }
+    value_ = value;
+    index_ = index;
+    simdKernels().thresholdPackWords(vals.data(), u32(count), threshold,
+                                     out);
 }
 
 void

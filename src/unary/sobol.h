@@ -52,6 +52,15 @@ class SobolSequence
      */
     u64 nextWord(u32 threshold);
 
+    /**
+     * Batched form of nextWord(): pack the next nwords * 64 threshold
+     * comparisons into out[0..nwords). The recurrence advances in one
+     * scalar sweep over a scratch buffer and the comparisons go
+     * through the dispatched SIMD threshold-pack kernel, so word,
+     * multi-word, and scalar stepping can still be mixed freely.
+     */
+    void nextWords(u32 threshold, u64 *out, u32 nwords);
+
     /** Restart the sequence from index 0. */
     void reset();
 

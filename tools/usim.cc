@@ -19,6 +19,7 @@
 #include "common/cli.h"
 #include "common/executor.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "eval/network.h"
 #include "hw/energy.h"
@@ -46,6 +47,8 @@ usage()
         "  --no-packed               force the scalar simulation engine\n"
         "  --threads N               executor thread count (0 = auto:\n"
         "                            USYS_THREADS, else all cores)\n"
+        "  --simd auto|avx2|generic  SIMD kernel tier (overrides "
+        "USYS_SIMD)\n"
         "  --csv                     machine-readable output\n"
         "  --network                 chained inference (inter-layer "
         "traffic accounted)\n"
@@ -115,6 +118,8 @@ main(int argc, char **argv)
                 parseIntFlag("--threads", next().c_str(), 0, 4096);
             Executor::global().setThreads(unsigned(n));
         }
+        else if (arg == "--simd")
+            setSimdMode(next());
         else if (arg == "--csv")
             csv = true;
         else if (arg == "--network")
