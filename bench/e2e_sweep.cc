@@ -47,6 +47,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/prng.h"
+#include "common/profiler.h"
 #include "common/stats_registry.h"
 #include "arch/array.h"
 #include "eval/experiments.h"
@@ -110,6 +111,7 @@ buildJobs(int bits)
 void
 runJob(const Job &job, JobOutcome &out)
 {
+    USYS_PROF_SCOPE("e2e.job");
     out.delta = FoldStatsDelta{};
     const LayerStats roofline = computeLayerStats(job.sys, job.layer);
     const SystolicGemm gemm(job.sys.array);
@@ -307,12 +309,15 @@ main(int argc, char **argv)
     // the --die-after crash hook); the timed reps below re-run the same
     // pending jobs without touching the checkpoint.
     Executor::global().setThreads(1);
+    ProgressMeter progress("e2e serial-ref job", pending.size(),
+                           opts.progress);
     i64 computed = 0;
     for (const u64 j : pending) {
         runJob(jobs[j], serial_out[j]);
         ckpt.record("job" + std::to_string(j),
                     serializeOutcome(serial_out[j]));
         ++computed;
+        progress.update(u64(computed));
         if (die_after > 0 && computed >= die_after) {
             std::fflush(nullptr);
             raise(SIGKILL);

@@ -161,6 +161,10 @@ main(int argc, char **argv)
 
     // nrmse[scheme][rate] for the printed table and the gate.
     double nrmse[sizeof(kSchemes) / sizeof(kSchemes[0])][kNumRates] = {};
+    constexpr u64 kNumShards =
+        u64(sizeof(kSchemes) / sizeof(kSchemes[0])) * kNumRates;
+    ProgressMeter progress("fault shard", kNumShards, opts.progress);
+    u64 visited = 0;
     i64 computed = 0;
     int si = 0;
     for (const auto &sw : kSchemes) {
@@ -190,6 +194,7 @@ main(int argc, char **argv)
                     raise(SIGKILL);
                 }
             }
+            progress.update(++visited);
             nrmse[si][ri] = res.nrmse();
             const std::string slug =
                 "fault." + std::string(sw.tag) + ".r" +

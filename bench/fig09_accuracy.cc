@@ -25,6 +25,7 @@
 #include "common/cli.h"
 #include "common/logging.h"
 #include "common/event_trace.h"
+#include "common/profiler.h"
 #include "common/table.h"
 #include "eval/error_stats.h"
 #include "dnn/data.h"
@@ -64,6 +65,7 @@ struct Tier
 void
 runTier(const Tier &tier)
 {
+    USYS_PROF_SCOPE("fig09.tier");
     std::printf("\n=== Figure %s: %s ===\n", tier.figure, tier.name);
 
     Dataset train = tier.make_data(tier.train_count, 42);
@@ -73,9 +75,12 @@ runTier(const Tier &tier)
     const std::string cache =
         cacheDir() + "/" + std::string(tier.figure) + ".weights";
     std::filesystem::create_directories(cacheDir());
-    if (!loadWeights(*model, cache)) {
-        trainClassifier(*model, train, tier.opts);
-        saveWeights(*model, cache);
+    {
+        USYS_PROF_SCOPE("fig09.weight_cache");
+        if (!loadWeights(*model, cache)) {
+            trainClassifier(*model, train, tier.opts);
+            saveWeights(*model, cache);
+        }
     }
 
     const double fp32 =

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -32,6 +33,7 @@
 #include "common/event_trace.h"
 #include "common/logging.h"
 #include "common/prng.h"
+#include "common/profiler.h"
 #include "common/simd.h"
 #include "common/stats_registry.h"
 #include "arch/packed_array.h"
@@ -70,6 +72,31 @@ medianUsPerFold(Fn &&fold, int reps, int trials)
     return samples[samples.size() / 2];
 }
 
+/**
+ * Minimum per-fold wall time in microseconds. The overhead guard uses
+ * min instead of median: the minimum of enough trials approaches the
+ * true cost of the instruction stream, squeezing out scheduler noise —
+ * exactly what an A/A comparison at a 2% tolerance needs.
+ */
+template <typename Fn>
+double
+minUsPerFold(Fn &&fold, int reps, int trials)
+{
+    std::vector<double> samples;
+    fold();
+    for (int t = 0; t < trials; ++t) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r)
+            fold();
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count() /
+            double(reps));
+    }
+    return *std::min_element(samples.begin(), samples.end());
+}
+
 struct KernelPoint
 {
     const char *tag; // stat slug under kernel.<tag>.*
@@ -90,6 +117,7 @@ main(int argc, char **argv)
         opts.stats_json = "BENCH_kernels.json";
 
     double min_speedup = 0.0, min_simd_speedup = 0.0;
+    double max_profile_overhead_pct = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
             fatalIf(i + 1 >= argc, "--min-speedup requires a value");
@@ -99,6 +127,12 @@ main(int argc, char **argv)
             fatalIf(i + 1 >= argc, "--min-simd-speedup requires a value");
             min_simd_speedup = parseDoubleFlag("--min-simd-speedup",
                                                argv[++i], 0.0, 1e6);
+        } else if (std::strcmp(argv[i], "--max-profile-overhead-pct") ==
+                   0) {
+            fatalIf(i + 1 >= argc,
+                    "--max-profile-overhead-pct requires a value");
+            max_profile_overhead_pct = parseDoubleFlag(
+                "--max-profile-overhead-pct", argv[++i], 0.0, 1e6);
         } else {
             fatal(std::string("perf_smoke: unknown argument: ") + argv[i]);
         }
@@ -129,6 +163,7 @@ main(int argc, char **argv)
     double ur_speedup = 0.0;
     {
         ScopedTimer timer("perf_smoke", "bench");
+        USYS_PROF_SCOPE("perf.kernels");
         Prng prng(17);
         const auto input = randomCodes(dim, dim, prng);
         const auto weights = randomCodes(dim, dim, prng);
@@ -171,6 +206,54 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- Profiling overhead guard -------------------------------------
+    // The profiler's disabled path must be invisible in the headline
+    // packed UR kernel: compare two identical profiling-off measurements
+    // (an A/A run — the scopes compiled in both times, recording in
+    // neither) and require them within --max-profile-overhead-pct. The
+    // enabled-scopes delta is recorded for trend-watching but not gated:
+    // it prices the scopes themselves, which are opt-in.
+    double profile_off_delta_pct = 0.0;
+    {
+        Profiler &prof = Profiler::global();
+        const bool was_profiling = prof.enabled();
+        Prng prng(17);
+        const auto input = randomCodes(dim, dim, prng);
+        const auto weights = randomCodes(dim, dim, prng);
+        cfg.kernel = {Scheme::USystolicRate, bits, 0};
+        const PackedArray packed(cfg);
+        FoldStatsDelta scratch;
+        auto fold = [&] { packed.runFold(input, weights, &scratch); };
+
+        prof.setEnabled(false);
+        const double baseline_us = minUsPerFold(fold, 200, 7);
+        const double off_us = minUsPerFold(fold, 200, 7);
+        prof.setEnabled(true);
+        const double on_us = minUsPerFold(fold, 200, 7);
+        prof.setEnabled(was_profiling);
+
+        profile_off_delta_pct =
+            100.0 * std::abs(off_us - baseline_us) / baseline_us;
+        const double on_delta_pct =
+            100.0 * (on_us - baseline_us) / baseline_us;
+        reg.scalar("kernel.profile_overhead.baseline_us",
+                   "packed UR fold, profiling disabled (pass A)")
+            .set(baseline_us);
+        reg.scalar("kernel.profile_overhead.off_us",
+                   "packed UR fold, profiling disabled (pass B)")
+            .set(off_us);
+        reg.scalar("kernel.profile_overhead.on_us",
+                   "packed UR fold, scopes recording")
+            .set(on_us);
+        reg.scalar("kernel.profile_overhead.off_delta_pct",
+                   "|A - B| / A of the disabled-profiling passes")
+            .set(profile_off_delta_pct);
+        std::printf("\nprofile overhead: off %.2f/%.2f us (%.2f%% A/A), "
+                    "on %.2f us (%+.2f%%)\n",
+                    baseline_us, off_us, profile_off_delta_pct, on_us,
+                    on_delta_pct);
+    }
+
     // ---- SIMD kernel tier: generic vs best-available ------------------
     const SimdKernels &gen = genericKernels();
     const SimdKernels *best = avx2Kernels();
@@ -185,6 +268,7 @@ main(int argc, char **argv)
     double popcount_speedup = 1.0;
     {
         ScopedTimer timer("perf_smoke_simd", "bench");
+        USYS_PROF_SCOPE("perf.simd");
         Prng prng(29);
         const std::size_t nwords = std::size_t(1) << 15; // 2 Mbit
         std::vector<u64> words(nwords);
@@ -307,6 +391,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "perf_smoke: UR speedup %.1fx below required %.1fx\n",
                      ur_speedup, min_speedup);
+        return 1;
+    }
+
+    if (max_profile_overhead_pct > 0.0 &&
+        profile_off_delta_pct > max_profile_overhead_pct) {
+        std::fprintf(stderr,
+                     "perf_smoke: profiling-disabled A/A delta %.2f%% "
+                     "exceeds %.2f%%\n",
+                     profile_off_delta_pct, max_profile_overhead_pct);
         return 1;
     }
     return 0;

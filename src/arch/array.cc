@@ -5,6 +5,7 @@
 
 #include "common/cli.h"
 #include "common/executor.h"
+#include "common/profiler.h"
 #include "common/stats_registry.h"
 #include "arch/packed_array.h"
 #include "arch/pe.h"
@@ -94,6 +95,7 @@ SystolicArray::runFold(const Matrix<i32> &input,
                        const Matrix<i32> &weights,
                        FoldStatsDelta *stats, u64 tile) const
 {
+    USYS_PROF_SCOPE("fold.scalar");
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
     fatalIf(input.cols() != rows, "runFold: input width != array rows");
@@ -226,6 +228,7 @@ SystolicGemm::RunResult
 SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
                   FoldStatsDelta *stats) const
 {
+    USYS_PROF_SCOPE("gemm.run");
     fatalIf(a.cols() != b.rows(), "SystolicGemm: shape mismatch");
     const int m_rows = a.rows();
     const int k_dim = a.cols();
@@ -251,6 +254,7 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
     Matrix<i32> a_faulted, b_faulted;
     u64 dram_events = 0;
     if (fp.enabled() && fp.rates.dram_word > 0.0) {
+        USYS_PROF_SCOPE("gemm.dram_faults");
         a_faulted = a;
         b_faulted = b;
         dram_events += applyDramFaults(fp, a_faulted, kDramOperandA,
@@ -269,6 +273,7 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
     deltas[0].faults_dram = dram_events;
     std::vector<Cycles> tile_cycles(n_tiles, 0);
     auto run_tile = [&](u64 ti) {
+        USYS_PROF_SCOPE("gemm.tile");
         const int n0 = int(ti) * cols;
         // Staging tiles are hoisted out of the K loop and re-zeroed in
         // place, so a shard allocates twice per GEMM instead of twice

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/fixed_point.h"
+#include "common/profiler.h"
 #include "common/simd.h"
 #include "arch/pe.h"
 #include "unary/bitstream.h"
@@ -177,6 +178,7 @@ SystolicArray::FoldResult
 PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
                      FoldStatsDelta *stats, u64 tile) const
 {
+    USYS_PROF_SCOPE("fold.packed");
     const int rows = cfg_.rows;
     const int cols = cfg_.cols;
     fatalIf(input.cols() != rows, "runFold: input width != array rows");

@@ -1,14 +1,27 @@
 #include "common/executor.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <string>
 
 #include "common/logging.h"
+#include "common/profiler.h"
+#include "common/stats_registry.h"
 
 namespace usys {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+u64
+elapsedNs(SteadyClock::time_point from, SteadyClock::time_point to)
+{
+    return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   to - from)
+                   .count());
+}
 
 /** Set while a thread executes chunks of a parallel region; the signal
  *  that makes nested parallelFor calls run inline. */
@@ -60,7 +73,24 @@ struct Executor::Pool
         std::size_t head = 0;                    // owner pops here
     };
 
-    explicit Pool(unsigned threads) : nthreads(threads), deques(threads)
+    /** Per-slot telemetry; counters are written only by the owning
+     *  thread (relaxed), the latency histogram is merged quiescently.
+     *  Padded so adjacent slots do not share a cache line. */
+    struct alignas(64) SlotStats
+    {
+        std::atomic<u64> tasks{0};
+        std::atomic<u64> steals{0};
+        std::atomic<u64> steal_fails{0};
+        std::atomic<u64> busy_ns{0};
+        std::atomic<u64> idle_ns{0};
+        Histogram latency{"", "chunk latency (us)",
+                          Executor::kTaskLatencyLoUs,
+                          Executor::kTaskLatencyHiUs,
+                          Executor::kTaskLatencyBuckets};
+    };
+
+    explicit Pool(unsigned threads)
+        : nthreads(threads), deques(threads), slot_stats(threads)
     {
         workers.reserve(threads - 1);
         for (unsigned t = 1; t < threads; ++t)
@@ -101,9 +131,13 @@ struct Executor::Pool
                 out = dq.chunks.back();
                 dq.chunks.pop_back();
                 steals.fetch_add(1, std::memory_order_relaxed);
+                slot_stats[self].steals.fetch_add(
+                    1, std::memory_order_relaxed);
                 return true;
             }
         }
+        slot_stats[self].steal_fails.fetch_add(1,
+                                               std::memory_order_relaxed);
         return false;
     }
 
@@ -112,9 +146,20 @@ struct Executor::Pool
     participate(unsigned self)
     {
         tl_in_region = true;
+        SlotStats &st = slot_stats[self];
         std::pair<u64, u64> chunk;
         while (popOwn(self, chunk) || steal(self, chunk)) {
+            // Re-anchor per chunk, not per participate() call: a
+            // straggler draining the previous region can pop chunks of
+            // the next one, whose anchor path differs. The deque mutex
+            // gave us the happens-before edge to run()'s prof_* writes,
+            // and applyWorkerAnchor is idempotent per region id. The
+            // caller (slot 0) already sits at the anchor path.
+            if (self != 0 && prof_active)
+                Profiler::global().applyWorkerAnchor(prof_path,
+                                                     prof_region_id);
             if (!failed.load(std::memory_order_acquire)) {
+                const auto t0 = SteadyClock::now();
                 try {
                     (*body)(chunk.first, chunk.second);
                 } catch (...) {
@@ -122,6 +167,10 @@ struct Executor::Pool
                     if (!failed.exchange(true, std::memory_order_acq_rel))
                         error = std::current_exception();
                 }
+                const u64 ns = elapsedNs(t0, SteadyClock::now());
+                st.tasks.fetch_add(1, std::memory_order_relaxed);
+                st.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+                st.latency.add(double(ns) * 1e-3);
             }
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 std::lock_guard<std::mutex> lock(done_mu);
@@ -134,10 +183,15 @@ struct Executor::Pool
     void
     workerLoop(unsigned slot)
     {
+        setLogThreadTag("w" + std::to_string(slot));
         u64 seen = 0;
         std::unique_lock<std::mutex> lock(gen_mu);
         for (;;) {
+            const auto w0 = SteadyClock::now();
             gen_cv.wait(lock, [&] { return stop || generation != seen; });
+            slot_stats[slot].idle_ns.fetch_add(
+                elapsedNs(w0, SteadyClock::now()),
+                std::memory_order_relaxed);
             if (stop)
                 return;
             seen = generation;
@@ -149,11 +203,19 @@ struct Executor::Pool
 
     const unsigned nthreads;
     std::vector<Deque> deques;
+    std::vector<SlotStats> slot_stats;
     std::atomic<u64> steals{0};
 
     // Active-region state; written by the caller before the generation
     // bump publishes it, cleared only by the next region.
     const std::function<void(u64, u64)> *body = nullptr;
+    // Profiler anchor for this region: the caller's scope path at region
+    // entry, plus a monotonically increasing id that makes per-chunk
+    // anchor application idempotent. Plain fields — published to the
+    // workers through the same deque mutexes as `body`.
+    std::vector<const char *> prof_path;
+    u64 prof_region_id = 0;
+    bool prof_active = false;
     std::atomic<u64> remaining{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
@@ -232,6 +294,36 @@ Executor::stealCount() const
     return pool_ ? pool_->steals.load(std::memory_order_relaxed) : 0;
 }
 
+std::vector<Executor::WorkerCounters>
+Executor::workerCounters() const
+{
+    // Same read-only peek contract as stealCount(): relaxed loads of
+    // owner-written counters, tolerating concurrent updates.
+    std::vector<WorkerCounters> out;
+    if (!pool_)
+        return out;
+    out.reserve(pool_->nthreads);
+    for (const auto &st : pool_->slot_stats) {
+        WorkerCounters c;
+        c.tasks = st.tasks.load(std::memory_order_relaxed);
+        c.steals = st.steals.load(std::memory_order_relaxed);
+        c.steal_fails = st.steal_fails.load(std::memory_order_relaxed);
+        c.busy_ns = st.busy_ns.load(std::memory_order_relaxed);
+        c.idle_ns = st.idle_ns.load(std::memory_order_relaxed);
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+Executor::mergeTaskLatency(Histogram &dst) const
+{
+    if (!pool_)
+        return;
+    for (const auto &st : pool_->slot_stats)
+        dst.merge(st.latency);
+}
+
 void
 Executor::run(u64 begin, u64 end, u64 grain,
               const std::function<void(u64, u64)> &body)
@@ -249,6 +341,12 @@ Executor::run(u64 begin, u64 end, u64 grain,
     p.body = &body;
     p.failed.store(false, std::memory_order_relaxed);
     p.error = nullptr;
+    Profiler &prof = Profiler::global();
+    p.prof_active = prof.enabled();
+    if (p.prof_active) {
+        p.prof_path = prof.currentPath();
+        ++p.prof_region_id;
+    }
     p.remaining.store(chunks, std::memory_order_release);
 
     // Deal contiguous runs of chunks to the slots (slot 0 = caller):

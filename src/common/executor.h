@@ -45,9 +45,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/types.h"
 
 namespace usys {
+
+class Histogram;
 
 class Executor
 {
@@ -76,6 +79,37 @@ class Executor
     /** Chunks executed by a thread other than their initial owner
      *  (monotonic; for tests and diagnostics). */
     u64 stealCount() const;
+
+    /**
+     * Per-slot telemetry (slot 0 = the region caller, 1..n-1 = pool
+     * workers). Counters are relaxed atomics written only by the owning
+     * thread; tasks counts chunks executed, busy_ns the wall time spent
+     * inside chunk bodies, idle_ns a worker's time blocked waiting for a
+     * region (always 0 for slot 0), steal_fails full sweeps of the other
+     * deques that found nothing. Like stealCount(), a setThreads() pool
+     * restart resets everything.
+     */
+    struct WorkerCounters
+    {
+        u64 tasks = 0;
+        u64 steals = 0;
+        u64 steal_fails = 0;
+        u64 busy_ns = 0;
+        u64 idle_ns = 0;
+    };
+    /** Snapshot of every slot's counters; empty before the first region.
+     *  Safe to call concurrently with a running region (relaxed reads). */
+    std::vector<WorkerCounters> workerCounters() const;
+
+    /** Shape of the per-slot task-latency histograms (microseconds);
+     *  pass the same bounds when registering the merge target. */
+    static constexpr double kTaskLatencyLoUs = 0.0;
+    static constexpr double kTaskLatencyHiUs = 10000.0;
+    static constexpr int kTaskLatencyBuckets = 50;
+    /** Merge every slot's chunk-latency histogram into `dst` (which must
+     *  have the kTaskLatency* shape). Quiescent-only: call after regions
+     *  have joined, not concurrently with parallelFor. */
+    void mergeTaskLatency(Histogram &dst) const;
 
     /**
      * Run body(lo, hi) over [begin, end) split into grain-sized chunks
@@ -149,10 +183,24 @@ forkJoinParallelFor(u64 begin, u64 end, Fn &&fn, u64 grain,
         }
     };
 
+    // Re-root the spawned threads' profiler frames under the caller's
+    // scope path, like the executor pool does, so the merged call-tree
+    // keeps the serial nesting. The threads are freshly created (anchor
+    // id 1 always applies); the caller itself already sits on the path.
+    const bool prof_active = Profiler::global().enabled();
+    std::vector<const char *> prof_path;
+    if (prof_active)
+        prof_path = Profiler::global().currentPath();
+    auto worker_body = [&]() {
+        if (prof_active)
+            Profiler::global().applyWorkerAnchor(prof_path, 1);
+        body();
+    };
+
     std::vector<std::thread> threads;
     threads.reserve(workers - 1);
     for (unsigned t = 0; t + 1 < workers; ++t)
-        threads.emplace_back(body);
+        threads.emplace_back(worker_body);
     body();
     for (auto &th : threads)
         th.join();

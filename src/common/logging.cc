@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <atomic>
+
+#include "common/event_trace.h"
+
 namespace usys {
 
 namespace {
@@ -16,6 +20,38 @@ levelRef()
 {
     static LogLevel level = initialLogLevel();
     return level;
+}
+
+std::string &
+threadTagRef()
+{
+    thread_local std::string tag;
+    if (tag.empty()) {
+        static std::atomic<u32> next{0};
+        tag = "t" + std::to_string(next.fetch_add(1));
+    }
+    return tag;
+}
+
+/** `[+<elapsed-ms> <tag>] ` — who logged, and when on the shared
+ *  host clock, so interleaved multi-threaded output stays attributable. */
+std::string
+linePrefix()
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[+%.3fms %s] ",
+                  hostTimeUs() / 1000.0, threadTagRef().c_str());
+    return buf;
+}
+
+void
+emit(const char *level, const std::string &msg)
+{
+    const std::string line =
+        std::string(level) + ": " + linePrefix() + msg + "\n";
+    // One fwrite per line: stderr is unbuffered, but a single write
+    // keeps concurrent threads' lines from interleaving mid-line.
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace
@@ -49,38 +85,50 @@ parseLogLevel(const std::string &name)
     return LogLevel::Inform;
 }
 
+const std::string &
+logThreadTag()
+{
+    return threadTagRef();
+}
+
+void
+setLogThreadTag(const std::string &tag)
+{
+    threadTagRef() = tag;
+}
+
 void
 debug(const std::string &msg)
 {
     if (logLevel() <= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+        emit("debug", msg);
 }
 
 void
 inform(const std::string &msg)
 {
     if (logLevel() <= LogLevel::Inform)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emit("info", msg);
 }
 
 void
 warn(const std::string &msg)
 {
     if (logLevel() <= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emit("warn", msg);
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("fatal", msg);
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("panic", msg);
     std::abort();
 }
 

@@ -41,6 +41,18 @@ void setLogLevel(LogLevel level);
  */
 LogLevel parseLogLevel(const std::string &name);
 
+/**
+ * Short tag naming the calling thread in log prefixes. Every line is
+ * prefixed `[+<elapsed-ms> <tag>]` (elapsed on the shared hostTimeUs()
+ * clock, so log lines and Chrome-trace events line up); executor
+ * workers tag themselves "w<slot>", other threads default to "t<n>" in
+ * first-log order (the main thread is almost always "t0").
+ */
+const std::string &logThreadTag();
+
+/** Override the calling thread's log tag. */
+void setLogThreadTag(const std::string &tag);
+
 /** Print a debug message to stderr (dropped unless level is Debug). */
 void debug(const std::string &msg);
 

@@ -1,0 +1,101 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/event_trace.h"
+#include "common/executor.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/stats_registry.h"
+
+namespace usys {
+
+MetricsSampler &
+MetricsSampler::global()
+{
+    static MetricsSampler sampler;
+    return sampler;
+}
+
+void
+MetricsSampler::start(const std::string &path, u64 interval_ms)
+{
+    fatalIf(running(), "metrics sampler already running");
+    fatalIf(interval_ms == 0, "metrics interval must be >= 1 ms");
+    out_ = std::fopen(path.c_str(), "w");
+    fatalIf(out_ == nullptr, "cannot open metrics output: " + path);
+    interval_ms_ = interval_ms;
+    samples_ = 0;
+    stop_requested_ = false;
+    setvbuf(out_, nullptr, _IOLBF, 0); // line-buffered: tail -f works
+    writeSample();
+    thread_ = std::thread([this] {
+        setLogThreadTag("metrics");
+        loop();
+    });
+}
+
+void
+MetricsSampler::stop()
+{
+    if (!running())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    writeSample(); // closing data point, after the loop has quiesced
+    std::fclose(out_);
+    out_ = nullptr;
+}
+
+void
+MetricsSampler::loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        const bool stopping = cv_.wait_for(
+            lock, std::chrono::milliseconds(interval_ms_),
+            [this] { return stop_requested_; });
+        if (stopping)
+            return;
+        lock.unlock();
+        writeSample();
+        lock.lock();
+    }
+}
+
+void
+MetricsSampler::writeSample()
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("ts_ms", hostTimeUs() / 1000.0);
+    w.field("sample", samples_);
+    w.beginObject("stats");
+    statsRegistry().sampleNumeric([&w](const std::string &name, double v) {
+        w.fieldRaw(name, jsonNumber(v));
+    });
+    w.endObject();
+    w.beginObject("exec");
+    const auto counters = Executor::global().workerCounters();
+    for (std::size_t s = 0; s < counters.size(); ++s) {
+        w.beginObject("worker" + std::to_string(s));
+        w.field("tasks", counters[s].tasks);
+        w.field("steals", counters[s].steals);
+        w.field("steal_fails", counters[s].steal_fails);
+        w.field("busy_ns", counters[s].busy_ns);
+        w.field("idle_ns", counters[s].idle_ns);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    const std::string line = w.str() + "\n";
+    std::fwrite(line.data(), 1, line.size(), out_);
+    ++samples_;
+}
+
+} // namespace usys

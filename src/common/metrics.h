@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Background metrics sampler: a JSON-lines timeseries of the stats
+ * registry.
+ *
+ * When enabled (`--metrics-interval-ms` + `--metrics-out` on any bench
+ * binary), a daemon thread wakes every interval and appends one JSON
+ * object per line to the output file:
+ *
+ *   {"ts_ms": 12.345, "sample": 3, "stats": {"sim.ur.folds": 42, ...},
+ *    "exec": {"worker0": {"tasks": 10, ...}, ...}}
+ *
+ * `stats` holds every numeric registry leaf (counters, scalars,
+ * histogram count/sum — see StatsRegistry::sampleNumeric) flattened to
+ * dotted keys; `exec` holds the live per-slot executor counters.
+ * Timestamps are on the shared hostTimeUs() clock so samples line up
+ * with log lines and Chrome-trace events.
+ *
+ * Samples are racy by design: values are plain loads concurrent with
+ * the simulation's updates, good enough to watch a long sweep's
+ * counters move in-flight. Anything that must be exact belongs in the
+ * end-of-run artifacts, which are written at quiescence. stop() takes
+ * one final sample so short runs still produce a closing data point,
+ * and is called by finalizeBench() before the stats artifacts are
+ * written.
+ *
+ * Off by default: zero threads, zero cost. Not for use concurrently
+ * with registry clear() (the sampler holds no references, but
+ * sampleNumeric snapshots under the registry lock — clear() between
+ * samples is safe, concurrent stat *registration* is too).
+ */
+
+#ifndef USYS_COMMON_METRICS_H
+#define USYS_COMMON_METRICS_H
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/types.h"
+
+namespace usys {
+
+class MetricsSampler
+{
+  public:
+    /** Process-wide sampler driven by the bench CLI. */
+    static MetricsSampler &global();
+
+    /**
+     * Start sampling every `interval_ms` into `path` (truncating it).
+     * Fatal if already running or the file cannot be opened. Writes an
+     * immediate first sample, so even a sub-interval run yields
+     * (with the stop() sample) at least two lines.
+     */
+    void start(const std::string &path, u64 interval_ms);
+
+    /** Take a final sample, join the thread, close the file. No-op when
+     *  not running. */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+    /** Samples written since start() (tests; racy while running). */
+    u64 sampleCount() const { return samples_; }
+
+  private:
+    MetricsSampler() = default;
+
+    void loop();
+    void writeSample();
+
+    std::FILE *out_ = nullptr;
+    u64 interval_ms_ = 0;
+    u64 samples_ = 0;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_requested_ = false;
+    std::thread thread_;
+};
+
+} // namespace usys
+
+#endif // USYS_COMMON_METRICS_H

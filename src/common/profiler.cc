@@ -1,0 +1,379 @@
+#include "common/profiler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace usys {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One node of a thread-local call-tree. */
+struct Node
+{
+    const char *name = "";
+    Node *parent = nullptr;
+    std::vector<Node *> children; // insertion order; merged sorts by name
+    u64 calls = 0;
+    u64 incl_ns = 0;
+};
+
+/**
+ * Per-thread profile. Owned by the global registry (not the
+ * thread_local pointer) so trees survive thread exit and merging never
+ * races thread teardown.
+ */
+struct ThreadProfile
+{
+    Node root;
+    Node *current = &root;           // innermost frame (or anchor base)
+    Node *region_base = &root;       // where an empty stack returns to
+    std::deque<Node> arena;          // stable node storage
+    std::vector<std::pair<Node *, Clock::time_point>> stack;
+    u64 anchor_region = 0;           // last applied worker-anchor id
+
+    void
+    clear()
+    {
+        arena.clear();
+        root = Node{};
+        current = &root;
+        region_base = &root;
+        stack.clear();
+        anchor_region = 0;
+    }
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadProfile>> threads;
+    std::deque<std::string> interned;
+};
+
+Registry &
+registry()
+{
+    // Leaked for the same reason as the executor pool: thread_local
+    // pointers into it may be read during late process teardown.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+ThreadProfile &
+threadProfile()
+{
+    thread_local ThreadProfile *tp = nullptr;
+    if (!tp) {
+        auto owned = std::make_unique<ThreadProfile>();
+        tp = owned.get();
+        std::lock_guard<std::mutex> lock(registry().mu);
+        registry().threads.push_back(std::move(owned));
+    }
+    return *tp;
+}
+
+Node *
+findOrAddChild(ThreadProfile &tp, Node *parent, const char *name)
+{
+    for (Node *c : parent->children) {
+        if (c->name == name || std::strcmp(c->name, name) == 0)
+            return c;
+    }
+    tp.arena.emplace_back();
+    Node *n = &tp.arena.back();
+    n->name = name;
+    n->parent = parent;
+    parent->children.push_back(n);
+    return n;
+}
+
+void
+mergeInto(Profiler::MergedNode &dst, const Node &src)
+{
+    dst.calls += src.calls;
+    dst.incl_ns += src.incl_ns;
+    std::map<std::string, const Node *> seen; // dedupe within one tree
+    for (const Node *c : src.children) {
+        Profiler::MergedNode *slot = nullptr;
+        for (auto &mc : dst.children) {
+            if (mc.name == c->name) {
+                slot = &mc;
+                break;
+            }
+        }
+        if (!slot) {
+            dst.children.emplace_back();
+            slot = &dst.children.back();
+            slot->name = c->name;
+        }
+        mergeInto(*slot, *c);
+    }
+    (void)seen;
+}
+
+void
+finalizeMerged(Profiler::MergedNode &n)
+{
+    std::sort(n.children.begin(), n.children.end(),
+              [](const Profiler::MergedNode &a,
+                 const Profiler::MergedNode &b) { return a.name < b.name; });
+    u64 child_incl = 0;
+    for (auto &c : n.children) {
+        finalizeMerged(c);
+        child_incl += c.incl_ns;
+    }
+    n.excl_ns = n.incl_ns > child_incl ? n.incl_ns - child_incl : 0;
+}
+
+void
+writeNodeJson(JsonWriter &w, const Profiler::MergedNode &n)
+{
+    w.beginObject()
+        .field("name", n.name)
+        .field("calls", n.calls)
+        .field("incl_ns", n.incl_ns)
+        .field("excl_ns", n.excl_ns);
+    w.beginArray("children");
+    for (const auto &c : n.children)
+        writeNodeJson(w, c);
+    w.endArray();
+    w.endObject();
+}
+
+void
+collapseNode(const Profiler::MergedNode &n, const std::string &prefix,
+             std::vector<std::string> &lines)
+{
+    const std::string path =
+        prefix.empty() ? n.name : prefix + ";" + n.name;
+    if (n.excl_ns > 0)
+        lines.push_back(path + " " + std::to_string(n.excl_ns));
+    for (const auto &c : n.children)
+        collapseNode(c, path, lines);
+}
+
+void
+signatureNode(const Profiler::MergedNode &n, int depth, std::string &out)
+{
+    out.append(std::size_t(depth) * 2, ' ');
+    out += n.name;
+    out += ' ';
+    out += std::to_string(n.calls);
+    out += '\n';
+    for (const auto &c : n.children)
+        signatureNode(c, depth + 1, out);
+}
+
+} // namespace
+
+Profiler &
+Profiler::global()
+{
+    static Profiler *p = new Profiler;
+    return *p;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    const bool was = enabled_.load(std::memory_order_relaxed);
+    if (on && !was)
+        enable_time_ = Clock::now();
+    else if (!on && was)
+        disable_time_ = Clock::now();
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::push(const char *name)
+{
+    ThreadProfile &tp = threadProfile();
+    Node *n = findOrAddChild(tp, tp.current, name);
+    ++n->calls;
+    tp.stack.emplace_back(n, Clock::now());
+    tp.current = n;
+}
+
+void
+Profiler::pop()
+{
+    ThreadProfile &tp = threadProfile();
+    // A scope that outlived a reset() (or saw profiling enabled after
+    // its push was skipped) has nothing to close; tolerate it.
+    if (tp.stack.empty())
+        return;
+    auto [n, start] = tp.stack.back();
+    tp.stack.pop_back();
+    n->incl_ns += u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - start)
+                          .count());
+    tp.current = tp.stack.empty() ? tp.region_base : tp.stack.back().first;
+}
+
+const char *
+Profiler::intern(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.interned.push_back(name);
+    return r.interned.back().c_str();
+}
+
+std::vector<const char *>
+Profiler::currentPath() const
+{
+    ThreadProfile &tp = threadProfile();
+    std::vector<const char *> path;
+    for (const Node *n = tp.current; n && n->parent; n = n->parent)
+        path.push_back(n->name);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+Profiler::applyWorkerAnchor(const std::vector<const char *> &path,
+                            u64 region_id)
+{
+    ThreadProfile &tp = threadProfile();
+    if (tp.anchor_region == region_id)
+        return;
+    tp.anchor_region = region_id;
+    // Recreate the caller's path as zero-call, zero-time nodes so the
+    // worker's frames merge into the same position the serial run puts
+    // them. The worker's stack is empty between chunks of distinct
+    // regions, so re-rooting is safe here.
+    Node *n = &tp.root;
+    for (const char *name : path)
+        n = findOrAddChild(tp, n, name);
+    tp.region_base = n;
+    tp.current = n;
+}
+
+u64
+Profiler::wallNs() const
+{
+    // While enabled the window is still open; after a disable it is
+    // frozen at the disable instant so post-hoc dumps keep a coverage
+    // denominator. Zero only before the first enable.
+    if (enable_time_ == Clock::time_point{})
+        return 0;
+    const auto end = enabled_.load(std::memory_order_relaxed)
+                         ? Clock::now()
+                         : disable_time_;
+    if (end <= enable_time_)
+        return 0;
+    return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   end - enable_time_)
+                   .count());
+}
+
+Profiler::MergedNode
+Profiler::merged() const
+{
+    MergedNode root;
+    root.name = "root";
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto &tp : r.threads)
+        mergeInto(root, tp->root);
+    // The synthetic root spans the whole profiled interval; per-thread
+    // roots carry no timing of their own.
+    root.calls = 0;
+    root.incl_ns = wallNs();
+    finalizeMerged(root);
+    return root;
+}
+
+std::string
+Profiler::json(const std::string &bench) const
+{
+    const MergedNode root = merged();
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", bench)
+        .field("schema_version", 1)
+        .field("wall_ns", wallNs())
+        .field("threads", u64(threadCount()));
+    w.beginObject("root")
+        .field("name", root.name)
+        .field("calls", root.calls)
+        .field("incl_ns", root.incl_ns)
+        .field("excl_ns", root.excl_ns);
+    w.beginArray("children");
+    for (const auto &c : root.children)
+        writeNodeJson(w, c);
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Profiler::collapsed() const
+{
+    const MergedNode root = merged();
+    std::vector<std::string> lines;
+    // Top-level frames are the base of each stack (no "root" prefix).
+    for (const auto &c : root.children)
+        collapseNode(c, "", lines);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+Profiler::writeJsonFile(const std::string &path,
+                        const std::string &bench) const
+{
+    return writeTextFile(path, json(bench));
+}
+
+bool
+Profiler::writeCollapsedFile(const std::string &path) const
+{
+    return writeTextFile(path, collapsed());
+}
+
+std::string
+Profiler::signature() const
+{
+    const MergedNode root = merged();
+    std::string out;
+    for (const auto &c : root.children)
+        signatureNode(c, 0, out);
+    return out;
+}
+
+void
+Profiler::reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &tp : r.threads)
+        tp->clear();
+    if (enabled_.load(std::memory_order_relaxed))
+        enable_time_ = Clock::now();
+}
+
+std::size_t
+Profiler::threadCount() const
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.threads.size();
+}
+
+} // namespace usys

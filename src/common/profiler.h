@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Hierarchical scoped wall-time profiler.
+ *
+ * `USYS_PROF_SCOPE("name")` drops an RAII frame onto the calling
+ * thread's call-tree: every distinct (parent path, name) pair becomes
+ * one node accumulating call count and inclusive steady_clock
+ * nanoseconds. Trees are thread-local (no synchronization on the hot
+ * path); at dump time every thread's tree is merged by name into one
+ * deterministic tree with exclusive times derived as
+ * `incl - sum(children incl)`.
+ *
+ * Executor integration keeps the merged tree shape independent of the
+ * thread count: when a worker executes chunks of a parallel region, its
+ * frames attach under an *anchor* — a replica of the calling thread's
+ * scope path at region entry (created with zero calls / zero time).
+ * Merging by name then lands worker frames exactly where the serial run
+ * would have put them, so names and call counts are identical at
+ * `--threads 1` and `--threads N`; only the times differ.
+ *
+ * Profiling is off by default: a disabled scope costs one relaxed
+ * atomic load and a branch. It is enabled by the bench CLI when
+ * `--profile-json` / `--profile-collapsed` is given, and force-on/off
+ * via the `USYS_PROFILE` environment variable (see common/cli.h).
+ * Results serialize as a nested JSON tree and as Brendan-Gregg
+ * collapsed-stack lines (`a;b;c <exclusive_ns>`) that standard
+ * flamegraph tools consume directly.
+ *
+ * Scope discipline (DESIGN.md §12): instrument phases worth >= ~10 us
+ * (folds, tiles, layers, epochs), not per-MAC inner loops — an enabled
+ * scope costs ~100 ns (two clock reads plus a child lookup).
+ *
+ * Thread-safety contract: push/pop are wait-free on thread-local state;
+ * registration of a new thread's tree takes a mutex once per thread.
+ * merged()/json()/collapsed()/reset() must run while the profiled
+ * threads are quiescent (after parallel regions have joined) — the
+ * executor's join provides the happens-before edge for worker frames.
+ */
+
+#ifndef USYS_COMMON_PROFILER_H
+#define USYS_COMMON_PROFILER_H
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+class Profiler
+{
+  public:
+    /** Process-wide profiler used by USYS_PROF_SCOPE. */
+    static Profiler &global();
+
+    /** Turn scope recording on/off; enabling (re)starts the wall clock
+     *  that wallNs() and the dump coverage ratio are measured against. */
+    void setEnabled(bool on);
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Open a frame named `name` under the calling thread's current
+     *  frame. The pointed-to string must outlive the profiler (string
+     *  literals; intern() for dynamic names). */
+    void push(const char *name);
+    /** Close the calling thread's innermost frame. */
+    void pop();
+
+    /** Copy a dynamic name into profiler-lifetime storage. */
+    const char *intern(const std::string &name);
+
+    // --- Executor integration -----------------------------------------
+    /** Scope path (root -> current) of the calling thread. */
+    std::vector<const char *> currentPath() const;
+    /**
+     * Re-root the calling worker thread's frames under a replica of
+     * `path` (the region caller's path). Idempotent per `region_id`:
+     * repeated calls with the same id are no-ops, so the executor can
+     * apply it per chunk without rebuilding.
+     */
+    void applyWorkerAnchor(const std::vector<const char *> &path,
+                           u64 region_id);
+
+    /** Width of the profiled window: enable to now while enabled,
+     *  enable to the last disable afterwards; 0 before any enable. */
+    u64 wallNs() const;
+
+    /** Merged call-tree, children sorted by name (deterministic). */
+    struct MergedNode
+    {
+        std::string name;
+        u64 calls = 0;
+        u64 incl_ns = 0;
+        u64 excl_ns = 0; // incl - sum(children incl), clamped at 0
+        std::vector<MergedNode> children;
+    };
+    /** Synthetic root ("root", incl = wallNs()) over the merged trees.
+     *  Quiescence required (see file comment). */
+    MergedNode merged() const;
+
+    /** Nested-tree JSON document ({bench, schema_version, wall_ns,
+     *  threads, root}). */
+    std::string json(const std::string &bench) const;
+    /** Collapsed-stack lines ("a;b;c <exclusive_ns>"), sorted. */
+    std::string collapsed() const;
+    bool writeJsonFile(const std::string &path,
+                       const std::string &bench) const;
+    bool writeCollapsedFile(const std::string &path) const;
+
+    /**
+     * Structure-only rendering ("name calls" per line, indented,
+     * children sorted by name): the thread-count-invariant part of the
+     * tree, used by determinism tests.
+     */
+    std::string signature() const;
+
+    /** Drop all recorded frames and anchors (quiescence required). */
+    void reset();
+
+    /** Number of thread trees registered (diagnostics/tests). */
+    std::size_t threadCount() const;
+
+  private:
+    Profiler() = default;
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point enable_time_{};
+    std::chrono::steady_clock::time_point disable_time_{};
+};
+
+/** RAII frame for USYS_PROF_SCOPE; records only if profiling was
+ *  enabled at construction (so toggles mid-scope stay balanced). */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const char *name)
+        : active_(Profiler::global().enabled())
+    {
+        if (active_)
+            Profiler::global().push(name);
+    }
+    ~ProfScope()
+    {
+        if (active_)
+            Profiler::global().pop();
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    const bool active_;
+};
+
+#define USYS_PROF_CONCAT2(a, b) a##b
+#define USYS_PROF_CONCAT(a, b) USYS_PROF_CONCAT2(a, b)
+/** Time this scope under `name` in the process-wide profiler. */
+#define USYS_PROF_SCOPE(name) \
+    ::usys::ProfScope USYS_PROF_CONCAT(usys_prof_scope_, __LINE__)(name)
+
+} // namespace usys
+
+#endif // USYS_COMMON_PROFILER_H

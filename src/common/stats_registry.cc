@@ -67,6 +67,20 @@ Histogram::bucketLo(int i) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    panicIf(lo_ != other.lo_ || hi_ != other.hi_ ||
+                buckets_.size() != other.buckets_.size(),
+            "Histogram::merge: bucket shape mismatch ('" + name() +
+                "' vs '" + other.name() + "')");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    moments_.merge(other.moments_);
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -241,6 +255,30 @@ StatsRegistry::snapshot() const
     for (const auto &entry : stats_)
         stats.push_back(entry.second.get());
     return stats;
+}
+
+void
+StatsRegistry::sampleNumeric(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const Stat *s : snapshot()) {
+        switch (s->kind()) {
+          case Stat::Kind::Counter:
+            fn(s->name(), double(static_cast<const Counter *>(s)->value()));
+            break;
+          case Stat::Kind::Scalar:
+            fn(s->name(), static_cast<const Scalar *>(s)->value());
+            break;
+          case Stat::Kind::Histogram: {
+            const auto *h = static_cast<const Histogram *>(s);
+            fn(s->name() + ".count", double(h->count()));
+            fn(s->name() + ".sum", h->sum());
+            break;
+          }
+          case Stat::Kind::Formula:
+            break; // lambdas may not be thread-safe to evaluate here
+        }
+    }
 }
 
 std::string

@@ -121,6 +121,16 @@ class Histogram : public Stat
 
     void add(double x, u64 count = 1);
 
+    /**
+     * Fold another histogram's samples into this one. The merge is
+     * order-invariant (bucket counts and Chan-et-al moment merges are
+     * commutative up to fp rounding of the moments), so parallel
+     * sections can accumulate into local histograms and merge serially
+     * in any fixed order. A bucket-shape mismatch is a panic — merging
+     * incompatible bucketings silently would corrupt both.
+     */
+    void merge(const Histogram &other);
+
     u64 count() const { return moments_.count(); }
     double mean() const { return moments_.mean(); }
     double min() const { return moments_.min(); }
@@ -194,6 +204,20 @@ class StatsRegistry
     void reset();
     /** Drop every registration. */
     void clear();
+
+    /**
+     * Visit every numeric leaf as (dotted name, value): counters and
+     * scalars by value, histograms as `<name>.count` and `<name>.sum`.
+     * Formulas are skipped — their lambdas may read state that is not
+     * safe to touch from another thread. Values are read without
+     * synchronization (plain u64/double loads), so a concurrent sample
+     * taken mid-update may be stale; callers that need exact values
+     * must sample at quiescence. Registration order is the iteration
+     * order surrogate: names come out sorted.
+     */
+    void
+    sampleNumeric(const std::function<void(const std::string &, double)>
+                      &fn) const;
 
     /** Flat gem5-style text dump, sorted by name. */
     std::string dumpText() const;

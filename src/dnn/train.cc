@@ -6,18 +6,21 @@
 #include <numeric>
 
 #include "common/prng.h"
+#include "common/profiler.h"
 
 namespace usys {
 
 void
 trainClassifier(Layer &model, const Dataset &data, const TrainOpts &opts)
 {
+    USYS_PROF_SCOPE("train.classifier");
     const NumericConfig fp32{NumericMode::Fp32, 8};
     Prng prng(opts.shuffle_seed);
     std::vector<std::size_t> order(data.count());
     std::iota(order.begin(), order.end(), 0);
 
     for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        USYS_PROF_SCOPE("train.epoch");
         // Fisher-Yates shuffle.
         for (std::size_t i = order.size(); i > 1; --i)
             std::swap(order[i - 1], order[prng.below(i)]);
@@ -52,6 +55,7 @@ double
 evaluateAccuracy(Layer &model, const Dataset &data,
                  const NumericConfig &cfg, std::size_t max_samples)
 {
+    USYS_PROF_SCOPE("train.evaluate");
     const std::size_t total =
         max_samples ? std::min(max_samples, data.count()) : data.count();
     const std::size_t chunk = 64;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/prng.h"
+#include "common/profiler.h"
 #include "arch/array.h"
 
 namespace usys {
@@ -67,6 +68,7 @@ ResilienceResult::deserialize(const std::string &payload)
 ResilienceResult
 runResilienceShard(const ResilienceSpec &spec)
 {
+    USYS_PROF_SCOPE("resilience.shard");
     ResilienceResult result;
     for (int t = 0; t < spec.trials; ++t) {
         // Operands are a function of (seed, trial) only, so every rate

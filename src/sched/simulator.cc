@@ -6,6 +6,7 @@
 #include "common/cli.h"
 #include "common/event_trace.h"
 #include "common/executor.h"
+#include "common/profiler.h"
 #include "common/stats_registry.h"
 
 namespace usys {
@@ -155,6 +156,7 @@ recordLayerObservability(const SystemConfig &sys, const GemmLayer &layer,
 LayerStats
 simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
 {
+    USYS_PROF_SCOPE("sim.layer");
     LayerStats s = computeLayerStats(sys, layer);
     recordLayerObservability(sys, layer, s);
     return s;
@@ -163,11 +165,13 @@ simulateLayer(const SystemConfig &sys, const GemmLayer &layer)
 std::vector<LayerStats>
 simulateLayerBatch(const std::vector<LayerJob> &jobs)
 {
+    USYS_PROF_SCOPE("sim.layer_batch");
     std::vector<LayerStats> out(jobs.size());
     if (packedEngineEnabled() && jobs.size() > 1) {
         // Pure math in parallel; observability committed serially in job
         // order so stats/trace dumps match the serial loop byte for byte.
         parallelFor(0, jobs.size(), [&](u64 i) {
+            USYS_PROF_SCOPE("sim.layer");
             out[i] = computeLayerStats(jobs[i].sys, jobs[i].layer);
         });
         for (std::size_t i = 0; i < jobs.size(); ++i)

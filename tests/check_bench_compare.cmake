@@ -1,0 +1,69 @@
+# ctest driver for the perf-regression comparator. Expects:
+#   BENCH     path to the perf_smoke binary
+#   PYTHON    python3 interpreter
+#   TOOLS_DIR repo tools/ directory (bench_compare.py)
+#   WORK_DIR  scratch directory for the artifacts
+#
+# Three contracts:
+#  1. A file compared against itself passes at the default threshold
+#     (the self-comparison every CI baseline update starts from).
+#  2. Two independent perf_smoke runs pass at a generous threshold —
+#     the comparator tolerates ordinary run-to-run timing noise.
+#  3. A synthetically degraded copy (packed_us x10, speedup_x /10)
+#     fails with a nonzero exit: the gate actually gates.
+
+set(dir ${WORK_DIR}/bench_compare)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+foreach(run a b)
+    execute_process(
+        COMMAND ${BENCH} --stats-json ${dir}/run_${run}.json
+        WORKING_DIRECTORY ${dir}
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "perf_smoke run ${run} failed (${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/bench_compare.py
+            ${dir}/run_a.json ${dir}/run_a.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "self-comparison reported a regression (${rc})")
+endif()
+
+# A vs B: real timing noise. The 1.5 (150%) threshold is deliberately
+# loose — this asserts the tool's plumbing on independent runs, not the
+# host's scheduler; the tight default-threshold gate is contract 1.
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/bench_compare.py --threshold 1.5
+            ${dir}/run_a.json ${dir}/run_b.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "A/B comparison of two fresh perf_smoke runs "
+                        "regressed even at 150% (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+d['stats']['kernel']['ur']['packed_us'] *= 10
+d['stats']['kernel']['ur']['speedup_x'] /= 10
+json.dump(d, open(sys.argv[2], 'w'))
+" ${dir}/run_a.json ${dir}/degraded.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "could not synthesize degraded artifact")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/bench_compare.py
+            ${dir}/run_a.json ${dir}/degraded.json
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "degraded artifact passed — the regression "
+                        "gate is not gating")
+endif()

@@ -10,15 +10,19 @@ set(stats ${WORK_DIR}/BENCH_kernels.json)
 # perf_smoke itself asserts packed/scalar and SIMD/generic equivalence
 # per kernel and exits nonzero when the full-period UR speedup misses
 # the 10x floor or (on AVX2 hosts — the gate self-skips elsewhere) the
-# SIMD bulk-popcount speedup misses 2x.
+# SIMD bulk-popcount speedup misses 2x. --max-profile-overhead-pct
+# additionally gates the compiled-in-but-disabled profiler cost on the
+# packed UR fold: the A/A delta of two profiling-off measurements must
+# stay within 2%.
 execute_process(
     COMMAND ${BENCH} --stats-json ${stats} --min-speedup 10
-            --min-simd-speedup 2
+            --min-simd-speedup 2 --max-profile-overhead-pct 2
     RESULT_VARIABLE rc OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "perf_smoke failed (${rc}) — packed/scalar "
-                        "mismatch, UR speedup below 10x, or SIMD "
-                        "popcount speedup below 2x")
+                        "mismatch, UR speedup below 10x, SIMD popcount "
+                        "speedup below 2x, or profiling-disabled "
+                        "overhead above 2%")
 endif()
 
 execute_process(

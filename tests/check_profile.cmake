@@ -1,0 +1,86 @@
+# ctest driver for the self-profiling runtime. Expects:
+#   BENCH     path to the e2e_sweep binary
+#   PYTHON    python3 interpreter
+#   TOOLS_DIR repo tools/ directory (checkers)
+#   WORK_DIR  scratch directory for the artifacts
+#
+# One instrumented multi-threaded run must produce, at once:
+#  - a schema-valid call-tree whose root inclusive time covers >= 90%
+#    of the measured wall time (the hot paths really are bracketed);
+#  - a well-formed collapsed-stack file;
+#  - a metrics timeseries with >= 2 samples (at 50 ms the ~1 s sweep
+#    yields far more; 2 is the immediate-first + final-on-stop floor);
+#  - per-worker executor counters in the stats JSON — which a default
+#    (un-instrumented) run must NOT contain, or the byte-determinism
+#    contract on default stats dumps would break.
+
+set(dir ${WORK_DIR}/profile_e2e)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+execute_process(
+    COMMAND ${BENCH} --threads 3 --reps 1
+            --profile-json ${dir}/p.json
+            --profile-collapsed ${dir}/p.collapsed
+            --metrics-interval-ms 50 --metrics-out ${dir}/m.jsonl
+            --stats-json ${dir}/s.json
+    WORKING_DIRECTORY ${dir}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "instrumented e2e_sweep failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_profile_schema.py
+            --min-coverage 0.9 ${dir}/p.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "profile JSON failed schema/coverage check")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_profile_schema.py
+            --collapsed ${dir}/p.collapsed
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "collapsed profile failed format check")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${TOOLS_DIR}/check_profile_schema.py
+            --metrics --min-samples 2 ${dir}/m.jsonl
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "metrics timeseries failed sample check")
+endif()
+
+# Per-worker counters present under instrumentation (slots 0..2 at
+# --threads 3), and the task-latency histogram alongside them.
+file(READ ${dir}/s.json stats_doc)
+foreach(slot 0 1 2)
+    foreach(field tasks steals steal_fails busy_ns idle_ns)
+        if(NOT stats_doc MATCHES "\"worker${slot}\"")
+            message(FATAL_ERROR "stats JSON lacks exec.worker${slot}")
+        endif()
+    endforeach()
+endforeach()
+if(NOT stats_doc MATCHES "task_latency_us")
+    message(FATAL_ERROR "stats JSON lacks exec.task_latency_us")
+endif()
+
+# The counter-check above is only meaningful if a *default* run stays
+# clean: wall-clock executor telemetry must never leak into the dumps
+# the determinism harness byte-compares.
+execute_process(
+    COMMAND ${BENCH} --threads 3 --reps 1
+            --stats-json ${dir}/s_default.json
+    WORKING_DIRECTORY ${dir}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "default e2e_sweep failed (${rc})")
+endif()
+file(READ ${dir}/s_default.json default_doc)
+if(default_doc MATCHES "\"exec\"")
+    message(FATAL_ERROR "default stats JSON contains exec telemetry — "
+                        "this breaks byte-determinism of default dumps")
+endif()

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <csignal>
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/event_trace.h"
 #include "common/json.h"
@@ -280,6 +283,103 @@ TEST(StatsRegistry, HistogramBucketing)
     const std::string j = reg.json();
     EXPECT_TRUE(JsonChecker(j).valid()) << j;
     EXPECT_NE(j.find("\"buckets\""), std::string::npos);
+}
+
+TEST(StatsRegistry, HistogramMergeIsOrderInvariant)
+{
+    // Three shards with disjoint value ranges, as parallel sections
+    // produce. Folding them in any order must yield the same histogram
+    // (bucket counts exactly; moments up to the fp rounding the merge
+    // documents, far below these tolerances).
+    auto make_shard = [](double base) {
+        Histogram h("shard", "merge shard", 0.0, 30.0, 6);
+        for (int k = 0; k < 5; ++k)
+            h.add(base + k);
+        h.add(-1.0);  // underflow
+        h.add(100.0); // overflow
+        return h;
+    };
+    const Histogram s1 = make_shard(0.0);
+    const Histogram s2 = make_shard(10.0);
+    const Histogram s3 = make_shard(20.0);
+
+    Histogram fwd("fwd", "1-2-3", 0.0, 30.0, 6);
+    fwd.merge(s1);
+    fwd.merge(s2);
+    fwd.merge(s3);
+    Histogram rev("rev", "3-1-2", 0.0, 30.0, 6);
+    rev.merge(s3);
+    rev.merge(s1);
+    rev.merge(s2);
+
+    EXPECT_EQ(fwd.count(), 21u);
+    EXPECT_EQ(fwd.count(), rev.count());
+    EXPECT_EQ(fwd.underflow(), rev.underflow());
+    EXPECT_EQ(fwd.overflow(), rev.overflow());
+    for (int b = 0; b < 6; ++b)
+        EXPECT_EQ(fwd.bucketCount(b), rev.bucketCount(b)) << b;
+    EXPECT_DOUBLE_EQ(fwd.min(), rev.min());
+    EXPECT_DOUBLE_EQ(fwd.max(), rev.max());
+    EXPECT_NEAR(fwd.sum(), rev.sum(), 1e-9);
+    EXPECT_NEAR(fwd.mean(), rev.mean(), 1e-9);
+
+    // And merging equals having added every sample directly.
+    Histogram direct("direct", "all samples", 0.0, 30.0, 6);
+    for (double base : {0.0, 10.0, 20.0}) {
+        for (int k = 0; k < 5; ++k)
+            direct.add(base + k);
+        direct.add(-1.0);
+        direct.add(100.0);
+    }
+    EXPECT_EQ(direct.count(), fwd.count());
+    for (int b = 0; b < 6; ++b)
+        EXPECT_EQ(direct.bucketCount(b), fwd.bucketCount(b)) << b;
+    EXPECT_NEAR(direct.mean(), fwd.mean(), 1e-9);
+}
+
+TEST(StatsRegistryDeathTest, HistogramMergeShapeMismatchFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Histogram dst("dst", "target", 0.0, 10.0, 5);
+    const Histogram bounds("b", "other bounds", 0.0, 20.0, 5);
+    const Histogram buckets("b", "other buckets", 0.0, 10.0, 10);
+    EXPECT_EXIT(dst.merge(bounds), testing::KilledBySignal(SIGABRT),
+                "shape mismatch");
+    EXPECT_EXIT(dst.merge(buckets), testing::KilledBySignal(SIGABRT),
+                "shape mismatch");
+}
+
+TEST(StatsRegistry, SampleNumericFlattensLiveValues)
+{
+    StatsRegistry reg;
+    reg.counter("s.events") += 5;
+    reg.scalar("s.rate").set(2.5);
+    Histogram &h = reg.histogram("s.lat", 0.0, 10.0, 5, "latency");
+    h.add(1.0);
+    h.add(3.0);
+    reg.formula("s.twice",
+                [] { return 4.0; }); // formulas are skipped (see impl)
+
+    std::vector<std::pair<std::string, double>> seen;
+    reg.sampleNumeric([&](const std::string &name, double value) {
+        seen.emplace_back(name, value);
+    });
+
+    auto value_of = [&](const std::string &name) -> const double * {
+        for (const auto &kv : seen)
+            if (kv.first == name)
+                return &kv.second;
+        return nullptr;
+    };
+    ASSERT_NE(value_of("s.events"), nullptr);
+    EXPECT_EQ(*value_of("s.events"), 5.0);
+    ASSERT_NE(value_of("s.rate"), nullptr);
+    EXPECT_EQ(*value_of("s.rate"), 2.5);
+    ASSERT_NE(value_of("s.lat.count"), nullptr);
+    EXPECT_EQ(*value_of("s.lat.count"), 2.0);
+    ASSERT_NE(value_of("s.lat.sum"), nullptr);
+    EXPECT_EQ(*value_of("s.lat.sum"), 4.0);
+    EXPECT_EQ(value_of("s.twice"), nullptr);
 }
 
 TEST(StatsRegistry, SanitizeStatName)

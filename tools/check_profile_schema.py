@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate self-profiling artifacts (stdlib only; runs from ctest).
+
+Three modes:
+
+  check_profile_schema.py [--min-coverage F] profile.json
+      Assert the call-tree JSON written by `<bench> --profile-json` is
+      well-formed: required top-level keys, recursively valid nodes
+      (name / calls / incl_ns / excl_ns / children, siblings unique and
+      sorted by name), and — with --min-coverage — that the root's
+      inclusive time covers at least that fraction of wall_ns, i.e. the
+      instrumentation actually brackets the run.
+
+  check_profile_schema.py --metrics [--min-samples N] metrics.jsonl
+      Assert the JSON-lines file written by `--metrics-out` has at
+      least N samples, each with ts_ms / sample / stats / exec,
+      consecutive sample indices, and nondecreasing timestamps.
+
+  check_profile_schema.py --collapsed profile.txt
+      Assert the Brendan-Gregg collapsed-stack file written by
+      `--profile-collapsed` has only `frame;frame;... <ns>` lines.
+
+Exit status 0 on success; 1 with a per-error listing otherwise.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+NODE_KEYS = ("name", "calls", "incl_ns", "excl_ns", "children")
+
+
+def check_node(node, path, errors):
+    """Recursively validate one merged call-tree node."""
+    if not isinstance(node, dict):
+        errors.append(f"{path}: node is not an object")
+        return
+    for key in NODE_KEYS:
+        if key not in node:
+            errors.append(f"{path}: missing key {key!r}")
+    name = node.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{path}: name must be a non-empty string")
+    for key in ("calls", "incl_ns", "excl_ns"):
+        value = node.get(key)
+        if not isinstance(value, numbers.Number) or value < 0:
+            errors.append(f"{path}: {key} must be a number >= 0, "
+                          f"got {value!r}")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        errors.append(f"{path}: children must be a list")
+        return
+    names = [c.get("name") for c in children if isinstance(c, dict)]
+    if len(set(names)) != len(names):
+        errors.append(f"{path}: duplicate child names (merge failed)")
+    if names != sorted(names):
+        errors.append(f"{path}: children not sorted by name")
+    for child in children:
+        child_name = (child.get("name", "?")
+                      if isinstance(child, dict) else "?")
+        check_node(child, f"{path};{child_name}", errors)
+
+
+def check_profile(path, min_coverage):
+    with open(path) as f:
+        doc = json.load(f)
+
+    errors = []
+    for key in ("bench", "schema_version", "wall_ns", "threads", "root"):
+        if key not in doc:
+            errors.append(f"missing top-level key: {key}")
+    if doc.get("schema_version") != 1:
+        errors.append(f"schema_version {doc.get('schema_version')} != 1")
+    if errors:
+        return errors
+
+    root = doc["root"]
+    check_node(root, root.get("name", "root")
+               if isinstance(root, dict) else "root", errors)
+    if errors:
+        return errors
+
+    wall_ns = doc["wall_ns"]
+    if not isinstance(wall_ns, numbers.Number) or wall_ns <= 0:
+        errors.append(f"wall_ns must be > 0, got {wall_ns!r}")
+        return errors
+    if min_coverage > 0:
+        coverage = root["incl_ns"] / wall_ns
+        if coverage < min_coverage:
+            errors.append(
+                f"root inclusive time covers {coverage:.1%} of wall_ns, "
+                f"below required {min_coverage:.1%}")
+    return errors
+
+
+def check_metrics(path, min_samples):
+    errors = []
+    count = 0
+    prev_ts = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                sample = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON: {exc}")
+                continue
+            for key in ("ts_ms", "sample", "stats", "exec"):
+                if key not in sample:
+                    errors.append(f"line {lineno}: missing key {key!r}")
+            if sample.get("sample") != count:
+                errors.append(f"line {lineno}: sample index "
+                              f"{sample.get('sample')} != {count}")
+            ts = sample.get("ts_ms")
+            if prev_ts is not None and isinstance(ts, numbers.Number) \
+                    and ts < prev_ts:
+                errors.append(f"line {lineno}: ts_ms went backwards "
+                              f"({ts} < {prev_ts})")
+            if isinstance(ts, numbers.Number):
+                prev_ts = ts
+            count += 1
+    if count < min_samples:
+        errors.append(f"only {count} samples, required {min_samples}")
+    return errors
+
+
+def check_collapsed(path):
+    errors = []
+    count = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            stack, sep, value = line.rpartition(" ")
+            if not sep or not stack:
+                errors.append(f"line {lineno}: expected "
+                              f"'frame;frame;... <ns>'")
+                continue
+            if not value.isdigit():
+                errors.append(f"line {lineno}: sample value {value!r} "
+                              f"is not a nonnegative integer")
+            if any(not frame for frame in stack.split(";")):
+                errors.append(f"line {lineno}: empty frame in stack")
+            count += 1
+    if count == 0:
+        errors.append("no collapsed stack lines")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact",
+                        help="profile JSON, metrics JSONL, or collapsed "
+                             "stack file")
+    parser.add_argument("--min-coverage", type=float, default=0.0,
+                        help="minimum root incl_ns / wall_ns fraction "
+                             "(profile mode)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="validate a --metrics-out JSONL file")
+    parser.add_argument("--min-samples", type=int, default=2,
+                        help="minimum sample count (metrics mode)")
+    parser.add_argument("--collapsed", action="store_true",
+                        help="validate a --profile-collapsed file")
+    args = parser.parse_args()
+
+    if args.metrics and args.collapsed:
+        parser.error("--metrics and --collapsed are mutually exclusive")
+    if args.metrics:
+        errors = check_metrics(args.artifact, args.min_samples)
+    elif args.collapsed:
+        errors = check_collapsed(args.artifact)
+    else:
+        errors = check_profile(args.artifact, args.min_coverage)
+
+    if errors:
+        for error in errors:
+            print(f"check_profile_schema: {error}", file=sys.stderr)
+        print(f"check_profile_schema: FAILED ({len(errors)} errors) "
+              f"on {args.artifact}", file=sys.stderr)
+        return 1
+    print(f"check_profile_schema: OK ({args.artifact})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
