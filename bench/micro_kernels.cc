@@ -125,13 +125,19 @@ BM_RtlArrayFold(benchmark::State &state)
 }
 BENCHMARK(BM_RtlArrayFold);
 
-// SIMD kernel tiers: Arg(0) = generic, Arg(1) = avx2 (skips with an
-// error on hosts/builds without the AVX2 table).
+// SIMD kernel tiers: Arg(0) = generic, Arg(1) = avx2, Arg(2) = avx512
+// (tiers absent on this host/build skip with an error).
 const SimdKernels *
 tierForArg(benchmark::State &state)
 {
     if (state.range(0) == 0)
         return &genericKernels();
+    if (state.range(0) == 2) {
+        const SimdKernels *avx512 = avx512Kernels();
+        if (!avx512)
+            state.SkipWithError("AVX-512 unavailable on this host/build");
+        return avx512;
+    }
     const SimdKernels *avx2 = avx2Kernels();
     if (!avx2)
         state.SkipWithError("AVX2 unavailable on this host/build");
@@ -153,7 +159,7 @@ BM_SimdPopcountWords(benchmark::State &state)
             k->popcountWords(words.data(), words.size()));
     state.SetBytesProcessed(state.iterations() * words.size() * 8);
 }
-BENCHMARK(BM_SimdPopcountWords)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdPopcountWords)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SimdThresholdPack(benchmark::State &state)
@@ -173,7 +179,7 @@ BM_SimdThresholdPack(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SimdThresholdPack)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdThresholdPack)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SimdPrefixPopcount(benchmark::State &state)
@@ -193,7 +199,7 @@ BM_SimdPrefixPopcount(benchmark::State &state)
     }
     state.SetBytesProcessed(state.iterations() * nwords * 8);
 }
-BENCHMARK(BM_SimdPrefixPopcount)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdPrefixPopcount)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SimdAxpyF32(benchmark::State &state)
@@ -214,7 +220,7 @@ BM_SimdAxpyF32(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SimdAxpyF32)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdAxpyF32)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SimdGemmRowI32(benchmark::State &state)
@@ -234,7 +240,7 @@ BM_SimdGemmRowI32(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SimdGemmRowI32)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdGemmRowI32)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_DramDeviceStream(benchmark::State &state)

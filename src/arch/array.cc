@@ -265,6 +265,28 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
         pb = &b_faulted;
     }
 
+    // Panel mode: stage every K-tile of A once, up front, shared
+    // read-only across the column-tile shards — instead of every shard
+    // re-staging the same input slice per fold. For an N-dim of n_tiles
+    // panels this cuts input staging by n_tiles x (and the packed
+    // engine's per-worker ones-memos then serve the staged codes from
+    // cache). Gated on panelGemmEnabled() so --no-panel measures the
+    // legacy unblocked behavior end to end.
+    const bool panel = panelGemmEnabled();
+    std::vector<Matrix<i32>> a_tiles;
+    if (panel) {
+        USYS_PROF_SCOPE("gemm.stage_a");
+        a_tiles.reserve(k_tiles);
+        for (u64 kt = 0; kt < k_tiles; ++kt) {
+            const int k0 = int(kt) * rows;
+            Matrix<i32> t(m_rows, rows, 0);
+            for (int m = 0; m < m_rows; ++m)
+                for (int r = 0; r < rows && k0 + r < k_dim; ++r)
+                    t(m, r) = (*pa)(m, k0 + r);
+            a_tiles.push_back(std::move(t));
+        }
+    }
+
     // Each column-tile shard owns a disjoint slice of the output matrix,
     // so the shards can run concurrently; per-shard cycle counts and
     // stats deltas are reduced serially in tile order below, keeping
@@ -278,25 +300,32 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
         // Staging tiles are hoisted out of the K loop and re-zeroed in
         // place, so a shard allocates twice per GEMM instead of twice
         // per fold. Zero padding models idle PEs on ragged edges.
-        Matrix<i32> in_tile(m_rows, rows, 0);
+        Matrix<i32> in_tile;
+        if (!panel)
+            in_tile = Matrix<i32>(m_rows, rows, 0);
         Matrix<i32> w_tile(rows, cols, 0);
         for (int k0 = 0; k0 < k_dim; k0 += rows) {
-            std::fill(in_tile.data().begin(), in_tile.data().end(), 0);
+            const u64 kt = u64(k0 / rows);
+            if (!panel) {
+                std::fill(in_tile.data().begin(), in_tile.data().end(),
+                          0);
+                for (int m = 0; m < m_rows; ++m)
+                    for (int r = 0; r < rows && k0 + r < k_dim; ++r)
+                        in_tile(m, r) = (*pa)(m, k0 + r);
+            }
+            const Matrix<i32> &in = panel ? a_tiles[kt] : in_tile;
             std::fill(w_tile.data().begin(), w_tile.data().end(), 0);
-            for (int m = 0; m < m_rows; ++m)
-                for (int r = 0; r < rows && k0 + r < k_dim; ++r)
-                    in_tile(m, r) = (*pa)(m, k0 + r);
             for (int r = 0; r < rows && k0 + r < k_dim; ++r)
                 for (int c = 0; c < cols && n0 + c < n_dim; ++c)
                     w_tile(r, c) = (*pb)(k0 + r, n0 + c);
 
             // Global fold index: the coordinate every per-fold fault
             // site hashes, identical under any tile schedule.
-            const u64 tile = ti * k_tiles + u64(k0 / rows);
+            const u64 tile = ti * k_tiles + kt;
             const auto fold =
-                packed ? packed_array.runFold(in_tile, w_tile,
+                packed ? packed_array.runFold(in, w_tile,
                                               &deltas[ti], tile)
-                       : scalar_array.runFold(in_tile, w_tile,
+                       : scalar_array.runFold(in, w_tile,
                                               &deltas[ti], tile);
             tile_cycles[ti] += fold.cycles;
             for (int m = 0; m < m_rows; ++m)

@@ -5,9 +5,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <tuple>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/fixed_point.h"
 #include "common/profiler.h"
 #include "common/simd.h"
@@ -62,16 +64,152 @@ struct PackedStream
 };
 
 /**
+ * Arena key for one prefix-count table: the first `mul` outputs of the
+ * (dimension, bits) shared weight RNG thresholded at `threshold`.
+ */
+struct CountTableKey
+{
+    int dim;
+    int bits;
+    u32 mul;
+    u32 threshold;
+
+    bool
+    operator<(const CountTableKey &o) const
+    {
+        return std::tie(dim, bits, mul, threshold) <
+               std::tie(o.dim, o.bits, o.mul, o.threshold);
+    }
+};
+
+/**
+ * Per-worker arena of prefix-count tables, the panel fast path's form
+ * of a staged weight bitstream: tbl[o] = ones among the first o bits
+ * of the packed comparison stream b_k = (rng.at(k) < threshold) — by
+ * construction identical to PackedStream::prefixOnes(o) for every o,
+ * so a table lookup is bit-exact with a stream query. Tables persist
+ * across folds/GEMMs/sweeps (weights recur) under a byte budget sized
+ * to the configured L2 share: building evicts the oldest unpinned
+ * tables first, and tables pinned by the panel being staged are never
+ * evicted (their pointers are live in the panel's pointer grid).
+ */
+class CountTableArena
+{
+  public:
+    /** Start staging a new panel: unpin everything. */
+    void
+    beginPanel()
+    {
+        pinned_.clear();
+        pinned_bytes_ = 0;
+    }
+
+    /** Bytes pinned by the panel currently being staged. */
+    std::size_t pinnedBytes() const { return pinned_bytes_; }
+
+    /**
+     * Fetch (building and pinning if needed) the table for `key` over
+     * `values`. The returned pointer has mul + 1 entries and stays
+     * valid until the next beginPanel().
+     */
+    const u32 *
+    get(const CountTableKey &key, const std::vector<u32> &values,
+        std::size_t budget_bytes)
+    {
+        const std::size_t need =
+            (std::size_t(key.mul) + 1) * sizeof(u32);
+        auto it = tables_.find(key);
+        if (it == tables_.end()) {
+            while (bytes_ + need > budget_bytes && evictOneUnpinned())
+                ;
+            auto &tbl = tables_[key];
+            tbl.resize(std::size_t(key.mul) + 1);
+            tbl[0] = 0;
+            for (u32 k = 0; k < key.mul; ++k)
+                tbl[k + 1] = tbl[k] + u32(values[k] < key.threshold);
+            bytes_ += need;
+            order_.push_back(key);
+            it = tables_.find(key);
+        }
+        if (pinned_.insert(key).second)
+            pinned_bytes_ += need;
+        return it->second.data();
+    }
+
+  private:
+    /** Evict the oldest table not pinned by the current panel. */
+    bool
+    evictOneUnpinned()
+    {
+        for (std::size_t i = 0; i < order_.size(); ++i) {
+            if (pinned_.count(order_[i]))
+                continue;
+            auto it = tables_.find(order_[i]);
+            bytes_ -= it->second.size() * sizeof(u32);
+            tables_.erase(it);
+            order_.erase(order_.begin() + i);
+            return true;
+        }
+        return false; // everything live is pinned: allow over-budget
+    }
+
+    std::map<CountTableKey, std::vector<u32>> tables_;
+    std::vector<CountTableKey> order_; // build order (eviction queue)
+    std::set<CountTableKey> pinned_;
+    std::size_t bytes_ = 0;
+    std::size_t pinned_bytes_ = 0;
+};
+
+/** Key for one persistent input-ones memo (scheme kind x RNG shape). */
+struct OnesMemoKey
+{
+    int kind; // 0 = rate, 1 = temporal, 2 = bipolar
+    int bits;
+    u32 mul;
+
+    bool
+    operator<(const OnesMemoKey &o) const
+    {
+        return std::tie(kind, bits, mul) <
+               std::tie(o.kind, o.bits, o.mul);
+    }
+};
+
+/**
  * Per-worker fold scratch. The executor's workers are persistent, so
  * this arena survives across folds, GEMMs, and whole sweeps: the
  * stream pool hands back PackedStream instances with their word/prefix
- * capacity intact and the ones-memo keeps its backing store. Entirely
- * thread-local — parallel tile shards never share scratch.
+ * capacity intact, the count-table arena keeps staged weight panels
+ * warm, and the ones-memos keep every input magnitude's delivered-ones
+ * count (a pure function of (scheme, bits, mul, magnitude), so reuse
+ * across folds is bit-exact). Entirely thread-local — parallel tile
+ * shards never share scratch.
  */
 struct FoldScratch
 {
-    std::vector<i64> ones_memo;
+    std::map<OnesMemoKey, std::vector<i64>> ones_memos;
     std::vector<std::unique_ptr<PackedStream>> stream_pool;
+    CountTableArena tables;
+
+    // Panel staging buffers (capacity reused across folds).
+    std::vector<u32> in_ones;          // per (m, r) delivered ones
+    std::vector<i64> in_neg;           // per (m, r) sign, 0 or -1
+    std::vector<const u32 *> stage_a;  // column-major staging
+    std::vector<const u32 *> stage_b;
+    std::vector<i64> stage_neg;
+    std::vector<const u32 *> grid_a;   // row-major panel grids
+    std::vector<const u32 *> grid_b;
+    std::vector<i64> grid_neg;
+
+    /** Persistent memo for one (kind, bits, mul), grown to `size`. */
+    std::vector<i64> &
+    onesMemo(int kind, int bits, u32 mul, std::size_t size)
+    {
+        std::vector<i64> &memo = ones_memos[OnesMemoKey{kind, bits, mul}];
+        if (memo.size() < size)
+            memo.resize(size, -1);
+        return memo;
+    }
 };
 
 FoldScratch &
@@ -261,6 +399,23 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         // M-end. Either way the fold is a plain integer GEMM. The
         // Accumulator site hits each PE's signed per-interval product
         // before the partial-sum merge, same as PeCore::finishMac.
+        if (panelGemmEnabled() && !fo) {
+            // No per-MAC fault hook active: the fold is a dense integer
+            // GEMM over rows of the (pre-corrupted) staging tiles, so
+            // run it on the dispatched SIMD row kernel. Zero inputs
+            // contribute exactly zero to every column — skip them.
+            USYS_PROF_SCOPE("fold.packed.mac");
+            const bool zskip = zeroSkipEnabled();
+            const SimdKernels &simd = simdKernels();
+            for (int m = 0; m < m_rows; ++m)
+                for (int r = 0; r < rows; ++r) {
+                    const i32 a = (*ip)(m, r);
+                    if (zskip && a == 0)
+                        continue;
+                    simd.gemmRowI32(&out(m, 0), &(*wp)(r, 0), a, cols);
+                }
+            break;
+        }
         for (int m = 0; m < m_rows; ++m) {
             for (int c = 0; c < cols; ++c) {
                 i64 acc = 0;
@@ -287,11 +442,11 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         // row-shared weight RNG values (C-BSG index k = k-th input 1).
         const std::vector<u32> &wvals =
             sharedSobolValues(kWeightRngDim, rng_bits, mul);
-        StreamCache wstreams(wvals, maxAbs(*wp), scratch.stream_pool);
         // Input 1s delivered inside the (possibly early-terminated)
-        // window depend only on |i|, so memoize per magnitude.
-        std::vector<i64> &ones_memo = scratch.ones_memo;
-        ones_memo.assign(std::size_t(maxAbs(input)) + 1, -1);
+        // window depend only on |i| (a pure function of the RNG shape),
+        // so the memo persists across folds in the worker arena.
+        std::vector<i64> &ones_memo = scratch.onesMemo(
+            rate ? 0 : 1, rng_bits, mul, std::size_t(maxAbs(input)) + 1);
         auto ones_of = [&](u32 iabs) -> u32 {
             i64 &slot = ones_memo[iabs];
             if (slot < 0) {
@@ -305,6 +460,110 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             }
             return u32(slot);
         };
+
+        if (panelGemmEnabled() && !fa && !fs && !fo) {
+            // --- Cache-blocked panel fast path (DESIGN.md §13) ------
+            // No per-MAC fault hook is active (weight-reg and DRAM
+            // faults already corrupted the codes above), so each MAC
+            // is a pure count-table lookup: count = tbl(|w|)[ones],
+            // where tbl(|w|)[o] == PackedStream::prefixOnes(o) by
+            // construction. Columns are processed in panels whose
+            // staged tables fit the L2 budget; the sign is applied
+            // branchless so the inner loop has no data-dependent
+            // branches.
+            USYS_PROF_SCOPE("fold.packed.panel");
+            const bool zskip = zeroSkipEnabled();
+            const std::size_t budget = std::max<std::size_t>(
+                std::size_t(panelBudgetKb()) * 1024,
+                (std::size_t(mul) + 1) * sizeof(u32));
+
+            // Stage the input side once per fold — delivered ones and
+            // sign per (m, r) — and reuse it for every column panel.
+            std::vector<u32> &in_ones = scratch.in_ones;
+            std::vector<i64> &in_neg = scratch.in_neg;
+            in_ones.resize(std::size_t(m_rows) * rows);
+            in_neg.resize(std::size_t(m_rows) * rows);
+            {
+                USYS_PROF_SCOPE("fold.packed.stage");
+                for (int m = 0; m < m_rows; ++m)
+                    for (int r = 0; r < rows; ++r) {
+                        const SignMag in = toSignMag(input(m, r));
+                        in_ones[std::size_t(m) * rows + r] =
+                            ones_of(in.magnitude);
+                        in_neg[std::size_t(m) * rows + r] =
+                            in.negative ? -1 : 0;
+                    }
+            }
+
+            CountTableArena &arena = scratch.tables;
+            for (int c0 = 0; c0 < cols;) {
+                // Grow the panel column by column until its pinned
+                // tables reach the budget (always >= 1 column).
+                std::vector<const u32 *> &ctbl = scratch.stage_a;
+                std::vector<i64> &cneg = scratch.stage_neg;
+                ctbl.clear();
+                cneg.clear();
+                arena.beginPanel();
+                int c1 = c0;
+                {
+                    USYS_PROF_SCOPE("fold.packed.stage");
+                    while (c1 < cols &&
+                           (c1 == c0 || arena.pinnedBytes() < budget)) {
+                        for (int r = 0; r < rows; ++r) {
+                            const SignMag w = toSignMag((*wp)(r, c1));
+                            ctbl.push_back(arena.get(
+                                {kWeightRngDim, rng_bits, mul,
+                                 w.magnitude},
+                                wvals, budget));
+                            cneg.push_back(w.negative ? i64(-1)
+                                                      : i64(0));
+                        }
+                        ++c1;
+                    }
+                }
+                const int pcols = c1 - c0;
+                // Transpose the staging to row-major grids so the MAC
+                // inner loop walks contiguous pointers per array row.
+                std::vector<const u32 *> &wtbl = scratch.grid_a;
+                std::vector<i64> &wneg = scratch.grid_neg;
+                wtbl.resize(std::size_t(rows) * pcols);
+                wneg.resize(std::size_t(rows) * pcols);
+                for (int cl = 0; cl < pcols; ++cl)
+                    for (int r = 0; r < rows; ++r) {
+                        wtbl[std::size_t(r) * pcols + cl] =
+                            ctbl[std::size_t(cl) * rows + r];
+                        wneg[std::size_t(r) * pcols + cl] =
+                            cneg[std::size_t(cl) * rows + r];
+                    }
+
+                USYS_PROF_SCOPE("fold.packed.mac");
+                for (int m = 0; m < m_rows; ++m) {
+                    i64 *out_row = &out(m, c0);
+                    for (int r = 0; r < rows; ++r) {
+                        const u32 ones =
+                            in_ones[std::size_t(m) * rows + r];
+                        // All-zero input stream: every count is 0.
+                        if (zskip && ones == 0)
+                            continue;
+                        const i64 nin =
+                            in_neg[std::size_t(m) * rows + r];
+                        const u32 *const *trow =
+                            &wtbl[std::size_t(r) * pcols];
+                        const i64 *nrow =
+                            &wneg[std::size_t(r) * pcols];
+                        for (int cl = 0; cl < pcols; ++cl) {
+                            const i64 v = i64(trow[cl][ones]);
+                            const i64 ng = nrow[cl] ^ nin; // 0 or -1
+                            out_row[cl] += (v ^ ng) - ng;
+                        }
+                    }
+                }
+                c0 = c1;
+            }
+            break;
+        }
+
+        StreamCache wstreams(wvals, maxAbs(*wp), scratch.stream_pool);
         for (int m = 0; m < m_rows; ++m) {
             for (int r = 0; r < rows; ++r) {
                 const SignMag in = toSignMag(input(m, r));
@@ -374,12 +633,10 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         FoldScratch &scratch = foldScratch();
         const std::vector<u32> &s1vals =
             sharedSobolValues(kWeightRngDim, rng_bits, mul);
-        StreamCache s1(s1vals, max_woff, scratch.stream_pool);
-        StreamCache s0(sharedSobolValues(kWeightRngDim + kWeightAltRngOffset,
-                                         rng_bits, mul),
-                       max_woff, scratch.stream_pool);
-        std::vector<i64> &ones_memo = scratch.ones_memo;
-        ones_memo.assign(std::size_t(maxAbs(input) + bias) + 1, -1);
+        const std::vector<u32> &s0vals = sharedSobolValues(
+            kWeightRngDim + kWeightAltRngOffset, rng_bits, mul);
+        std::vector<i64> &ones_memo = scratch.onesMemo(
+            2, rng_bits, mul, std::size_t(maxAbs(input) + bias) + 1);
         auto ones_of = [&](i32 value) -> u32 {
             i64 &slot = ones_memo[std::size_t(value + bias)];
             if (slot < 0) {
@@ -388,6 +645,92 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             }
             return u32(slot);
         };
+
+        if (panelGemmEnabled() && !fa && !fs && !fo) {
+            // --- Cache-blocked panel fast path (DESIGN.md §13) ------
+            // Bipolar MAC as two table lookups per column:
+            //   contrib = t1(woff)[ones] + (zeros - t0(woff)[zeros])
+            //           - bias
+            // No zero-skip here: the bias makes even zero-valued
+            // operands contribute nonzero bipolar counts.
+            USYS_PROF_SCOPE("fold.packed.panel");
+            const std::size_t budget = std::max<std::size_t>(
+                std::size_t(panelBudgetKb()) * 1024,
+                2 * (std::size_t(mul) + 1) * sizeof(u32));
+
+            std::vector<u32> &in_ones = scratch.in_ones;
+            in_ones.resize(std::size_t(m_rows) * rows);
+            {
+                USYS_PROF_SCOPE("fold.packed.stage");
+                for (int m = 0; m < m_rows; ++m)
+                    for (int r = 0; r < rows; ++r)
+                        in_ones[std::size_t(m) * rows + r] =
+                            ones_of(input(m, r));
+            }
+
+            CountTableArena &arena = scratch.tables;
+            for (int c0 = 0; c0 < cols;) {
+                std::vector<const u32 *> &ctbl1 = scratch.stage_a;
+                std::vector<const u32 *> &ctbl0 = scratch.stage_b;
+                ctbl1.clear();
+                ctbl0.clear();
+                arena.beginPanel();
+                int c1 = c0;
+                {
+                    USYS_PROF_SCOPE("fold.packed.stage");
+                    while (c1 < cols &&
+                           (c1 == c0 || arena.pinnedBytes() < budget)) {
+                        for (int r = 0; r < rows; ++r) {
+                            const u32 woff =
+                                u32((*wp)(r, c1) + bias);
+                            ctbl1.push_back(arena.get(
+                                {kWeightRngDim, rng_bits, mul, woff},
+                                s1vals, budget));
+                            ctbl0.push_back(arena.get(
+                                {kWeightRngDim + kWeightAltRngOffset,
+                                 rng_bits, mul, woff},
+                                s0vals, budget));
+                        }
+                        ++c1;
+                    }
+                }
+                const int pcols = c1 - c0;
+                std::vector<const u32 *> &wtbl1 = scratch.grid_a;
+                std::vector<const u32 *> &wtbl0 = scratch.grid_b;
+                wtbl1.resize(std::size_t(rows) * pcols);
+                wtbl0.resize(std::size_t(rows) * pcols);
+                for (int cl = 0; cl < pcols; ++cl)
+                    for (int r = 0; r < rows; ++r) {
+                        wtbl1[std::size_t(r) * pcols + cl] =
+                            ctbl1[std::size_t(cl) * rows + r];
+                        wtbl0[std::size_t(r) * pcols + cl] =
+                            ctbl0[std::size_t(cl) * rows + r];
+                    }
+
+                USYS_PROF_SCOPE("fold.packed.mac");
+                for (int m = 0; m < m_rows; ++m) {
+                    i64 *out_row = &out(m, c0);
+                    for (int r = 0; r < rows; ++r) {
+                        const u32 ones =
+                            in_ones[std::size_t(m) * rows + r];
+                        const u32 zeros = mul - ones;
+                        const i64 zb = i64(zeros) - bias;
+                        const u32 *const *t1row =
+                            &wtbl1[std::size_t(r) * pcols];
+                        const u32 *const *t0row =
+                            &wtbl0[std::size_t(r) * pcols];
+                        for (int cl = 0; cl < pcols; ++cl)
+                            out_row[cl] += i64(t1row[cl][ones]) -
+                                           i64(t0row[cl][zeros]) + zb;
+                    }
+                }
+                c0 = c1;
+            }
+            break;
+        }
+
+        StreamCache s1(s1vals, max_woff, scratch.stream_pool);
+        StreamCache s0(s0vals, max_woff, scratch.stream_pool);
         for (int m = 0; m < m_rows; ++m) {
             for (int r = 0; r < rows; ++r) {
                 // ActivationStream site: corrupt the packed bipolar

@@ -23,6 +23,14 @@
  * polarity-0 weight streams. Early termination truncates the input
  * window (masked final word); the top-row shifter rescale is identical
  * to SystolicArray. See DESIGN.md §8 for the full derivation.
+ *
+ * On fault-free folds (and under weight-register / DRAM fault plans,
+ * which pre-corrupt the staged codes) the MAC loop additionally runs
+ * cache-blocked: weight streams are staged once per column panel as
+ * prefix-count tables in an L2-budgeted per-worker arena, and
+ * zero-magnitude streams skip their MAC work outright. Both transforms
+ * are bit-exact — including stats and the fault census — and can be
+ * disabled with --no-panel / --no-zero-skip. See DESIGN.md §13.
  */
 
 #ifndef USYS_ARCH_PACKED_ARRAY_H

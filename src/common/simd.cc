@@ -48,9 +48,27 @@ thresholdPackWordsGeneric(const u32 *values, u32 n, u32 threshold,
 void
 prefixPopcountGeneric(const u64 *words, u32 nwords, u32 *prefix)
 {
+    // Unroll by 4 with independent per-word popcounts feeding a running
+    // carry: the four counts have no serial dependency, only the final
+    // adds do, so the popcount latency overlaps across words.
     prefix[0] = 0;
-    for (u32 w = 0; w < nwords; ++w)
-        prefix[w + 1] = prefix[w] + u32(std::popcount(words[w]));
+    u32 run = 0;
+    u32 w = 0;
+    for (; w + 4 <= nwords; w += 4) {
+        const u32 c0 = u32(std::popcount(words[w + 0]));
+        const u32 c1 = u32(std::popcount(words[w + 1]));
+        const u32 c2 = u32(std::popcount(words[w + 2]));
+        const u32 c3 = u32(std::popcount(words[w + 3]));
+        prefix[w + 1] = run + c0;
+        prefix[w + 2] = run + c0 + c1;
+        prefix[w + 3] = run + c0 + c1 + c2;
+        run += c0 + c1 + c2 + c3;
+        prefix[w + 4] = run;
+    }
+    for (; w < nwords; ++w) {
+        run += u32(std::popcount(words[w]));
+        prefix[w + 1] = run;
+    }
 }
 
 void
@@ -65,8 +83,19 @@ axpyF32Generic(float *c, const float *b, float a, int n)
 void
 gemmRowI32Generic(i64 *c, const i32 *b, i32 a, int n)
 {
-    for (int j = 0; j < n; ++j)
-        c[j] += i64(a) * i64(b[j]);
+    // Unroll by 4: the widening multiplies are independent, so the
+    // scalar pipeline can overlap them even when the baseline ISA has
+    // no packed 32x32->64 multiply to vectorize with.
+    const i64 aa = i64(a);
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+        c[j + 0] += aa * i64(b[j + 0]);
+        c[j + 1] += aa * i64(b[j + 1]);
+        c[j + 2] += aa * i64(b[j + 2]);
+        c[j + 3] += aa * i64(b[j + 3]);
+    }
+    for (; j < n; ++j)
+        c[j] += aa * i64(b[j]);
 }
 
 const SimdKernels kGeneric = {
@@ -86,6 +115,8 @@ std::atomic<const SimdKernels *> g_active{nullptr};
 const SimdKernels *
 bestAvailable()
 {
+    if (const SimdKernels *avx512 = avx512Kernels())
+        return avx512;
     if (const SimdKernels *avx2 = avx2Kernels())
         return avx2;
     return &kGeneric;
@@ -110,8 +141,15 @@ resolveFromEnv()
              "(cpu or build); using generic");
         return &kGeneric;
     }
+    if (mode == "avx512") {
+        if (const SimdKernels *avx512 = avx512Kernels())
+            return avx512;
+        warn("USYS_SIMD=avx512 but AVX-512 is unavailable "
+             "(cpu or build); using best available");
+        return bestAvailable();
+    }
     warn("USYS_SIMD='" + mode + "' not recognized "
-         "(auto|avx2|generic); using auto");
+         "(auto|avx512|avx2|generic); using auto");
     return bestAvailable();
 }
 
@@ -125,6 +163,8 @@ simdLevelName(SimdLevel level)
         return "generic";
       case SimdLevel::Avx2:
         return "avx2";
+      case SimdLevel::Avx512:
+        return "avx512";
     }
     return "unknown";
 }
@@ -145,12 +185,32 @@ cpuSupportsAvx2()
 #endif
 }
 
+bool
+cpuSupportsAvx512()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vpopcntdq");
+#else
+    return false;
+#endif
+}
+
 const SimdKernels *
 avx2Kernels()
 {
     if (!cpuSupportsAvx2())
         return nullptr;
     return detail::avx2KernelsImpl();
+}
+
+const SimdKernels *
+avx512Kernels()
+{
+    if (!cpuSupportsAvx512())
+        return nullptr;
+    return detail::avx512KernelsImpl();
 }
 
 const SimdKernels &
@@ -183,9 +243,14 @@ setSimdMode(const std::string &mode)
         fatalIf(k == nullptr,
                 "--simd avx2 requested but AVX2 is unavailable "
                 "(cpu or build)");
+    } else if (mode == "avx512") {
+        k = avx512Kernels();
+        fatalIf(k == nullptr,
+                "--simd avx512 requested but AVX-512 is unavailable "
+                "(cpu or build)");
     } else {
         fatal("unknown SIMD mode '" + mode +
-              "' (expected auto, avx2, or generic)");
+              "' (expected auto, avx512, avx2, or generic)");
     }
     g_active.store(k, std::memory_order_release);
 }

@@ -14,6 +14,10 @@
  *            threshold packing and GEMM rows; compiled in its own
  *            translation unit with -mavx2 so the rest of the binary
  *            stays runnable on machines without AVX2
+ *   avx512   VPOPCNTDQ bulk/prefix popcounts, mask-register threshold
+ *            packing, 16-lane fp32 and 8-lane widening integer GEMM
+ *            rows; own translation unit with -mavx512{f,bw,vpopcntdq},
+ *            runtime CPUID-gated like the AVX2 tier
  *
  * Every kernel is BIT-EXACT against its generic counterpart — integer
  * kernels trivially, the fp32 kernel because both sides perform exactly
@@ -39,9 +43,10 @@ enum class SimdLevel
 {
     Generic = 0,
     Avx2 = 1,
+    Avx512 = 2,
 };
 
-/** Human-readable tier name ("generic", "avx2"). */
+/** Human-readable tier name ("generic", "avx2", "avx512"). */
 const char *simdLevelName(SimdLevel level);
 
 /**
@@ -98,8 +103,18 @@ const SimdKernels &genericKernels();
  */
 const SimdKernels *avx2Kernels();
 
+/**
+ * The AVX-512 table, or nullptr when unavailable — the build lacked
+ * -mavx512{f,bw,vpopcntdq} support or the running CPU lacks any of
+ * those features.
+ */
+const SimdKernels *avx512Kernels();
+
 /** Runtime CPU feature probe (independent of build support). */
 bool cpuSupportsAvx2();
+
+/** Runtime probe for AVX-512F + AVX-512BW + VPOPCNTDQ together. */
+bool cpuSupportsAvx512();
 
 /**
  * The active kernel table. Resolved once on first use: USYS_SIMD env
@@ -113,17 +128,19 @@ const SimdKernels &simdKernels();
 SimdLevel simdLevel();
 
 /**
- * Force a dispatch tier: "auto", "generic", or "avx2". Unlike the env
- * path this is an explicit request (--simd flag, tests), so an
- * unknown mode or an unavailable tier is fatal(). Safe to call at any
- * time — every tier is bit-exact, so switching mid-run cannot change
- * results.
+ * Force a dispatch tier: "auto", "generic", "avx2", or "avx512".
+ * Unlike the env path this is an explicit request (--simd flag,
+ * tests), so an unknown mode or an unavailable tier is fatal(). Safe
+ * to call at any time — every tier is bit-exact, so switching mid-run
+ * cannot change results.
  */
 void setSimdMode(const std::string &mode);
 
 namespace detail {
 /** Defined in simd_avx2.cc; null when built without AVX2 support. */
 const SimdKernels *avx2KernelsImpl();
+/** Defined in simd_avx512.cc; null when built without AVX-512. */
+const SimdKernels *avx512KernelsImpl();
 } // namespace detail
 
 } // namespace usys

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * AVX-512 implementations of the SimdKernels table.
+ *
+ * This translation unit — and only this one — is compiled with
+ * -mavx512f -mavx512bw -mavx512vpopcntdq (see src/common/CMakeLists.txt);
+ * nothing here is reachable unless runtime CPUID dispatch selected the
+ * table, so the default binary still runs on baseline x86-64. Without
+ * compiler AVX-512 support the file degrades to a stub returning
+ * nullptr.
+ *
+ * Bit-exactness notes:
+ *  - VPOPCNTDQ popcounts, mask-register compares, and vpmuldq widening
+ *    multiplies are exact integer operations; only summation order
+ *    differs from the generic loops, and integer sums are order-free.
+ *  - the fp32 kernel issues exactly one vmulps and one vaddps per
+ *    element (never an FMA; -ffp-contract=off on this TU), matching
+ *    the generic loop's rounding per element.
+ */
+
+#include "common/simd.h"
+
+#if defined(USYS_HAVE_AVX512)
+
+#include <bit>
+#include <cstdint>
+#include <immintrin.h>
+
+namespace usys {
+namespace {
+
+/**
+ * Bulk popcount via VPOPCNTDQ: one instruction per 8 words replaces
+ * the whole AVX2 Harley-Seal adder tree. Two accumulators cover the
+ * instruction latency; per-lane u64 counters cannot overflow for any
+ * realizable buffer size.
+ */
+u64
+popcountWordsAvx512(const u64 *words, std::size_t n)
+{
+    const __m512i *v = reinterpret_cast<const __m512i *>(words);
+    const std::size_t nvec = n / 8;
+
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 2 <= nvec; i += 2) {
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(_mm512_loadu_si512(v + i)));
+        acc1 = _mm512_add_epi64(
+            acc1, _mm512_popcnt_epi64(_mm512_loadu_si512(v + i + 1)));
+    }
+    for (; i < nvec; ++i)
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(_mm512_loadu_si512(v + i)));
+    u64 sum = u64(_mm512_reduce_add_epi64(_mm512_add_epi64(acc0, acc1)));
+    for (std::size_t w = nvec * 8; w < n; ++w)
+        sum += u64(std::popcount(words[w]));
+    return sum;
+}
+
+void
+thresholdPackWordsAvx512(const u32 *values, u32 n, u32 threshold, u64 *out)
+{
+    // Native unsigned compare into a mask register: each vector yields
+    // 16 bits in lane order, four vectors assemble one little-endian
+    // stream word. No sign-flip trick needed.
+    const __m512i thr = _mm512_set1_epi32(i32(threshold));
+    u32 k = 0;
+    u32 w = 0;
+    for (; k + 64 <= n; k += 64, ++w) {
+        const u64 m0 = _mm512_cmplt_epu32_mask(
+            _mm512_loadu_si512(
+                reinterpret_cast<const __m512i *>(values + k)),
+            thr);
+        const u64 m1 = _mm512_cmplt_epu32_mask(
+            _mm512_loadu_si512(
+                reinterpret_cast<const __m512i *>(values + k + 16)),
+            thr);
+        const u64 m2 = _mm512_cmplt_epu32_mask(
+            _mm512_loadu_si512(
+                reinterpret_cast<const __m512i *>(values + k + 32)),
+            thr);
+        const u64 m3 = _mm512_cmplt_epu32_mask(
+            _mm512_loadu_si512(
+                reinterpret_cast<const __m512i *>(values + k + 48)),
+            thr);
+        out[w] = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
+    }
+    if (k < n) {
+        u64 word = 0;
+        for (u32 j = 0; k + j < n; ++j)
+            word |= u64(values[k + j] < threshold) << j;
+        out[w] = word;
+    }
+}
+
+void
+prefixPopcountAvx512(const u64 *words, u32 nwords, u32 *prefix)
+{
+    // The running sum is sequential, but VPOPCNTDQ delivers 8 per-word
+    // counts at a time; the scalar carry then ripples through a spilled
+    // block of independent counts.
+    prefix[0] = 0;
+    u32 run = 0;
+    u32 w = 0;
+    alignas(64) u64 cnt[8];
+    for (; w + 8 <= nwords; w += 8) {
+        _mm512_store_si512(
+            reinterpret_cast<__m512i *>(cnt),
+            _mm512_popcnt_epi64(_mm512_loadu_si512(
+                reinterpret_cast<const __m512i *>(words + w))));
+        for (u32 j = 0; j < 8; ++j) {
+            run += u32(cnt[j]);
+            prefix[w + j + 1] = run;
+        }
+    }
+    for (; w < nwords; ++w) {
+        run += u32(std::popcount(words[w]));
+        prefix[w + 1] = run;
+    }
+}
+
+void
+axpyF32Avx512(float *c, const float *b, float a, int n)
+{
+    const __m512 va = _mm512_set1_ps(a);
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m512 vb = _mm512_loadu_ps(b + j);
+        const __m512 vc = _mm512_loadu_ps(c + j);
+        _mm512_storeu_ps(c + j,
+                         _mm512_add_ps(vc, _mm512_mul_ps(va, vb)));
+    }
+    for (; j < n; ++j)
+        c[j] += a * b[j];
+}
+
+void
+gemmRowI32Avx512(i64 *c, const i32 *b, i32 a, int n)
+{
+    // vpmuldq multiplies the low signed 32 bits of each 64-bit lane:
+    // exact i64 products for the full i32 range of both operands,
+    // 8 lanes per instruction.
+    const __m512i va = _mm512_set1_epi64(i64(u32(a)));
+    int j = 0;
+    // Peel until the accumulator row is 64-byte aligned: c is both
+    // loaded and stored every iteration, and cache-line-split 64-byte
+    // accesses double the load/store-port cost of the whole loop.
+    while (j < n && (reinterpret_cast<std::uintptr_t>(c + j) & 63) != 0) {
+        c[j] += i64(a) * i64(b[j]);
+        ++j;
+    }
+    // Unrolled by 4 (32 lanes in flight): the cvt+mul chain has enough
+    // latency that a single stream leaves the multiplier idle.
+    for (; j + 32 <= n; j += 32) {
+        __m512i *cp = reinterpret_cast<__m512i *>(c + j);
+        const __m256i *bp = reinterpret_cast<const __m256i *>(b + j);
+        const __m512i p0 = _mm512_mul_epi32(
+            _mm512_cvtepi32_epi64(_mm256_loadu_si256(bp + 0)), va);
+        const __m512i p1 = _mm512_mul_epi32(
+            _mm512_cvtepi32_epi64(_mm256_loadu_si256(bp + 1)), va);
+        const __m512i p2 = _mm512_mul_epi32(
+            _mm512_cvtepi32_epi64(_mm256_loadu_si256(bp + 2)), va);
+        const __m512i p3 = _mm512_mul_epi32(
+            _mm512_cvtepi32_epi64(_mm256_loadu_si256(bp + 3)), va);
+        _mm512_store_si512(
+            cp + 0, _mm512_add_epi64(_mm512_load_si512(cp + 0), p0));
+        _mm512_store_si512(
+            cp + 1, _mm512_add_epi64(_mm512_load_si512(cp + 1), p1));
+        _mm512_store_si512(
+            cp + 2, _mm512_add_epi64(_mm512_load_si512(cp + 2), p2));
+        _mm512_store_si512(
+            cp + 3, _mm512_add_epi64(_mm512_load_si512(cp + 3), p3));
+    }
+    for (; j + 8 <= n; j += 8) {
+        const __m512i vb = _mm512_cvtepi32_epi64(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + j)));
+        const __m512i prod = _mm512_mul_epi32(vb, va);
+        __m512i *cp = reinterpret_cast<__m512i *>(c + j);
+        _mm512_storeu_si512(
+            cp, _mm512_add_epi64(_mm512_loadu_si512(cp), prod));
+    }
+    for (; j < n; ++j)
+        c[j] += i64(a) * i64(b[j]);
+}
+
+const SimdKernels kAvx512 = {
+    SimdLevel::Avx512,      popcountWordsAvx512, thresholdPackWordsAvx512,
+    prefixPopcountAvx512,   axpyF32Avx512,       gemmRowI32Avx512,
+};
+
+} // namespace
+
+namespace detail {
+
+const SimdKernels *
+avx512KernelsImpl()
+{
+    return &kAvx512;
+}
+
+} // namespace detail
+} // namespace usys
+
+#else // !USYS_HAVE_AVX512
+
+namespace usys {
+namespace detail {
+
+const SimdKernels *
+avx512KernelsImpl()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace usys
+
+#endif // USYS_HAVE_AVX512

@@ -7,22 +7,34 @@
 
 set(stats ${WORK_DIR}/BENCH_kernels.json)
 
-# perf_smoke itself asserts packed/scalar and SIMD/generic equivalence
-# per kernel and exits nonzero when the full-period UR speedup misses
-# the 10x floor or (on AVX2 hosts — the gate self-skips elsewhere) the
-# SIMD bulk-popcount speedup misses 2x. --max-profile-overhead-pct
-# additionally gates the compiled-in-but-disabled profiler cost on the
-# packed UR fold: the A/A delta of two profiling-off measurements must
-# stay within 2%.
+# perf_smoke itself asserts packed/scalar, SIMD/generic, and panel
+# blocked/unblocked equivalence per kernel and exits nonzero when a
+# perf gate misses:
+#   --min-speedup 10             full-period UR packed-vs-scalar
+#   --min-simd-speedup 2         SIMD bulk popcount (self-skips when
+#                                no AVX2/AVX-512 tier is available)
+#   --min-gemm-row-speedup 2.5   SIMD gemm row vs generic (self-skips
+#                                likewise). The DESIGN §13 target is
+#                                4x; the ctest gate is set at 2.5x
+#                                because the generic baseline already
+#                                sustains ~1 imul/cycle and on
+#                                single-vCPU hosts the measured
+#                                AVX-512 wall-clock ratio tops out
+#                                near its ~3.5x port ceiling.
+#   --min-panel-speedup 1.5      cache-blocked vs unblocked packed
+#                                GEMM on a 64x64 8-bit tile
+#   --max-profile-overhead-pct 2 compiled-in-but-disabled profiler
+#                                cost on the packed UR fold (A/A gated)
 execute_process(
     COMMAND ${BENCH} --stats-json ${stats} --min-speedup 10
-            --min-simd-speedup 2 --max-profile-overhead-pct 2
+            --min-simd-speedup 2 --min-gemm-row-speedup 2.5
+            --min-panel-speedup 1.5 --max-profile-overhead-pct 2
     RESULT_VARIABLE rc OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "perf_smoke failed (${rc}) — packed/scalar "
-                        "mismatch, UR speedup below 10x, SIMD popcount "
-                        "speedup below 2x, or profiling-disabled "
-                        "overhead above 2%")
+    message(FATAL_ERROR "perf_smoke failed (${rc}) — equivalence "
+                        "mismatch or a perf gate missed (UR 10x, SIMD "
+                        "popcount 2x, gemm row 2.5x, panel 1.5x, or "
+                        "profiling-disabled overhead above 2%)")
 endif()
 
 execute_process(

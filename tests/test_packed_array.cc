@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.h"
+#include "common/executor.h"
 #include "common/fixed_point.h"
 #include "common/prng.h"
 #include "common/stats_registry.h"
@@ -185,6 +186,29 @@ class PackedFlagGuard
     bool saved_;
 };
 
+/** Saves and restores the panel-GEMM knobs (DESIGN.md §13). The budget
+ * override is reset to 0 = auto, the process-start state. */
+class PanelFlagsGuard
+{
+  public:
+    PanelFlagsGuard()
+        : packed_(packedEngineEnabled()), panel_(panelGemmEnabled()),
+          zskip_(zeroSkipEnabled())
+    {}
+    ~PanelFlagsGuard()
+    {
+        setPackedEngineEnabled(packed_);
+        setPanelGemmEnabled(panel_);
+        setZeroSkipEnabled(zskip_);
+        setPanelBudgetKb(0);
+    }
+
+  private:
+    bool packed_;
+    bool panel_;
+    bool zskip_;
+};
+
 TEST(SystolicGemm, PackedAndScalarEnginesAgreeIncludingStats)
 {
     PackedFlagGuard guard;
@@ -217,6 +241,141 @@ TEST(SystolicGemm, PackedAndScalarEnginesAgreeIncludingStats)
         EXPECT_EQ(packed.cycles, scalar.cycles) << kern.name();
         EXPECT_EQ(packed.folds, scalar.folds) << kern.name();
         EXPECT_EQ(packed_dump, scalar_dump) << kern.name();
+    }
+}
+
+TEST(SystolicGemm, PanelBlockedMatchesUnblockedAcrossThreads)
+{
+    PanelFlagsGuard guard;
+    setPackedEngineEnabled(true);
+    // A 16 KiB budget (the floor) forces several column panels per
+    // tile plus arena eviction between folds, the interesting regime.
+    setPanelBudgetKb(16);
+    Executor &ex = Executor::global();
+    const unsigned saved_threads = ex.threads();
+
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    for (const KernelConfig kern :
+         {KernelConfig{Scheme::USystolicRate, 8, 6},
+          KernelConfig{Scheme::USystolicTemporal, 8, 0},
+          KernelConfig{Scheme::UgemmHybrid, 7, 0},
+          KernelConfig{Scheme::BinarySerial, 8, 0},
+          KernelConfig{Scheme::BinaryParallel, 8, 0}}) {
+        cfg.kernel = kern;
+        Prng prng(u64(int(kern.scheme)) + 2000);
+        const auto a = randomMatrix(6, 10, kern.bits, prng);
+        const auto b = randomMatrix(10, 18, kern.bits, prng);
+
+        setPanelGemmEnabled(false);
+        statsRegistry().reset();
+        const auto unblocked = SystolicGemm(cfg).run(a, b);
+        const std::string unblocked_dump = statsRegistry().dumpText();
+
+        setPanelGemmEnabled(true);
+        for (unsigned nthreads : {1u, 3u}) {
+            ex.setThreads(nthreads);
+            statsRegistry().reset();
+            const auto blocked = SystolicGemm(cfg).run(a, b);
+            const std::string blocked_dump = statsRegistry().dumpText();
+            EXPECT_EQ(blocked.acc, unblocked.acc)
+                << kern.name() << " t" << nthreads;
+            EXPECT_EQ(blocked.cycles, unblocked.cycles)
+                << kern.name() << " t" << nthreads;
+            EXPECT_EQ(blocked_dump, unblocked_dump)
+                << kern.name() << " t" << nthreads;
+        }
+    }
+    ex.setThreads(saved_threads);
+}
+
+TEST(SystolicGemm, ZeroSkipOnOffIdenticalWithZeroHeavyOperands)
+{
+    PanelFlagsGuard guard;
+    setPackedEngineEnabled(true);
+    setPanelGemmEnabled(true);
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    for (const KernelConfig kern :
+         {KernelConfig{Scheme::USystolicRate, 8, 0},
+          KernelConfig{Scheme::USystolicTemporal, 8, 0},
+          KernelConfig{Scheme::BinaryParallel, 8, 0},
+          KernelConfig{Scheme::UgemmHybrid, 7, 0}}) {
+        cfg.kernel = kern;
+        Prng prng(u64(int(kern.scheme)) + 3000);
+        auto a = randomMatrix(6, 10, kern.bits, prng);
+        auto b = randomMatrix(10, 9, kern.bits, prng);
+        // Zero half of each operand so the skip path actually fires.
+        for (int r = 0; r < a.rows(); ++r)
+            for (int c = 0; c < a.cols(); c += 2)
+                a(r, c) = 0;
+        for (int r = 0; r < b.rows(); r += 2)
+            for (int c = 0; c < b.cols(); ++c)
+                b(r, c) = 0;
+
+        setZeroSkipEnabled(false);
+        statsRegistry().reset();
+        const auto full = SystolicGemm(cfg).run(a, b);
+        const std::string full_dump = statsRegistry().dumpText();
+
+        setZeroSkipEnabled(true);
+        statsRegistry().reset();
+        const auto skipped = SystolicGemm(cfg).run(a, b);
+        const std::string skipped_dump = statsRegistry().dumpText();
+
+        EXPECT_EQ(skipped.acc, full.acc) << kern.name();
+        EXPECT_EQ(skipped.cycles, full.cycles) << kern.name();
+        EXPECT_EQ(skipped_dump, full_dump) << kern.name();
+    }
+}
+
+TEST(PackedArray, PanelAndZeroSkipPreserveFaultCensus)
+{
+    // Weight-register and DRAM faults pre-corrupt the staged codes, so
+    // the panel fast path stays eligible; the census and outputs must
+    // not depend on panel blocking or zero-stream skipping.
+    PanelFlagsGuard guard;
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.kernel = {Scheme::USystolicRate, 8, 6};
+    cfg.faults.seed = 99;
+    cfg.faults.rates.weight_reg = 0.3;
+    cfg.faults.rates.dram_word = 0.2;
+    Prng prng(4000);
+    auto input = randomMatrix(5, cfg.rows, 8, prng);
+    auto weights = randomMatrix(cfg.rows, cfg.cols, 8, prng);
+    input(0, 1) = 0;
+    weights(1, 2) = 0;
+
+    struct Variant
+    {
+        bool panel;
+        bool zskip;
+    };
+    SystolicArray::FoldResult ref;
+    FoldStatsDelta ref_delta;
+    bool have_ref = false;
+    for (const Variant v : {Variant{false, false}, Variant{false, true},
+                            Variant{true, false}, Variant{true, true}}) {
+        setPanelGemmEnabled(v.panel);
+        setZeroSkipEnabled(v.zskip);
+        FoldStatsDelta delta;
+        const auto out = PackedArray(cfg).runFold(input, weights, &delta);
+        ASSERT_GT(delta.faultTotal(), 0u);
+        if (!have_ref) {
+            ref = out;
+            ref_delta = delta;
+            have_ref = true;
+            continue;
+        }
+        EXPECT_EQ(out.output, ref.output) << v.panel << v.zskip;
+        EXPECT_EQ(out.cycles, ref.cycles) << v.panel << v.zskip;
+        EXPECT_EQ(delta.faults_weight_reg, ref_delta.faults_weight_reg);
+        EXPECT_EQ(delta.faults_dram, ref_delta.faults_dram);
+        EXPECT_EQ(delta.faultTotal(), ref_delta.faultTotal());
     }
 }
 

@@ -30,13 +30,19 @@
 namespace usys {
 namespace {
 
-/** Tables to cross-check: always generic, plus AVX2 when available. */
+/**
+ * Tables to cross-check: always generic, plus AVX2 / AVX-512 when
+ * available on the host — so every higher tier is fuzzed against the
+ * reference regardless of which tier USYS_SIMD dispatched.
+ */
 std::vector<const SimdKernels *>
 tablesUnderTest()
 {
     std::vector<const SimdKernels *> tables = {&genericKernels()};
     if (const SimdKernels *avx2 = avx2Kernels())
         tables.push_back(avx2);
+    if (const SimdKernels *avx512 = avx512Kernels())
+        tables.push_back(avx512);
     return tables;
 }
 
@@ -45,6 +51,9 @@ TEST(SimdDispatch, TablesConsistent)
     EXPECT_EQ(genericKernels().level, SimdLevel::Generic);
     if (cpuSupportsAvx2() && avx2Kernels() != nullptr) {
         EXPECT_EQ(avx2Kernels()->level, SimdLevel::Avx2);
+    }
+    if (cpuSupportsAvx512() && avx512Kernels() != nullptr) {
+        EXPECT_EQ(avx512Kernels()->level, SimdLevel::Avx512);
     }
     // The active table is one of the known tiers, and every slot is
     // populated.
@@ -65,8 +74,14 @@ TEST(SimdDispatch, SetSimdModeSwitchesAndRestores)
         setSimdMode("avx2");
         EXPECT_EQ(simdLevel(), SimdLevel::Avx2);
     }
+    if (avx512Kernels()) {
+        setSimdMode("avx512");
+        EXPECT_EQ(simdLevel(), SimdLevel::Avx512);
+    }
     setSimdMode("auto");
-    if (avx2Kernels())
+    if (avx512Kernels())
+        EXPECT_EQ(simdLevel(), SimdLevel::Avx512);
+    else if (avx2Kernels())
         EXPECT_EQ(simdLevel(), SimdLevel::Avx2);
     else
         EXPECT_EQ(simdLevel(), SimdLevel::Generic);

@@ -112,16 +112,23 @@ def main():
     improvements = []
     notes = []
     for key in sorted(set(base) | set(cand)):
+        gate = threshold_for(key, rules, args.threshold)
         if key not in cand:
-            regressions.append(f"{key}: missing from candidate "
-                               f"(baseline {base[key]:g})")
+            # Skip-ruled metrics are exempt even when absent: an
+            # availability-dependent section (e.g. a SIMD tier the
+            # candidate host lacks) must not fail the comparison.
+            if gate is None:
+                notes.append(f"{key}: missing from candidate "
+                             f"(skip-ruled)")
+            else:
+                regressions.append(f"{key}: missing from candidate "
+                                   f"(baseline {base[key]:g})")
             continue
         if key not in base:
             notes.append(f"{key}: new metric ({cand[key]:g})")
             continue
         old, new = base[key], cand[key]
         sign = direction(key)
-        gate = threshold_for(key, rules, args.threshold)
         if sign == 0 or gate is None or old == 0.0:
             if old != new:
                 notes.append(f"{key}: {old:g} -> {new:g} (ungated)")
