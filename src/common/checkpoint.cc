@@ -80,6 +80,19 @@ ShardCheckpoint::record(const std::string &key, const std::string &payload)
 }
 
 void
+ShardCheckpoint::replaceAll(std::map<std::string, std::string> entries)
+{
+    if (!enabled())
+        return;
+    for (const auto &e : entries) {
+        checkToken("key", e.first);
+        checkToken("payload", e.second);
+    }
+    entries_ = std::move(entries);
+    persist();
+}
+
+void
 ShardCheckpoint::persist() const
 {
     std::string text(kHeader);

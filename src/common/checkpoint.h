@@ -59,6 +59,20 @@ class ShardCheckpoint
     std::size_t size() const { return entries_.size(); }
     const std::string &path() const { return path_; }
 
+    /** All entries (key -> payload), for consumers that restore in bulk. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Replace the whole store and persist it once. The batch form of
+     * record() for callers (the serve result cache) that accumulate
+     * entries in memory and flush on shutdown — per-entry record()
+     * would rewrite the file once per entry.
+     */
+    void replaceAll(std::map<std::string, std::string> entries);
+
     // --- Payload field packing --------------------------------------
     // Doubles travel as their 16-hex-digit IEEE-754 bit pattern, so
     // restore-then-merge reproduces the uninterrupted run bit for bit

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic 64-bit content hashing for cache keys.
+ *
+ * A splitmix64-chained byte hash: each input chunk perturbs the state,
+ * then the full splitmix64 finalizer whitens it. The constants match
+ * the splitmix64 steps already used for PRNG seeding (prng.h) and
+ * fault-site derivation (fault.cc), so the repo has exactly one mixing
+ * function family. The hash is stable across platforms and runs —
+ * it keys the serve result cache, whose entries persist to disk via
+ * ShardCheckpoint and must rehash identically after a restart.
+ */
+
+#ifndef USYS_COMMON_HASH_H
+#define USYS_COMMON_HASH_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** One splitmix64 mixing step: advance the state and whiten it. */
+inline u64
+hashMix(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Fold a 64-bit value into a running hash chain. */
+inline u64
+hashChain(u64 state, u64 value)
+{
+    return hashMix(state ^ value);
+}
+
+/**
+ * Hash a byte string by chaining full 64-bit little-endian words, then
+ * the (length-tagged) tail, through splitmix64. Length tagging keeps
+ * "ab" + "c" distinct from "a" + "bc" when callers chain fields.
+ */
+inline u64
+hashBytes(std::string_view bytes, u64 seed = 0x5EEDu)
+{
+    u64 h = hashMix(seed ^ u64(bytes.size()));
+    std::size_t i = 0;
+    for (; i + 8 <= bytes.size(); i += 8) {
+        u64 w = 0;
+        for (int b = 0; b < 8; ++b)
+            w |= u64(u8(bytes[i + b])) << (8 * b);
+        h = hashChain(h, w);
+    }
+    if (i < bytes.size()) {
+        u64 w = 0;
+        for (int b = 0; i + b < bytes.size(); ++b)
+            w |= u64(u8(bytes[i + b])) << (8 * b);
+        h = hashChain(h, w);
+    }
+    return h;
+}
+
+/** Render a hash as 16 lowercase hex digits (cache key / filename safe). */
+inline std::string
+hashHex(u64 h)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[std::size_t(i)] = digits[h & 0xF];
+        h >>= 4;
+    }
+    return s;
+}
+
+} // namespace usys
+
+#endif // USYS_COMMON_HASH_H

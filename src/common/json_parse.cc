@@ -1,0 +1,351 @@
+#include "common/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace usys {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = members_.find(key);
+    if (it == members_.end())
+        return nullptr;
+    return &arr_[it->second];
+}
+
+double
+JsonValue::getNumber(const std::string &key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isNumber()) ? v->number() : dflt;
+}
+
+i64
+JsonValue::getInt(const std::string &key, i64 dflt) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isNumber()) ? i64(v->number()) : dflt;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool dflt) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isBool()) ? v->boolean() : dflt;
+}
+
+std::string
+JsonValue::getString(const std::string &key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isString()) ? v->string() : dflt;
+}
+
+/** Recursive-descent parser state: a cursor over the input text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parseDocument(JsonValue &out, std::string &error)
+    {
+        // Depth guard: the protocol nests requests two or three deep;
+        // 64 is far beyond legitimate use but small enough that a
+        // hostile deeply-nested frame cannot exhaust the stack.
+        if (!parseValue(out, 0)) {
+            error = error_;
+            return false;
+        }
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = at("trailing characters after document");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    std::string at(const std::string &msg)
+    {
+        return "offset " + std::to_string(pos_) + ": " + msg;
+    }
+
+    bool fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = at(msg);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expect)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == expect) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.str_);
+          case 't':
+            return parseLiteral("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return parseLiteral("false", out, JsonValue::Kind::Bool,
+                                false);
+          case 'n':
+            return parseLiteral("null", out, JsonValue::Kind::Null,
+                                false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseLiteral(const char *word, JsonValue &out, JsonValue::Kind kind,
+                 bool bvalue)
+    {
+        for (const char *p = word; *p; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return fail(std::string("expected '") + word + "'");
+        }
+        out.kind_ = kind;
+        out.bool_ = bvalue;
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(u8(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number '" + token + "'");
+        out.kind_ = JsonValue::Kind::Number;
+        out.num_ = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (u8(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                u32 cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                // Surrogate pair: a high surrogate must be followed by
+                // an escaped low surrogate; combine into one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail("unpaired high surrogate");
+                    pos_ += 2;
+                    u32 lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 +
+                         ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseHex4(u32 &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= u32(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= u32(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= u32(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, u32 cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(char(cp));
+        } else if (cp < 0x800) {
+            out.push_back(char(0xC0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(char(0xE0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(char(0xF0 | (cp >> 18)));
+            out.push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind_ = JsonValue::Kind::Array;
+        skipSpace();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue elem;
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.arr_.push_back(std::move(elem));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind_ = JsonValue::Kind::Object;
+        skipSpace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected a string key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':' after key");
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            // Duplicate keys: last one wins (the common lenient rule);
+            // the member list keeps only the surviving value.
+            auto it = out.members_.find(key);
+            if (it != out.members_.end()) {
+                out.arr_[it->second] = std::move(member);
+            } else {
+                out.members_[key] = out.arr_.size();
+                out.keys_.push_back(key);
+                out.arr_.push_back(std::move(member));
+            }
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    JsonParseResult result;
+    JsonParser parser(text);
+    result.ok = parser.parseDocument(result.root, result.error);
+    if (!result.ok)
+        result.root = JsonValue::makeNull();
+    return result;
+}
+
+} // namespace usys

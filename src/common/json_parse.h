@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal JSON parser for the serve wire protocol.
+ *
+ * The repo's artifacts are *written* with the deterministic JsonWriter
+ * (json.h); the daemon additionally needs to *read* requests sent by
+ * clients. This is a small recursive-descent parser over the JSON
+ * subset the protocol uses: objects, arrays, strings (with the
+ * standard escapes incl. \uXXXX as UTF-8), numbers, booleans, null.
+ * Numbers are held as double — protocol integers fit 2^53 with room
+ * to spare (shapes, bit widths, byte budgets).
+ *
+ * Design goals, in order: predictable failure (parse() never throws;
+ * malformed input yields a null value and an error string with an
+ * offset), zero dependencies, and convenient typed lookups for the
+ * request-decoding code (`obj.getInt("m", 64)`).
+ */
+
+#ifndef USYS_COMMON_JSON_PARSE_H
+#define USYS_COMMON_JSON_PARSE_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** One parsed JSON value; a tree of these backs a parsed document. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &string() const { return str_; }
+    const std::vector<JsonValue> &array() const { return arr_; }
+
+    /** Object member by key, or nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member keys in document order (objects only). */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+    // Typed lookups with defaults: the convenience layer request
+    // decoding leans on. A present-but-wrong-type member returns the
+    // default, matching "absent"; decoders that must distinguish use
+    // find() directly.
+    double getNumber(const std::string &key, double dflt) const;
+    i64 getInt(const std::string &key, i64 dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::string> keys_;     // object member order
+    std::map<std::string, std::size_t> members_; // key -> arr_ index
+};
+
+/** Result of a parse: document root plus error state. */
+struct JsonParseResult {
+    JsonValue root;    // Null kind when ok == false
+    bool ok = false;
+    std::string error; // "offset 12: expected ':'" when !ok
+};
+
+/** Parse a complete JSON document (trailing garbage is an error). */
+JsonParseResult parseJson(const std::string &text);
+
+} // namespace usys
+
+#endif // USYS_COMMON_JSON_PARSE_H

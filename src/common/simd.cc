@@ -48,26 +48,23 @@ thresholdPackWordsGeneric(const u32 *values, u32 n, u32 threshold,
 void
 prefixPopcountGeneric(const u64 *words, u32 nwords, u32 *prefix)
 {
-    // Unroll by 4 with independent per-word popcounts feeding a running
-    // carry: the four counts have no serial dependency, only the final
-    // adds do, so the popcount latency overlaps across words.
+    // Two-pass block-offset scheme (DESIGN.md §11): pass 1 writes the
+    // independent per-word counts into the prefix slots — a pure
+    // store loop with no serial dependency, so the popcounts pipeline
+    // (and auto-vectorize where the baseline ISA allows) — and pass 2
+    // folds the running offset through the block with simple one-cycle
+    // adds. Blocks keep both passes L1-resident on large streams.
+    constexpr u32 kBlock = 4096;
     prefix[0] = 0;
     u32 run = 0;
-    u32 w = 0;
-    for (; w + 4 <= nwords; w += 4) {
-        const u32 c0 = u32(std::popcount(words[w + 0]));
-        const u32 c1 = u32(std::popcount(words[w + 1]));
-        const u32 c2 = u32(std::popcount(words[w + 2]));
-        const u32 c3 = u32(std::popcount(words[w + 3]));
-        prefix[w + 1] = run + c0;
-        prefix[w + 2] = run + c0 + c1;
-        prefix[w + 3] = run + c0 + c1 + c2;
-        run += c0 + c1 + c2 + c3;
-        prefix[w + 4] = run;
-    }
-    for (; w < nwords; ++w) {
-        run += u32(std::popcount(words[w]));
-        prefix[w + 1] = run;
+    for (u32 base = 0; base < nwords; base += kBlock) {
+        const u32 hi = std::min(nwords, base + kBlock);
+        for (u32 w = base; w < hi; ++w)
+            prefix[w + 1] = u32(std::popcount(words[w]));
+        for (u32 w = base; w < hi; ++w) {
+            run += prefix[w + 1];
+            prefix[w + 1] = run;
+        }
     }
 }
 

@@ -1,0 +1,224 @@
+#include "common/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace usys {
+
+namespace {
+
+void
+setError(std::string *error, const char *what)
+{
+    if (error)
+        *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in
+loopbackAddr(u16 port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Socket::sendAll(const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as
+        // an error on this connection, not SIGPIPE the whole daemon.
+        const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += sent;
+        n -= std::size_t(sent);
+    }
+    return true;
+}
+
+bool
+Socket::recvAll(void *data, std::size_t n)
+{
+    char *p = static_cast<char *>(data);
+    while (n > 0) {
+        const ssize_t got = ::recv(fd_, p, n, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false; // EOF mid-buffer
+        p += got;
+        n -= std::size_t(got);
+    }
+    return true;
+}
+
+bool
+Socket::sendFrame(const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    // Header and payload go out in ONE send: a separate 4-byte segment
+    // followed by the body triggers the Nagle / delayed-ACK interaction
+    // (~40 ms per round trip) whenever the peer missed TCP_NODELAY.
+    const u32 len = u32(payload.size());
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    frame.push_back(char(len & 0xFF));
+    frame.push_back(char((len >> 8) & 0xFF));
+    frame.push_back(char((len >> 16) & 0xFF));
+    frame.push_back(char((len >> 24) & 0xFF));
+    frame.append(payload);
+    return sendAll(frame.data(), frame.size());
+}
+
+bool
+Socket::recvFrame(std::string &payload, bool *eof)
+{
+    if (eof)
+        *eof = false;
+    u8 header[4];
+    // Peer closing cleanly between frames shows up as EOF on the very
+    // first header byte; report it distinctly so connection loops can
+    // exit without logging an error.
+    char *p = reinterpret_cast<char *>(header);
+    std::size_t need = 4;
+    while (need > 0) {
+        const ssize_t got = ::recv(fd_, p, need, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0) {
+            if (eof && need == 4)
+                *eof = true;
+            return false;
+        }
+        p += got;
+        need -= std::size_t(got);
+    }
+    const u32 len = u32(header[0]) | (u32(header[1]) << 8) |
+                    (u32(header[2]) << 16) | (u32(header[3]) << 24);
+    if (len > kMaxFrameBytes)
+        return false;
+    payload.resize(len);
+    return len == 0 || recvAll(payload.data(), len);
+}
+
+bool
+Listener::open(u16 port, std::string *error)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        setError(error, "socket");
+        return false;
+    }
+    const int one = 1;
+    if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0) {
+        setError(error, "setsockopt(SO_REUSEADDR)");
+        return false;
+    }
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, "bind");
+        return false;
+    }
+    if (::listen(sock.fd(), 512) != 0) {
+        setError(error, "listen");
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        setError(error, "getsockname");
+        return false;
+    }
+    sock_ = std::move(sock);
+    port_ = ntohs(bound.sin_port);
+    return true;
+}
+
+Socket
+Listener::accept()
+{
+    for (;;) {
+        const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            // Mirror connectLoopback(): responses must not sit in the
+            // Nagle buffer waiting for the client's delayed ACK.
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return Socket(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return Socket();
+    }
+}
+
+void
+Listener::close()
+{
+    // shutdown() first: it reliably unblocks a thread parked in
+    // accept() on Linux, where a bare close() can leave it sleeping.
+    if (sock_.valid())
+        ::shutdown(sock_.fd(), SHUT_RDWR);
+    sock_.close();
+}
+
+Socket
+connectLoopback(u16 port, std::string *error)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        setError(error, "socket");
+        return Socket();
+    }
+    sockaddr_in addr = loopbackAddr(port);
+    for (;;) {
+        if (::connect(sock.fd(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        setError(error, "connect");
+        return Socket();
+    }
+    const int one = 1;
+    // Latency-sensitive request/response pairs; never batch under Nagle.
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+}
+
+} // namespace usys

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Thin TCP socket layer for the serve daemon and its clients.
+ *
+ * Wraps the handful of POSIX calls the service needs — listen on
+ * loopback (port 0 picks an ephemeral port, reported back via
+ * getsockname so tests never collide), accept, connect, and robust
+ * full-buffer send/recv loops — behind RAII fds. On top sits the wire
+ * framing: every protocol message is a 4-byte little-endian length
+ * followed by that many bytes of UTF-8 JSON. The length prefix is
+ * capped (kMaxFrameBytes) so a garbage or hostile peer cannot make the
+ * daemon allocate unbounded memory.
+ *
+ * All calls are blocking; concurrency comes from the daemon's
+ * thread-per-connection model, not from nonblocking IO.
+ */
+
+#ifndef USYS_COMMON_SOCKET_H
+#define USYS_COMMON_SOCKET_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace usys {
+
+/** Largest frame either side will accept: 64 MiB of JSON. */
+constexpr u32 kMaxFrameBytes = 64u * 1024 * 1024;
+
+/** RAII owner of a socket fd; movable, closes on destruction. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Release ownership without closing; returns the raw fd. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void close();
+
+    /** Send the whole buffer, looping over partial writes. */
+    bool sendAll(const void *data, std::size_t n);
+    /** Receive exactly n bytes; false on EOF or error. */
+    bool recvAll(void *data, std::size_t n);
+
+    /** Write one length-prefixed frame (false if too large / io error). */
+    bool sendFrame(const std::string &payload);
+    /**
+     * Read one length-prefixed frame. Returns false on clean EOF
+     * before the header, oversized length, or io error; distinguishes
+     * clean shutdown via eof when the peer closed between frames.
+     */
+    bool recvFrame(std::string &payload, bool *eof = nullptr);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Loopback TCP listener. port 0 binds an ephemeral port; port() then
+ * reports the kernel's choice. SO_REUSEADDR is always set so rapid
+ * test restarts never trip TIME_WAIT.
+ */
+class Listener
+{
+  public:
+    /** Bind + listen on 127.0.0.1:port. valid() is false on failure. */
+    bool open(u16 port, std::string *error = nullptr);
+
+    bool valid() const { return sock_.valid(); }
+    u16 port() const { return port_; }
+    int fd() const { return sock_.fd(); }
+
+    /** Block until a client connects; invalid Socket on error. */
+    Socket accept();
+
+    /**
+     * Close the listening fd (async-signal-safe enough for a SIGTERM
+     * handler via shutdown(2); unblocks a pending accept).
+     */
+    void close();
+
+  private:
+    Socket sock_;
+    u16 port_ = 0;
+};
+
+/** Connect to 127.0.0.1:port; invalid Socket on failure. */
+Socket connectLoopback(u16 port, std::string *error = nullptr);
+
+} // namespace usys
+
+#endif // USYS_COMMON_SOCKET_H

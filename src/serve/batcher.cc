@@ -1,0 +1,223 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <map>
+
+namespace usys {
+
+Batcher::Batcher(const Options &opts, ResultCache *cache)
+    : opts_(opts), cache_(cache)
+{}
+
+Batcher::~Batcher()
+{
+    stop();
+}
+
+void
+Batcher::start()
+{
+    if (!opts_.enabled || worker_.joinable())
+        return;
+    stopping_ = false;
+    worker_ = std::thread([this] { run(); });
+}
+
+void
+Batcher::stop()
+{
+    if (!worker_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+std::vector<std::string>
+Batcher::submit(const std::vector<ServeJob> &jobs)
+{
+    if (!opts_.enabled || jobs.empty())
+        return computeInline(jobs);
+
+    std::future<std::vector<std::string>> future;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            // Daemon shutting down: compute inline rather than hanging
+            // the caller on a promise no worker will fulfill.
+        } else {
+            Pending p;
+            p.jobs = &jobs;
+            future = p.result.get_future();
+            queue_.push_back(std::move(p));
+            queued_jobs_ += jobs.size();
+        }
+    }
+    if (!future.valid())
+        return computeInline(jobs);
+    cv_.notify_all();
+    return future.get();
+}
+
+void
+Batcher::run()
+{
+    using clock = std::chrono::steady_clock;
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty() && stopping_)
+                return;
+            // First job seen: hold the batch open for the admission
+            // window (or until the size cap) so concurrent requests
+            // can join it.
+            const auto deadline =
+                clock::now() + std::chrono::microseconds(opts_.window_us);
+            while (queued_jobs_ < opts_.max_batch && !stopping_) {
+                if (cv_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout)
+                    break;
+            }
+            // Admit whole requests until the job cap is covered (the
+            // first request is always taken, even if alone it exceeds
+            // the cap — requests are never split).
+            std::size_t take = 0, taken_jobs = 0;
+            while (take < queue_.size() &&
+                   (take == 0 || taken_jobs + queue_[take].jobs->size() <=
+                                     opts_.max_batch))
+                taken_jobs += queue_[take++].jobs->size();
+            batch.assign(std::make_move_iterator(queue_.begin()),
+                         std::make_move_iterator(queue_.begin() +
+                                                 long(take)));
+            queue_.erase(queue_.begin(), queue_.begin() + long(take));
+            queued_jobs_ -= taken_jobs;
+        }
+        if (!batch.empty())
+            processBatch(std::move(batch));
+    }
+}
+
+void
+Batcher::processBatch(std::vector<Pending> batch)
+{
+    // Flatten the admitted requests into one job list, then dedup by
+    // canonical key preserving first-seen order so the engine sees
+    // jobs in admission order (stats/trace determinism for a fixed
+    // arrival order). flat[i] = {request index, job index within it}.
+    std::vector<std::pair<std::size_t, std::size_t>> flat;
+    for (std::size_t r = 0; r < batch.size(); ++r)
+        for (std::size_t j = 0; j < batch[r].jobs->size(); ++j)
+            flat.emplace_back(r, j);
+    const auto jobAt = [&](std::size_t i) -> const ServeJob & {
+        return (*batch[flat[i].first].jobs)[flat[i].second];
+    };
+
+    std::map<std::string, std::vector<std::size_t>> by_key;
+    std::vector<std::size_t> unique; // flat indices of first occurrences
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        auto [it, fresh] =
+            by_key.try_emplace(jobAt(i).key, std::vector<std::size_t>{});
+        if (fresh)
+            unique.push_back(i);
+        it->second.push_back(i);
+    }
+
+    std::vector<std::string> rendered(flat.size());
+    std::vector<std::size_t> miss; // unique indices not in cache
+    for (const std::size_t i : unique) {
+        std::string hit;
+        if (cache_ && cache_->find(jobAt(i), &hit))
+            rendered[i] = std::move(hit);
+        else
+            miss.push_back(i);
+    }
+
+    u64 cache_hits = u64(unique.size() - miss.size());
+    if (!miss.empty()) {
+        std::vector<LayerJob> engine_jobs;
+        engine_jobs.reserve(miss.size());
+        for (const std::size_t i : miss) {
+            LayerJob lj;
+            lj.sys = buildSystem(jobAt(i).spec);
+            lj.layer = jobAt(i).layer;
+            engine_jobs.push_back(std::move(lj));
+        }
+        const std::vector<LayerStats> results =
+            simulateLayerBatch(engine_jobs);
+        for (std::size_t j = 0; j < miss.size(); ++j) {
+            const std::size_t i = miss[j];
+            rendered[i] = renderJobResult(jobAt(i), results[j]);
+            if (cache_)
+                cache_->insert(jobAt(i), results[j], rendered[i]);
+        }
+    }
+
+    // Fan results out to duplicates, regroup per request, wake each
+    // waiter once with its full fragment list.
+    for (const auto &kv : by_key) {
+        const std::size_t first = kv.second.front();
+        for (std::size_t idx = 1; idx < kv.second.size(); ++idx)
+            rendered[kv.second[idx]] = rendered[first];
+    }
+    std::vector<std::vector<std::string>> per_request(batch.size());
+    for (std::size_t r = 0; r < batch.size(); ++r)
+        per_request[r].resize(batch[r].jobs->size());
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        per_request[flat[i].first][flat[i].second] =
+            std::move(rendered[i]);
+    for (std::size_t r = 0; r < batch.size(); ++r)
+        batch[r].result.set_value(std::move(per_request[r]));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.jobs += flat.size();
+    stats_.unique_jobs += unique.size();
+    stats_.coalesced += flat.size() - unique.size();
+    stats_.cache_hits += cache_hits;
+    stats_.simulated += miss.size();
+}
+
+std::vector<std::string>
+Batcher::computeInline(const std::vector<ServeJob> &jobs)
+{
+    // No-batch path: connection threads race here, so the engine (and
+    // its stats-registry commits) are serialized by engine_mu_.
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    std::vector<std::string> out(jobs.size());
+    u64 hits = 0, simulated = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::string hit;
+        if (cache_ && cache_->find(jobs[i], &hit)) {
+            out[i] = std::move(hit);
+            ++hits;
+            continue;
+        }
+        const LayerStats stats =
+            computeLayerStats(buildSystem(jobs[i].spec), jobs[i].layer);
+        out[i] = renderJobResult(jobs[i], stats);
+        if (cache_)
+            cache_->insert(jobs[i], stats, out[i]);
+        ++simulated;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.jobs += jobs.size();
+    stats_.unique_jobs += jobs.size();
+    stats_.cache_hits += hits;
+    stats_.simulated += simulated;
+    return out;
+}
+
+BatcherStats
+Batcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace usys

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Admission queue that coalesces compatible layer jobs into batched
+ * engine calls.
+ *
+ * Connection threads submit() their decoded jobs and block; a single
+ * batcher thread drains the queue. When the first request of a batch
+ * arrives the batcher waits up to the admission window (default 200us,
+ * USYS_SERVE_BATCH_WINDOW_US) for more to land, closes the batch at
+ * the window or once the queued jobs cover the size cap (default 64,
+ * USYS_SERVE_BATCH_MAX; whole requests are admitted, never split),
+ * then:
+ *
+ *   1. deduplicates by canonical key — concurrent identical requests
+ *      collapse onto one simulation;
+ *   2. consults the result cache for each unique key;
+ *   3. runs the remaining misses through one simulateLayerBatch()
+ *      call (the engine's parallelFor fan-out path);
+ *   4. renders + caches the fresh results and wakes every waiter with
+ *      its rendered fragment.
+ *
+ * Because exactly one thread calls the engine, the stats-registry and
+ * event-trace side effects inside simulateLayerBatch() stay serialized
+ * — the registry is not thread-safe — without a second lock. Disabled
+ * batching (--no-batch) degrades submit() to a mutex-serialized inline
+ * compute, preserving that invariant.
+ */
+
+#ifndef USYS_SERVE_BATCHER_H
+#define USYS_SERVE_BATCHER_H
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/result_cache.h"
+
+namespace usys {
+
+/** Batching counters (monotonic since daemon start). */
+struct BatcherStats
+{
+    u64 batches = 0;
+    u64 jobs = 0;          // jobs admitted through submit()
+    u64 unique_jobs = 0;   // after in-batch dedup
+    u64 coalesced = 0;     // jobs - unique_jobs
+    u64 cache_hits = 0;
+    u64 simulated = 0;     // jobs that reached the engine
+
+    /** Mean jobs per engine batch (the occupancy the bench reports). */
+    double
+    occupancy() const
+    {
+        return batches ? double(jobs) / double(batches) : 0.0;
+    }
+};
+
+class Batcher
+{
+  public:
+    struct Options
+    {
+        bool enabled = true;
+        u64 window_us = 200; // admission window after the first job
+        u32 max_batch = 64;  // close the batch early at this many jobs
+    };
+
+    /** @param cache may be null (caching disabled). */
+    Batcher(const Options &opts, ResultCache *cache);
+    ~Batcher();
+
+    void start();
+    void stop();
+
+    /**
+     * Compute (or fetch) rendered result fragments for `jobs`, in job
+     * order. Blocks until every fragment is available. Thread-safe.
+     */
+    std::vector<std::string> submit(const std::vector<ServeJob> &jobs);
+
+    BatcherStats stats() const;
+
+  private:
+    // One queue entry per REQUEST (not per job): a 40-job sweep costs
+    // one promise/future handoff, not 40 — the futex traffic of
+    // per-job promises dominated the batch path under load.
+    struct Pending
+    {
+        const std::vector<ServeJob> *jobs;
+        std::promise<std::vector<std::string>> result;
+    };
+
+    void run();
+    void processBatch(std::vector<Pending> batch);
+    std::vector<std::string>
+    computeInline(const std::vector<ServeJob> &jobs);
+
+    const Options opts_;
+    ResultCache *const cache_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Pending> queue_;
+    std::size_t queued_jobs_ = 0; // sum of jobs across queue_
+    bool stopping_ = false;
+    std::thread worker_;
+    BatcherStats stats_;
+
+    // Serializes engine + registry access in no-batch mode (the batcher
+    // thread plays that role when batching is on).
+    std::mutex engine_mu_;
+};
+
+} // namespace usys
+
+#endif // USYS_SERVE_BATCHER_H

@@ -1,0 +1,37 @@
+#include "serve/client.h"
+
+#include "common/json.h"
+
+namespace usys {
+
+bool
+ServeClient::connect(u16 port, std::string *error)
+{
+    sock_ = connectLoopback(port, error);
+    return sock_.valid();
+}
+
+bool
+ServeClient::call(const std::string &request, std::string *response)
+{
+    if (!sock_.valid())
+        return false;
+    if (!sock_.sendFrame(request))
+        return false;
+    return sock_.recvFrame(*response);
+}
+
+bool
+ServeClient::ping(u64 id)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("op", "ping");
+    w.field("id", id);
+    w.endObject();
+    std::string response;
+    return call(w.str(), &response) &&
+           response.find("\"pong\":true") != std::string::npos;
+}
+
+} // namespace usys

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Thin client for the usysd protocol: connect to a loopback port and
+ * exchange length-prefixed JSON frames, one response per request.
+ * Blocking; one in-flight request per client. The load bench opens
+ * one ServeClient per simulated client thread.
+ */
+
+#ifndef USYS_SERVE_CLIENT_H
+#define USYS_SERVE_CLIENT_H
+
+#include <string>
+
+#include "common/socket.h"
+
+namespace usys {
+
+class ServeClient
+{
+  public:
+    /** Connect to 127.0.0.1:port. False (with message) on failure. */
+    bool connect(u16 port, std::string *error = nullptr);
+
+    bool connected() const { return sock_.valid(); }
+
+    /**
+     * Send one request frame and block for the response frame. False
+     * on any transport failure (the connection is then unusable).
+     */
+    bool call(const std::string &request, std::string *response);
+
+    /** Convenience: {"op":"ping","id":id} round-trip. */
+    bool ping(u64 id = 0);
+
+    void close() { sock_.close(); }
+
+  private:
+    Socket sock_;
+};
+
+} // namespace usys
+
+#endif // USYS_SERVE_CLIENT_H

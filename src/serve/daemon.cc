@@ -1,0 +1,179 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+
+#include <sys/socket.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace usys {
+
+Daemon::Daemon(const DaemonOptions &opts) : opts_(opts)
+{
+    const u64 budget =
+        opts_.cache ? opts_.cache_mb * 1024 * 1024 : 0;
+    cache_ = std::make_unique<ResultCache>(budget, opts_.cache_file);
+    Batcher::Options bopts;
+    bopts.enabled = opts_.batch;
+    bopts.window_us = opts_.batch_window_us;
+    bopts.max_batch = opts_.batch_max;
+    batcher_ = std::make_unique<Batcher>(
+        bopts, cache_->enabled() ? cache_.get() : nullptr);
+}
+
+Daemon::~Daemon()
+{
+    requestStop();
+    batcher_->stop();
+}
+
+bool
+Daemon::start(std::string *error)
+{
+    if (!listener_.open(opts_.port, error))
+        return false;
+    cache_->load();
+    batcher_->start();
+    return true;
+}
+
+void
+Daemon::requestStop()
+{
+    // Called from signal handlers: only the atomic flip and the
+    // shutdown(2)/close(2) inside Listener::close are performed, all
+    // async-signal-safe.
+    if (stopping_.exchange(true))
+        return;
+    listener_.close();
+}
+
+void
+Daemon::run()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        Socket conn = listener_.accept();
+        if (!conn.valid())
+            break; // listener closed (stop) or hard accept error
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        ++stats_.connections;
+        open_fds_.push_back(conn.fd());
+        threads_.emplace_back(
+            [this](Socket sock) { handleConnection(std::move(sock)); },
+            std::move(conn));
+    }
+
+    // Drain: unblock every handler parked in recv, then join.
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        for (const int fd : open_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        threads.swap(threads_);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    batcher_->stop();
+    cache_->flush();
+}
+
+void
+Daemon::handleConnection(Socket sock)
+{
+    std::string payload;
+    for (;;) {
+        bool eof = false;
+        if (!sock.recvFrame(payload, &eof))
+            break; // clean close, stop-shutdown, or protocol error
+        bool stop_after = false;
+        const std::string response = handleRequest(payload, &stop_after);
+        const bool sent = sock.sendFrame(response);
+        if (stop_after) {
+            // Shutdown op: ack FIRST, then stop — requestStop() leads
+            // the drain to SHUT_RDWR this very connection, which must
+            // not race the response still being written.
+            requestStop();
+            break;
+        }
+        if (!sent)
+            break;
+    }
+    const int fd = sock.fd();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.erase(
+        std::remove(open_fds_.begin(), open_fds_.end(), fd),
+        open_fds_.end());
+}
+
+std::string
+Daemon::handleRequest(const std::string &payload, bool *stop_after)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        ++stats_.requests;
+    }
+    ServeRequest req;
+    std::string error;
+    if (!decodeRequest(payload, req, error)) {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        ++stats_.errors;
+        return renderError(req.id, error);
+    }
+    if (req.op == "ping")
+        return renderPong(req.id);
+    if (req.op == "stats")
+        return renderStats();
+    if (req.op == "shutdown") {
+        *stop_after = true; // stop AFTER the ack is on the wire
+        return renderPong(req.id);
+    }
+    const std::vector<std::string> fragments = batcher_->submit(req.jobs);
+    return renderResults(req.id, fragments);
+}
+
+std::string
+Daemon::renderStats() const
+{
+    DaemonStats ds;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        ds = stats_;
+    }
+    const BatcherStats bs = batcher_->stats();
+    const ResultCacheStats cs = cache_->stats();
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("ok", true);
+    w.beginObject("daemon");
+    w.field("connections", ds.connections);
+    w.field("requests", ds.requests);
+    w.field("errors", ds.errors);
+    w.endObject();
+    w.beginObject("batch");
+    w.field("enabled", opts_.batch);
+    w.field("batches", bs.batches);
+    w.field("jobs", bs.jobs);
+    w.field("unique_jobs", bs.unique_jobs);
+    w.field("coalesced", bs.coalesced);
+    w.field("occupancy", bs.occupancy());
+    w.endObject();
+    w.beginObject("cache");
+    w.field("enabled", cache_->enabled());
+    w.field("hits", cs.hits);
+    w.field("misses", cs.misses);
+    w.field("insertions", cs.insertions);
+    w.field("evictions", cs.evictions);
+    w.field("entries", cs.entries);
+    w.field("bytes", cs.bytes);
+    w.field("restored", cs.restored);
+    w.endObject();
+    w.field("simulated", bs.simulated);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace usys

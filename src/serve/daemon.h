@@ -1,0 +1,103 @@
+/**
+ * @file
+ * usysd: the uSystolic simulation daemon.
+ *
+ * One listener thread accepts loopback TCP connections; each
+ * connection gets a handler thread speaking the length-prefixed JSON
+ * protocol (request.h) for as many request/response rounds as the
+ * client wants. Compute ops route through the Batcher (admission
+ * coalescing + result cache); ping/stats/shutdown are answered
+ * directly.
+ *
+ * Lifecycle: start() binds (port 0 = ephemeral; the chosen port is in
+ * port() and printed by the main), run() blocks in the accept loop
+ * until requestStop() — called from a SIGTERM/SIGINT handler or a
+ * shutdown op — closes the listener. run() then unblocks every
+ * connection, joins all handler threads, and flushes the result cache
+ * to its checkpoint file, so a SIGTERMed daemon restarts warm.
+ */
+
+#ifndef USYS_SERVE_DAEMON_H
+#define USYS_SERVE_DAEMON_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "serve/batcher.h"
+#include "serve/result_cache.h"
+
+namespace usys {
+
+struct DaemonOptions
+{
+    u16 port = 0;             // 0 = ephemeral
+    bool batch = true;        // --no-batch disables coalescing
+    bool cache = true;        // --no-cache disables the result cache
+    u64 batch_window_us = 200;
+    u32 batch_max = 64;
+    u64 cache_mb = 64;
+    std::string cache_file;   // empty = no persistence
+    bool quiet = false;       // suppress per-connection logging
+};
+
+/** Daemon request counters (beyond batcher/cache stats). */
+struct DaemonStats
+{
+    u64 connections = 0;
+    u64 requests = 0;
+    u64 errors = 0; // malformed frames / decode failures answered
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(const DaemonOptions &opts);
+    ~Daemon();
+
+    /** Bind + load cache + start batcher. False (with message) on error. */
+    bool start(std::string *error);
+
+    /** Port actually bound (after start()). */
+    u16 port() const { return listener_.port(); }
+
+    /**
+     * Ask the accept loop to exit. Safe from a signal handler: flips
+     * an atomic and shuts down the listening socket.
+     */
+    void requestStop();
+
+    /** Accept loop; returns after requestStop() + full drain + flush. */
+    void run();
+
+    /** Compact JSON of daemon/batcher/cache counters (the stats op). */
+    std::string renderStats() const;
+
+    ResultCacheStats cacheStats() const { return cache_->stats(); }
+    BatcherStats batcherStats() const { return batcher_->stats(); }
+
+  private:
+    void handleConnection(Socket sock);
+    std::string handleRequest(const std::string &payload,
+                              bool *stop_after);
+
+    const DaemonOptions opts_;
+    Listener listener_;
+    std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<Batcher> batcher_;
+
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex conn_mu_;
+    std::vector<std::thread> threads_;
+    std::vector<int> open_fds_; // shutdown() targets on stop
+    DaemonStats stats_;
+};
+
+} // namespace usys
+
+#endif // USYS_SERVE_DAEMON_H

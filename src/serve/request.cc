@@ -1,0 +1,638 @@
+#include "serve/request.h"
+
+#include <algorithm>
+
+#include "common/checkpoint.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "workloads/layer_parse.h"
+#include "workloads/systems.h"
+
+namespace usys {
+
+namespace {
+
+/** Per-request expansion cap: a sweep grid larger than this is refused
+ *  rather than simulated (a hostile frame must not pin the daemon). */
+constexpr std::size_t kMaxJobsPerRequest = 4096;
+
+bool
+parseSchemeTag(const std::string &tag, Scheme &out)
+{
+    std::string t = tag;
+    std::transform(t.begin(), t.end(), t.begin(), ::toupper);
+    if (t == "BP") { out = Scheme::BinaryParallel; return true; }
+    if (t == "BS") { out = Scheme::BinarySerial; return true; }
+    if (t == "UR") { out = Scheme::USystolicRate; return true; }
+    if (t == "UT") { out = Scheme::USystolicTemporal; return true; }
+    if (t == "UG") { out = Scheme::UgemmHybrid; return true; }
+    return false;
+}
+
+bool
+parseKindTag(const std::string &tag, FaultKind &out)
+{
+    if (tag == "flip") { out = FaultKind::BitFlip; return true; }
+    if (tag == "sa0") { out = FaultKind::StuckAt0; return true; }
+    if (tag == "sa1") { out = FaultKind::StuckAt1; return true; }
+    if (tag == "burst") { out = FaultKind::Burst; return true; }
+    return false;
+}
+
+/** Fault-plan check() mirror, as a non-fatal predicate. */
+bool
+validateSpec(const ServeSystemSpec &s, std::string &error)
+{
+    if (s.preset != "edge" && s.preset != "cloud") {
+        error = "system.preset must be 'edge' or 'cloud'";
+        return false;
+    }
+    if (s.bits < 2 || s.bits > 16) {
+        error = "system.bits out of range [2, 16]";
+        return false;
+    }
+    if (s.et_bits != 0 && (s.et_bits < 2 || s.et_bits > s.bits)) {
+        error = "system.et_bits must be 0 or in [2, bits]";
+        return false;
+    }
+    if (s.et_bits != 0 && s.scheme != Scheme::USystolicRate) {
+        error = "system.et_bits requires scheme UR";
+        return false;
+    }
+    if (s.rows < 0 || s.rows > 4096 || s.cols < 0 || s.cols > 4096) {
+        error = "system.rows/cols out of range [0, 4096]";
+        return false;
+    }
+    if (s.freq_ghz < 0.0 || s.freq_ghz > 100.0) {
+        error = "system.freq_ghz out of range [0, 100]";
+        return false;
+    }
+    const double rates[] = {s.rates.weight_reg, s.rates.activation_stream,
+                            s.rates.weight_stream, s.rates.accumulator,
+                            s.rates.dram_word};
+    for (double r : rates) {
+        if (!(r >= 0.0 && r <= 1.0)) {
+            error = "fault rate outside [0, 1]";
+            return false;
+        }
+    }
+    if (s.burst_len < 1 || s.burst_len > 64) {
+        error = "fault.burst_len out of range [1, 64]";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Decode the optional "system" object. Absent members keep defaults,
+ * so a request spelling out the defaults decodes — and canonicalizes —
+ * identically to one omitting them.
+ */
+bool
+decodeSystemSpec(const JsonValue *obj, ServeSystemSpec &out,
+                 std::string &error)
+{
+    if (obj) {
+        if (!obj->isObject()) {
+            error = "'system' must be an object";
+            return false;
+        }
+        const std::string scheme = obj->getString("scheme", "UR");
+        if (!parseSchemeTag(scheme, out.scheme)) {
+            error = "unknown scheme '" + scheme +
+                    "' (expected BP|BS|UR|UT|UG)";
+            return false;
+        }
+        out.preset = obj->getString("preset", out.preset);
+        out.bits = int(obj->getInt("bits", out.bits));
+        out.et_bits = int(obj->getInt("et_bits", out.et_bits));
+        const std::string sram = obj->getString("sram", "auto");
+        if (sram == "auto")
+            out.sram = -1;
+        else if (sram == "off")
+            out.sram = 0;
+        else if (sram == "on")
+            out.sram = 1;
+        else {
+            error = "system.sram must be auto|on|off";
+            return false;
+        }
+        out.rows = int(obj->getInt("rows", out.rows));
+        out.cols = int(obj->getInt("cols", out.cols));
+        out.freq_ghz = obj->getNumber("freq_ghz", out.freq_ghz);
+        if (const JsonValue *flt = obj->find("fault")) {
+            if (!flt->isObject()) {
+                error = "'system.fault' must be an object";
+                return false;
+            }
+            out.fault_seed = u64(flt->getInt("seed", 0));
+            const std::string kind = flt->getString("kind", "flip");
+            if (!parseKindTag(kind, out.fault_kind)) {
+                error = "unknown fault kind '" + kind +
+                        "' (expected flip|sa0|sa1|burst)";
+                return false;
+            }
+            out.burst_len = u32(flt->getInt("burst_len", 4));
+            out.rates.weight_reg = flt->getNumber("weight_reg", 0.0);
+            out.rates.activation_stream =
+                flt->getNumber("activation_stream", 0.0);
+            out.rates.weight_stream = flt->getNumber("weight_stream", 0.0);
+            out.rates.accumulator = flt->getNumber("accumulator", 0.0);
+            out.rates.dram_word = flt->getNumber("dram_word", 0.0);
+        }
+    }
+    return validateSpec(out, error);
+}
+
+/** Strip characters the canonical key / checkpoint format reserves. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '\t' || c == '\n' || c == '\r')
+            c = '_';
+    }
+    return out;
+}
+
+/**
+ * Non-fatal layer-spec expansion: the library parseLayerList() calls
+ * fatal() on malformed specs and GemmLayer::check() is fatal too, so
+ * numeric specs are validated here first. Named workloads expand via
+ * the library (they cannot fail).
+ */
+bool
+expandLayerSpecs(const std::string &specs, std::vector<GemmLayer> &out,
+                 std::string &error)
+{
+    std::size_t start = 0;
+    while (start <= specs.size()) {
+        std::size_t end = specs.find(';', start);
+        if (end == std::string::npos)
+            end = specs.size();
+        const std::string spec = specs.substr(start, end - start);
+        start = end + 1;
+        if (spec.empty())
+            continue;
+        if (spec == "alexnet" || spec == "mlperf") {
+            for (auto &layer : parseLayerList(spec))
+                out.push_back(std::move(layer));
+            continue;
+        }
+        // Parse the numeric forms here rather than via parseLayerSpec:
+        // that path runs GemmLayer::check(), which is fatal() on a
+        // well-formed-but-invalid spec (e.g. window exceeding input),
+        // and a bad request must never take the daemon down.
+        const std::size_t colon = spec.find(':');
+        const std::string kind =
+            colon == std::string::npos ? spec : spec.substr(0, colon);
+        std::vector<i64> ints;
+        if (colon != std::string::npos) {
+            std::size_t p = colon + 1;
+            while (p <= spec.size()) {
+                std::size_t q = spec.find(',', p);
+                if (q == std::string::npos)
+                    q = spec.size();
+                const std::string tok = spec.substr(p, q - p);
+                p = q + 1;
+                if (tok.empty() || tok.size() > 7 ||
+                    tok.find_first_not_of("0123456789") !=
+                        std::string::npos)
+                    break;
+                ints.push_back(std::stoll(tok));
+            }
+        }
+        if (kind == "conv" && ints.size() == 7) {
+            const i64 ih = ints[0], iw = ints[1], ic = ints[2],
+                      wh = ints[3], ww = ints[4], st = ints[5],
+                      oc = ints[6];
+            if (ih < wh || iw < ww || wh < 1 || ww < 1 || st < 1 ||
+                ic < 1 || oc < 1) {
+                error = "invalid conv dimensions in '" + spec + "'";
+                return false;
+            }
+            out.push_back(GemmLayer::conv(spec, int(ih), int(iw),
+                                          int(ic), int(wh), int(ww),
+                                          int(st), int(oc)));
+            continue;
+        }
+        if (kind == "matmul" && ints.size() == 3) {
+            if (ints[0] < 1 || ints[1] < 1 || ints[2] < 1) {
+                error = "invalid matmul dimensions in '" + spec + "'";
+                return false;
+            }
+            out.push_back(GemmLayer::matmul(spec, int(ints[0]),
+                                            int(ints[1]), int(ints[2])));
+            continue;
+        }
+        error = "unparseable layer spec '" + spec + "'";
+        return false;
+    }
+    if (out.empty()) {
+        error = "empty layer list";
+        return false;
+    }
+    return true;
+}
+
+/** Integer-field reader that distinguishes absent from non-positive. */
+bool
+requirePositiveInt(const JsonValue &obj, const char *key, i64 maxv,
+                   i64 &out, std::string &error)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        error = std::string("missing integer field '") + key + "'";
+        return false;
+    }
+    out = i64(v->number());
+    if (out < 1 || out > maxv) {
+        error = std::string("field '") + key + "' out of range [1, " +
+                std::to_string(maxv) + "]";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+SystemConfig
+buildSystem(const ServeSystemSpec &spec)
+{
+    KernelConfig kern;
+    kern.scheme = spec.scheme;
+    kern.bits = spec.bits;
+    kern.et_bits = spec.et_bits;
+
+    const bool with_sram =
+        spec.sram < 0 ? !isUnary(kern.scheme) : spec.sram != 0;
+    SystemConfig sys = spec.preset == "cloud"
+                           ? cloudSystem(kern, with_sram)
+                           : edgeSystem(kern, with_sram);
+    if (spec.rows > 0)
+        sys.array.rows = spec.rows;
+    if (spec.cols > 0)
+        sys.array.cols = spec.cols;
+    if (spec.freq_ghz > 0.0)
+        sys.freq_ghz = spec.freq_ghz;
+
+    FaultPlan plan;
+    plan.seed = spec.fault_seed;
+    plan.kind = spec.fault_kind;
+    plan.burst_len = spec.burst_len;
+    plan.rates = spec.rates;
+    sys.array.faults = plan;
+    return sys;
+}
+
+std::string
+canonicalJobKey(const ServeSystemSpec &spec, const GemmLayer &layer)
+{
+    // Fixed field order, *effective* values only: auto-sram resolves to
+    // the paper rule, rows/cols/freq resolve to the preset defaults, so
+    // a request that spells a default out explicitly keys (and hashes)
+    // identically to one that omits it. Doubles go through packDouble,
+    // making key equality exactly bit equality.
+    const bool with_sram =
+        spec.sram < 0 ? !isUnary(spec.scheme) : spec.sram != 0;
+    const bool edge = spec.preset != "cloud";
+    const int rows = spec.rows > 0 ? spec.rows : (edge ? 12 : 256);
+    const int cols = spec.cols > 0 ? spec.cols : (edge ? 14 : 256);
+    const double freq = spec.freq_ghz > 0.0 ? spec.freq_ghz : 0.4;
+    // et_bits == bits is the full unary period, i.e. no early
+    // termination at all — canonicalize it to 0 (same simulation).
+    const int et =
+        (spec.scheme == Scheme::USystolicRate && spec.et_bits == spec.bits)
+            ? 0
+            : spec.et_bits;
+    std::string key = "v1;sys=";
+    key += spec.preset;
+    key += ',';
+    key += schemeTag(spec.scheme);
+    key += ',';
+    key += std::to_string(spec.bits);
+    key += ',';
+    key += std::to_string(et);
+    key += ',';
+    key += with_sram ? "1" : "0";
+    key += ',';
+    key += std::to_string(rows);
+    key += ',';
+    key += std::to_string(cols);
+    key += ',';
+    key += ShardCheckpoint::packDouble(freq);
+    key += ";flt=";
+    key += ShardCheckpoint::packU64(spec.fault_seed);
+    key += ',';
+    key += faultKindName(spec.fault_kind);
+    key += ',';
+    key += std::to_string(spec.burst_len);
+    key += ',';
+    key += ShardCheckpoint::packDouble(spec.rates.weight_reg);
+    key += ',';
+    key += ShardCheckpoint::packDouble(spec.rates.activation_stream);
+    key += ',';
+    key += ShardCheckpoint::packDouble(spec.rates.weight_stream);
+    key += ',';
+    key += ShardCheckpoint::packDouble(spec.rates.accumulator);
+    key += ',';
+    key += ShardCheckpoint::packDouble(spec.rates.dram_word);
+    key += ";lyr=";
+    key += layer.type == GemmType::MatMul ? "mm" : "cv";
+    key += ',';
+    key += std::to_string(layer.ih);
+    key += ',';
+    key += std::to_string(layer.iw);
+    key += ',';
+    key += std::to_string(layer.ic);
+    key += ',';
+    key += std::to_string(layer.wh);
+    key += ',';
+    key += std::to_string(layer.ww);
+    key += ',';
+    key += std::to_string(layer.stride);
+    key += ',';
+    key += std::to_string(layer.oc);
+    key += ";nm=";
+    key += sanitizeName(layer.name);
+    return key;
+}
+
+void
+finalizeJob(ServeJob &job)
+{
+    job.layer.name = sanitizeName(job.layer.name);
+    job.key = canonicalJobKey(job.spec, job.layer);
+    job.hash = hashBytes(job.key);
+}
+
+bool
+decodeRequest(const std::string &payload, ServeRequest &out,
+              std::string &error)
+{
+    JsonParseResult doc = parseJson(payload);
+    if (!doc.ok) {
+        error = "bad JSON: " + doc.error;
+        return false;
+    }
+    if (!doc.root.isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+    const JsonValue &root = doc.root;
+    out.op = root.getString("op", "");
+    out.id = u64(root.getInt("id", 0));
+    out.jobs.clear();
+
+    if (out.op == "ping" || out.op == "stats" || out.op == "shutdown")
+        return true;
+    if (out.op != "layer" && out.op != "gemm" && out.op != "sweep") {
+        error = out.op.empty()
+                    ? "missing 'op'"
+                    : "unknown op '" + out.op + "'";
+        return false;
+    }
+
+    ServeSystemSpec spec;
+    if (!decodeSystemSpec(root.find("system"), spec, error))
+        return false;
+
+    std::vector<GemmLayer> layers;
+    if (out.op == "gemm") {
+        i64 m = 0, k = 0, n = 0;
+        if (!requirePositiveInt(root, "m", i64(1) << 20, m, error) ||
+            !requirePositiveInt(root, "k", i64(1) << 20, k, error) ||
+            !requirePositiveInt(root, "n", i64(1) << 20, n, error))
+            return false;
+        const std::string name = root.getString("name", "gemm");
+        layers.push_back(
+            GemmLayer::matmul(sanitizeName(name), int(m), int(k), int(n)));
+    } else {
+        const JsonValue *specs = root.find("layers");
+        if (!specs || !specs->isString()) {
+            error = "missing string field 'layers'";
+            return false;
+        }
+        if (!expandLayerSpecs(specs->string(), layers, error))
+            return false;
+    }
+
+    std::vector<Scheme> schemes{spec.scheme};
+    if (out.op == "sweep") {
+        if (const JsonValue *list = root.find("schemes")) {
+            if (!list->isArray() || list->array().empty()) {
+                error = "'schemes' must be a non-empty array of tags";
+                return false;
+            }
+            schemes.clear();
+            for (const JsonValue &tag : list->array()) {
+                Scheme s;
+                if (!tag.isString() || !parseSchemeTag(tag.string(), s)) {
+                    error = "bad scheme tag in 'schemes'";
+                    return false;
+                }
+                schemes.push_back(s);
+            }
+        }
+    }
+
+    if (layers.size() * schemes.size() > kMaxJobsPerRequest) {
+        error = "request expands to " +
+                std::to_string(layers.size() * schemes.size()) +
+                " jobs (limit " + std::to_string(kMaxJobsPerRequest) +
+                ")";
+        return false;
+    }
+
+    for (const Scheme scheme : schemes) {
+        ServeSystemSpec s = spec;
+        s.scheme = scheme;
+        // Early termination only exists for rate coding; a sweep that
+        // sets et_bits applies it to UR points and full period elsewhere.
+        if (scheme != Scheme::USystolicRate)
+            s.et_bits = 0;
+        std::string verror;
+        if (!validateSpec(s, verror)) {
+            error = "scheme " + std::string(schemeTag(scheme)) + ": " +
+                    verror;
+            return false;
+        }
+        for (const GemmLayer &layer : layers) {
+            ServeJob job;
+            job.spec = s;
+            job.layer = layer;
+            finalizeJob(job);
+            out.jobs.push_back(std::move(job));
+        }
+    }
+    return true;
+}
+
+std::string
+packLayerStats(const LayerStats &s)
+{
+    using CP = ShardCheckpoint;
+    std::string p;
+    p.reserve(27 * 17);
+    const auto add = [&p](const std::string &field) {
+        if (!p.empty())
+            p += ',';
+        p += field;
+    };
+    add(CP::packU64(u64(s.tiling.m)));
+    add(CP::packU64(u64(s.tiling.k)));
+    add(CP::packU64(u64(s.tiling.n)));
+    add(CP::packU64(u64(s.tiling.folds_k)));
+    add(CP::packU64(u64(s.tiling.folds_n)));
+    add(CP::packU64(u64(s.tiling.folds)));
+    add(CP::packU64(s.tiling.fold_cycles));
+    add(CP::packU64(s.tiling.compute_cycles));
+    add(CP::packU64(s.tiling.pipelined_compute_cycles));
+    add(CP::packDouble(s.tiling.utilization));
+    add(CP::packU64(s.compute_cycles));
+    add(CP::packU64(s.total_cycles));
+    add(CP::packDouble(s.runtime_s));
+    add(CP::packDouble(s.overhead_pct));
+    for (int v = 0; v < NumVars; ++v)
+        add(CP::packU64(s.array_bytes[std::size_t(v)]));
+    for (int v = 0; v < NumVars; ++v)
+        add(CP::packU64(s.dram_bytes[std::size_t(v)]));
+    add(CP::packU64(s.sram_total_bytes));
+    add(CP::packU64(s.dram_total_bytes));
+    add(CP::packDouble(s.sram_bw_gbps));
+    add(CP::packDouble(s.dram_bw_gbps));
+    add(CP::packU64(s.active_mac_slots));
+    add(CP::packDouble(s.throughput_gmacs));
+    add(CP::packDouble(s.gemm_per_s));
+    return p;
+}
+
+bool
+unpackLayerStats(const std::string &payload, LayerStats &s)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= payload.size()) {
+        std::size_t end = payload.find(',', start);
+        if (end == std::string::npos)
+            end = payload.size();
+        fields.push_back(payload.substr(start, end - start));
+        start = end + 1;
+    }
+    if (fields.size() != 27)
+        return false;
+    for (const std::string &f : fields) {
+        if (f.size() != 16)
+            return false;
+        for (const char c : f) {
+            if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+                return false;
+        }
+    }
+    using CP = ShardCheckpoint;
+    std::size_t i = 0;
+    const auto u = [&]() { return CP::unpackU64(fields[i++]); };
+    const auto d = [&]() { return CP::unpackDouble(fields[i++]); };
+    s = LayerStats{};
+    s.tiling.m = i64(u());
+    s.tiling.k = i64(u());
+    s.tiling.n = i64(u());
+    s.tiling.folds_k = i64(u());
+    s.tiling.folds_n = i64(u());
+    s.tiling.folds = i64(u());
+    s.tiling.fold_cycles = u();
+    s.tiling.compute_cycles = u();
+    s.tiling.pipelined_compute_cycles = u();
+    s.tiling.utilization = d();
+    s.compute_cycles = u();
+    s.total_cycles = u();
+    s.runtime_s = d();
+    s.overhead_pct = d();
+    for (int v = 0; v < NumVars; ++v)
+        s.array_bytes[std::size_t(v)] = u();
+    for (int v = 0; v < NumVars; ++v)
+        s.dram_bytes[std::size_t(v)] = u();
+    s.sram_total_bytes = u();
+    s.dram_total_bytes = u();
+    s.sram_bw_gbps = d();
+    s.dram_bw_gbps = d();
+    s.active_mac_slots = u();
+    s.throughput_gmacs = d();
+    s.gemm_per_s = d();
+    return true;
+}
+
+std::string
+renderJobResult(const ServeJob &job, const LayerStats &stats)
+{
+    KernelConfig kern;
+    kern.scheme = job.spec.scheme;
+    kern.bits = job.spec.bits;
+    kern.et_bits = job.spec.et_bits;
+
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("layer", job.layer.name);
+    w.field("kernel", kern.name());
+    w.field("preset", job.spec.preset);
+    w.field("m", i64(stats.tiling.m));
+    w.field("k", i64(stats.tiling.k));
+    w.field("n", i64(stats.tiling.n));
+    w.field("folds", i64(stats.tiling.folds));
+    w.field("utilization", stats.tiling.utilization);
+    w.field("compute_cycles", u64(stats.compute_cycles));
+    w.field("total_cycles", u64(stats.total_cycles));
+    w.field("runtime_s", stats.runtime_s);
+    w.field("overhead_pct", stats.overhead_pct);
+    w.field("sram_total_bytes", stats.sram_total_bytes);
+    w.field("dram_total_bytes", stats.dram_total_bytes);
+    w.field("sram_bw_gbps", stats.sram_bw_gbps);
+    w.field("dram_bw_gbps", stats.dram_bw_gbps);
+    w.field("throughput_gmacs", stats.throughput_gmacs);
+    w.field("gemm_per_s", stats.gemm_per_s);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderResults(u64 id, const std::vector<std::string> &fragments)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("id", id);
+    w.field("ok", true);
+    w.beginArray("results");
+    for (const std::string &f : fragments)
+        w.valueRaw(f);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderPong(u64 id)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("id", id);
+    w.field("ok", true);
+    w.field("pong", true);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderError(u64 id, const std::string &message)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("id", id);
+    w.field("ok", false);
+    w.field("error", message);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace usys

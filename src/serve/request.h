@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Serve protocol: request decoding, canonicalization, and rendering.
+ *
+ * Every message on the wire is one length-prefixed JSON frame
+ * (socket.h). Requests carry an `op`:
+ *
+ *   ping      liveness check
+ *   layer     simulate a layer-spec list on one system
+ *   gemm      simulate a single M x K x N matmul (shorthand)
+ *   sweep     layer-spec list x scheme list (the fig08-style grid)
+ *   stats     daemon counters (requests, cache, batching)
+ *   shutdown  acknowledge, then stop the daemon
+ *
+ * The compute ops expand into ServeJobs — one (system, layer) point
+ * each, the cacheable unit. A job's canonical key is a fixed-order
+ * rendering of every *effective* config field (defaults applied, so
+ * explicitly sending a default yields the same key as omitting it);
+ * doubles travel in the key as their packed IEEE-754 bit pattern, so
+ * key equality is exactly config equality. The splitmix64 chain of the
+ * key (hash.h) indexes the result cache; the key itself is stored for
+ * collision safety and doubles as the checkpoint key (it never
+ * contains tabs or newlines — enforced by construction, since client
+ * layer names are sanitized).
+ *
+ * Responses are rendered with the deterministic JsonWriter in compact
+ * mode: same stats in → same bytes out, which is what lets the cache
+ * serve stored renders, and the e2e harness byte-compare daemon
+ * responses against direct engine calls. A response never says whether
+ * it was served from cache; the bytes must be indistinguishable.
+ */
+
+#ifndef USYS_SERVE_REQUEST_H
+#define USYS_SERVE_REQUEST_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/simulator.h"
+
+namespace usys {
+
+class JsonValue;
+
+/** Decoded "system" object with all defaults applied. */
+struct ServeSystemSpec
+{
+    std::string preset = "edge"; // edge | cloud
+    Scheme scheme = Scheme::USystolicRate;
+    int bits = 8;
+    int et_bits = 0;
+    int sram = -1;       // -1 auto (paper rule), 0 off, 1 on
+    int rows = 0;        // 0 = preset shape
+    int cols = 0;
+    double freq_ghz = 0; // 0 = preset clock
+
+    // Fault plan (all-zero rates = disabled, the default).
+    u64 fault_seed = 0;
+    FaultKind fault_kind = FaultKind::BitFlip;
+    u32 burst_len = 4;
+    FaultRates rates;
+};
+
+/** One cacheable (system, layer) simulation point. */
+struct ServeJob
+{
+    ServeSystemSpec spec;
+    GemmLayer layer;
+    std::string key; // canonical key (also the checkpoint key)
+    u64 hash = 0;    // splitmix64 chain of `key`
+};
+
+/** A decoded request frame. */
+struct ServeRequest
+{
+    std::string op;            // validated: one of the six ops
+    u64 id = 0;                // echoed in the response
+    std::vector<ServeJob> jobs; // compute ops only
+};
+
+/** Materialize the SystemConfig a spec describes. */
+SystemConfig buildSystem(const ServeSystemSpec &spec);
+
+/** Canonical key of one job (fixed field order, defaults applied). */
+std::string canonicalJobKey(const ServeSystemSpec &spec,
+                            const GemmLayer &layer);
+
+/** Finish a ServeJob: fill key + hash from spec/layer. */
+void finalizeJob(ServeJob &job);
+
+/**
+ * Decode one request frame. On failure returns false with a message
+ * suitable for an error response (parse position, unknown op, bad
+ * spec); `out` is left unspecified.
+ */
+bool decodeRequest(const std::string &payload, ServeRequest &out,
+                   std::string &error);
+
+// --- Result packing (cache persistence) ------------------------------
+
+/**
+ * Pack a LayerStats into a checkpoint payload: 27 comma-joined fields,
+ * each a 16-hex-digit bit pattern (ShardCheckpoint::packU64/packDouble),
+ * so a persisted result restores bit-identically across restarts.
+ */
+std::string packLayerStats(const LayerStats &stats);
+
+/** Reverse packLayerStats; false on malformed payload. */
+bool unpackLayerStats(const std::string &payload, LayerStats &stats);
+
+// --- Deterministic rendering -----------------------------------------
+
+/** Compact JSON object for one job result (the cacheable fragment). */
+std::string renderJobResult(const ServeJob &job, const LayerStats &stats);
+
+/** {"id":N,"ok":true,"results":[...fragments...]} */
+std::string renderResults(u64 id, const std::vector<std::string> &fragments);
+
+/** {"id":N,"ok":true,"pong":true} */
+std::string renderPong(u64 id);
+
+/** {"id":N,"ok":false,"error":"..."} */
+std::string renderError(u64 id, const std::string &message);
+
+} // namespace usys
+
+#endif // USYS_SERVE_REQUEST_H

@@ -1,0 +1,147 @@
+#include "serve/result_cache.h"
+
+#include "common/checkpoint.h"
+#include "common/logging.h"
+
+namespace usys {
+
+ResultCache::ResultCache(u64 budget_bytes, std::string checkpoint_path)
+    : budget_bytes_(budget_bytes),
+      checkpoint_path_(std::move(checkpoint_path))
+{}
+
+void
+ResultCache::load()
+{
+    if (!enabled() || checkpoint_path_.empty())
+        return;
+    ShardCheckpoint cp(checkpoint_path_);
+    cp.load();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &kv : cp.entries()) {
+        // Only structurally valid payloads are restored; anything else
+        // (a truncated hand edit, a future format) is just recomputed.
+        LayerStats probe;
+        if (!unpackLayerStats(kv.second, probe)) {
+            warn("result cache: skipping malformed entry for key '" +
+                 kv.first + "'");
+            continue;
+        }
+        lru_.push_front(kv.first);
+        Entry e;
+        e.packed = kv.second;
+        e.lru_it = lru_.begin();
+        const auto [it, fresh] = map_.emplace(kv.first, std::move(e));
+        if (!fresh) {
+            lru_.pop_front();
+            continue;
+        }
+        stats_.bytes += entryBytes(kv.first, it->second);
+        ++stats_.restored;
+    }
+    stats_.entries = map_.size();
+    evictToBudget();
+}
+
+bool
+ResultCache::find(const ServeJob &job, std::string *rendered)
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(job.key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    Entry &e = it->second;
+    if (e.rendered.empty()) {
+        // Restored entry: materialize the response fragment from the
+        // persisted bit patterns. Deterministic rendering makes the
+        // result byte-identical to the pre-restart response.
+        LayerStats stats;
+        if (!unpackLayerStats(e.packed, stats)) {
+            ++stats_.misses;
+            return false; // unreachable after load()'s probe; belt+braces
+        }
+        e.rendered = renderJobResult(job, stats);
+        stats_.bytes += e.rendered.size();
+    }
+    lru_.splice(lru_.begin(), lru_, e.lru_it);
+    *rendered = e.rendered;
+    ++stats_.hits;
+    // Materializing a render can push the total over budget; trim, but
+    // never the entry just served (it is at the LRU front).
+    evictToBudget();
+    return true;
+}
+
+void
+ResultCache::insert(const ServeJob &job, const LayerStats &stats,
+                    const std::string &rendered)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(job.key);
+    if (it != map_.end()) {
+        stats_.bytes -= entryBytes(job.key, it->second);
+        lru_.erase(it->second.lru_it);
+        map_.erase(it);
+    }
+    lru_.push_front(job.key);
+    Entry e;
+    e.packed = packLayerStats(stats);
+    e.rendered = rendered;
+    e.lru_it = lru_.begin();
+    const auto [nit, fresh] = map_.emplace(job.key, std::move(e));
+    (void)fresh;
+    stats_.bytes += entryBytes(job.key, nit->second);
+    stats_.entries = map_.size();
+    ++stats_.insertions;
+    evictToBudget();
+}
+
+void
+ResultCache::flush()
+{
+    if (!enabled() || checkpoint_path_.empty())
+        return;
+    std::map<std::string, std::string> entries;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &kv : map_)
+            entries[kv.first] = kv.second.packed;
+    }
+    ShardCheckpoint cp(checkpoint_path_);
+    cp.replaceAll(std::move(entries));
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+u64
+ResultCache::entryBytes(const std::string &key, const Entry &e) const
+{
+    return u64(key.size()) + e.packed.size() + e.rendered.size();
+}
+
+void
+ResultCache::evictToBudget()
+{
+    while (stats_.bytes > budget_bytes_ && !lru_.empty()) {
+        const std::string &victim = lru_.back();
+        auto it = map_.find(victim);
+        stats_.bytes -= entryBytes(victim, it->second);
+        map_.erase(it);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = map_.size();
+}
+
+} // namespace usys

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Config-hash result cache for the serve daemon.
+ *
+ * Maps a job's canonical key (request.h) to its simulated LayerStats,
+ * held in two forms per entry:
+ *
+ *   packed    the 27-field bit-pattern payload (packLayerStats) — the
+ *             persistence format, written through ShardCheckpoint on
+ *             flush so a restarted daemon restores results bit-exactly;
+ *   rendered  the compact JSON fragment served in responses — derived
+ *             deterministically from the unpacked stats, so a warm hit,
+ *             a cold compute, and a post-restart hit all produce
+ *             byte-identical response bytes.
+ *
+ * Entries restored from disk start with only the packed form; the
+ * render is materialized lazily on first hit (the job context needed
+ * to render travels with the lookup). Eviction is LRU over a byte
+ * budget covering keys and both forms.
+ *
+ * Thread-safe: all public methods lock. The daemon calls find/insert
+ * from the batcher thread and (no-batch mode) connection threads;
+ * stats() is read from the stats op and the telemetry sampler.
+ */
+
+#ifndef USYS_SERVE_RESULT_CACHE_H
+#define USYS_SERVE_RESULT_CACHE_H
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "serve/request.h"
+
+namespace usys {
+
+/** Monotonic cache counters (all since daemon start, plus gauges). */
+struct ResultCacheStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0;
+    u64 evictions = 0;
+    u64 entries = 0;  // gauge
+    u64 bytes = 0;    // gauge
+    u64 restored = 0; // entries loaded from the checkpoint file
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * @param budget_bytes LRU capacity (keys + payloads + renders);
+     *        0 disables caching entirely (find always misses).
+     * @param checkpoint_path persistence file; empty = memory-only.
+     */
+    ResultCache(u64 budget_bytes, std::string checkpoint_path);
+
+    /** Restore persisted entries (malformed payloads are skipped). */
+    void load();
+
+    /**
+     * Look up `job`; on hit fills `rendered` (materializing it from
+     * the packed form if this is the first hit since restore) and
+     * refreshes LRU position. Counts a miss otherwise.
+     */
+    bool find(const ServeJob &job, std::string *rendered);
+
+    /** Insert (or overwrite) the result for `job`; evicts LRU tail. */
+    void insert(const ServeJob &job, const LayerStats &stats,
+                const std::string &rendered);
+
+    /** Persist all current entries through the checkpoint (if any). */
+    void flush();
+
+    ResultCacheStats stats() const;
+
+    bool enabled() const { return budget_bytes_ > 0; }
+
+  private:
+    struct Entry
+    {
+        std::string packed;
+        std::string rendered; // may be empty until first hit
+        std::list<std::string>::iterator lru_it;
+    };
+
+    u64 entryBytes(const std::string &key, const Entry &e) const;
+    void evictToBudget();
+
+    const u64 budget_bytes_;
+    const std::string checkpoint_path_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> map_;
+    std::list<std::string> lru_; // front = most recently used
+    ResultCacheStats stats_;
+};
+
+} // namespace usys
+
+#endif // USYS_SERVE_RESULT_CACHE_H

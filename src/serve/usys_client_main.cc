@@ -1,0 +1,138 @@
+/**
+ * @file
+ * usys_client — CLI client for usysd.
+ *
+ *   usys_client --port P [--json '<raw request>']
+ *               [--op ping|layer|gemm|sweep|stats|shutdown]
+ *               [--layers SPECS] [--schemes BP,UR,...]
+ *               [--scheme TAG] [--bits N] [--et-bits N]
+ *               [--preset edge|cloud] [--sram auto|on|off]
+ *               [--m M --k K --n N] [--id N]
+ *
+ * Builds one request (or sends --json verbatim), prints the response
+ * JSON on stdout, exits 0 when the response says ok:true.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "serve/client.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    int port = -1;
+    std::string raw;
+    std::string op = "ping";
+    std::string layers;
+    std::string schemes;
+    std::string scheme;
+    std::string preset;
+    std::string sram;
+    i64 bits = 0, et_bits = -1, m = 0, k = 0, n = 0, id = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatalIf(i + 1 >= argc,
+                    std::string("missing value for ") + arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--port") == 0)
+            port = int(parseIntFlag("--port", next(), 1, 65535));
+        else if (std::strcmp(arg, "--json") == 0)
+            raw = next();
+        else if (std::strcmp(arg, "--op") == 0)
+            op = next();
+        else if (std::strcmp(arg, "--layers") == 0)
+            layers = next();
+        else if (std::strcmp(arg, "--schemes") == 0)
+            schemes = next();
+        else if (std::strcmp(arg, "--scheme") == 0)
+            scheme = next();
+        else if (std::strcmp(arg, "--preset") == 0)
+            preset = next();
+        else if (std::strcmp(arg, "--sram") == 0)
+            sram = next();
+        else if (std::strcmp(arg, "--bits") == 0)
+            bits = parseIntFlag("--bits", next(), 2, 16);
+        else if (std::strcmp(arg, "--et-bits") == 0)
+            et_bits = parseIntFlag("--et-bits", next(), 0, 16);
+        else if (std::strcmp(arg, "--m") == 0)
+            m = parseIntFlag("--m", next(), 1, 1 << 20);
+        else if (std::strcmp(arg, "--k") == 0)
+            k = parseIntFlag("--k", next(), 1, 1 << 20);
+        else if (std::strcmp(arg, "--n") == 0)
+            n = parseIntFlag("--n", next(), 1, 1 << 20);
+        else if (std::strcmp(arg, "--id") == 0)
+            id = parseIntFlag("--id", next(), 0, i64(1) << 62);
+        else
+            fatal(std::string("usys_client: unknown argument ") + arg);
+    }
+    fatalIf(port < 0, "usys_client: --port is required");
+
+    std::string request = raw;
+    if (request.empty()) {
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("op", op);
+        w.field("id", u64(id));
+        if (op == "gemm") {
+            w.field("m", m);
+            w.field("k", k);
+            w.field("n", n);
+        } else if (op == "layer" || op == "sweep") {
+            w.field("layers", layers);
+        }
+        if (op == "sweep" && !schemes.empty()) {
+            w.beginArray("schemes");
+            std::size_t start = 0;
+            while (start <= schemes.size()) {
+                std::size_t end = schemes.find(',', start);
+                if (end == std::string::npos)
+                    end = schemes.size();
+                if (end > start)
+                    w.value(schemes.substr(start, end - start));
+                start = end + 1;
+            }
+            w.endArray();
+        }
+        if (!scheme.empty() || bits > 0 || et_bits >= 0 ||
+            !preset.empty() || !sram.empty()) {
+            w.beginObject("system");
+            if (!scheme.empty())
+                w.field("scheme", scheme);
+            if (bits > 0)
+                w.field("bits", bits);
+            if (et_bits >= 0)
+                w.field("et_bits", et_bits);
+            if (!preset.empty())
+                w.field("preset", preset);
+            if (!sram.empty())
+                w.field("sram", sram);
+            w.endObject();
+        }
+        w.endObject();
+        request = w.str();
+    }
+
+    ServeClient client;
+    std::string error;
+    if (!client.connect(u16(port), &error)) {
+        std::fprintf(stderr, "usys_client: %s\n", error.c_str());
+        return 1;
+    }
+    std::string response;
+    if (!client.call(request, &response)) {
+        std::fprintf(stderr, "usys_client: transport error\n");
+        return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    return response.find("\"ok\":true") != std::string::npos ? 0 : 2;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * usysd — the uSystolic simulation daemon binary.
+ *
+ *   usysd [--port P] [--cache-mb N] [--cache-file PATH]
+ *         [--batch-window-us N] [--batch-max N] [--no-batch] [--no-cache]
+ *         [shared bench flags: --stats-json/--profile-json/--metrics-out/
+ *          --threads/--simd/...]
+ *
+ * --port 0 (the default) binds an ephemeral port; the daemon prints
+ * "usysd listening on port <P>" on stdout (and flushes) so wrappers
+ * can scrape it — serve tests never hardcode ports. Environment
+ * defaults (flags win): USYS_SERVE_BATCH_WINDOW_US,
+ * USYS_SERVE_BATCH_MAX, USYS_SERVE_CACHE_MB.
+ *
+ * SIGTERM/SIGINT stop the accept loop; the daemon drains in-flight
+ * connections, flushes the result cache to --cache-file, and writes
+ * the requested observability artifacts before exiting 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "serve/daemon.h"
+
+namespace {
+
+usys::Daemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_daemon)
+        g_daemon->requestStop();
+}
+
+usys::u64
+envU64(const char *name, usys::u64 dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        usys::warn(std::string(name) + "='" + v +
+                   "' is not an integer; using default");
+        return dflt;
+    }
+    return usys::u64(parsed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    BenchOptions bench = parseBenchArgs(&argc, argv, "usysd");
+
+    DaemonOptions opts;
+    opts.batch_window_us = envU64("USYS_SERVE_BATCH_WINDOW_US", 200);
+    opts.batch_max = u32(envU64("USYS_SERVE_BATCH_MAX", 64));
+    opts.cache_mb = envU64("USYS_SERVE_CACHE_MB", 64);
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatalIf(i + 1 >= argc,
+                    std::string("missing value for ") + arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--port") == 0) {
+            opts.port = u16(parseIntFlag("--port", next(), 0, 65535));
+        } else if (std::strcmp(arg, "--cache-mb") == 0) {
+            opts.cache_mb =
+                u64(parseIntFlag("--cache-mb", next(), 1, 65536));
+        } else if (std::strcmp(arg, "--cache-file") == 0) {
+            opts.cache_file = next();
+        } else if (std::strcmp(arg, "--batch-window-us") == 0) {
+            opts.batch_window_us = u64(
+                parseIntFlag("--batch-window-us", next(), 0, 10000000));
+        } else if (std::strcmp(arg, "--batch-max") == 0) {
+            opts.batch_max =
+                u32(parseIntFlag("--batch-max", next(), 1, 100000));
+        } else if (std::strcmp(arg, "--no-batch") == 0) {
+            opts.batch = false;
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            opts.cache = false;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            opts.quiet = true;
+        } else {
+            fatal(std::string("usysd: unknown argument ") + arg);
+        }
+    }
+
+    Daemon daemon(opts);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "usysd: %s\n", error.c_str());
+        return 1;
+    }
+    g_daemon = &daemon;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::printf("usysd listening on port %u\n", unsigned(daemon.port()));
+    std::fflush(stdout);
+
+    daemon.run();
+
+    // Final counters to stderr (stdout stays machine-scrapable).
+    std::fprintf(stderr, "usysd: exiting; stats %s\n",
+                 daemon.renderStats().c_str());
+    finalizeBench(bench);
+    return 0;
+}

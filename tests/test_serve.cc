@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Serve-layer unit tests: canonical key stability, result packing,
+ * cache LRU/persistence, and byte-identity through a live daemon.
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/simulator.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+
+namespace usys {
+namespace {
+
+ServeRequest
+decodeOrDie(const std::string &payload)
+{
+    ServeRequest req;
+    std::string error;
+    EXPECT_TRUE(decodeRequest(payload, req, error)) << error;
+    return req;
+}
+
+// --- Canonical keys ---------------------------------------------------
+
+TEST(ServeCanonicalKey, DefaultsVsExplicitProduceTheSameKey)
+{
+    // The daemon's documented defaults, spelled out field by field,
+    // must hash exactly like a request that says nothing at all.
+    const ServeRequest implicit = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":64,"k":128,"n":32})");
+    const ServeRequest explicit_req = decodeOrDie(
+        R"({"op":"gemm","id":2,"m":64,"k":128,"n":32,"system":{)"
+        R"("preset":"edge","scheme":"UR","bits":8,"et_bits":0,)"
+        R"("rows":12,"cols":14,"freq_ghz":0.4}})");
+    ASSERT_EQ(implicit.jobs.size(), 1u);
+    ASSERT_EQ(explicit_req.jobs.size(), 1u);
+    EXPECT_EQ(implicit.jobs[0].key, explicit_req.jobs[0].key);
+    EXPECT_EQ(implicit.jobs[0].hash, explicit_req.jobs[0].hash);
+}
+
+TEST(ServeCanonicalKey, JsonFieldOrderIsIrrelevant)
+{
+    const ServeRequest a = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"scheme":"BP","bits":6,"preset":"cloud"}})");
+    const ServeRequest b = decodeOrDie(
+        R"({"system":{"preset":"cloud","bits":6,"scheme":"BP"},)"
+        R"("n":4,"k":16,"m":8,"id":99,"op":"gemm"})");
+    ASSERT_EQ(a.jobs.size(), 1u);
+    ASSERT_EQ(b.jobs.size(), 1u);
+    EXPECT_EQ(a.jobs[0].key, b.jobs[0].key);
+    EXPECT_EQ(a.jobs[0].hash, b.jobs[0].hash);
+}
+
+TEST(ServeCanonicalKey, FullPeriodEtBitsFoldsToZero)
+{
+    // For UR, et_bits == bits means "no early termination" — the same
+    // effective config as et_bits 0, so the keys must collide.
+    const ServeRequest zero = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"scheme":"UR","bits":8,"et_bits":0}})");
+    const ServeRequest full = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"scheme":"UR","bits":8,"et_bits":8}})");
+    EXPECT_EQ(zero.jobs[0].key, full.jobs[0].key);
+
+    const ServeRequest early = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"scheme":"UR","bits":8,"et_bits":4}})");
+    EXPECT_NE(zero.jobs[0].key, early.jobs[0].key);
+}
+
+TEST(ServeCanonicalKey, DistinctConfigsGetDistinctKeys)
+{
+    const char *variants[] = {
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4})",
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":5})",
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"bits":7}})",
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"scheme":"BS"}})",
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4,)"
+        R"("system":{"preset":"cloud"}})",
+    };
+    std::vector<std::string> keys;
+    for (const char *payload : variants)
+        keys.push_back(decodeOrDie(payload).jobs[0].key);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+}
+
+// --- Result packing ---------------------------------------------------
+
+TEST(ServePacking, RoundTripIsBitExact)
+{
+    const ServeRequest req = decodeOrDie(
+        R"({"op":"layer","id":1,"layers":"alexnet"})");
+    ASSERT_FALSE(req.jobs.empty());
+    for (const ServeJob &job : req.jobs) {
+        const LayerStats stats =
+            computeLayerStats(buildSystem(job.spec), job.layer);
+        const std::string packed = packLayerStats(stats);
+        LayerStats back;
+        ASSERT_TRUE(unpackLayerStats(packed, back));
+        // Bit-exactness via the packed form itself: double fields went
+        // through packDouble (IEEE-754 bit patterns), so equal packs
+        // imply equal bits everywhere.
+        EXPECT_EQ(packed, packLayerStats(back));
+        // And the served JSON derived from the unpacked copy matches.
+        EXPECT_EQ(renderJobResult(job, stats), renderJobResult(job, back));
+    }
+}
+
+TEST(ServePacking, MalformedPayloadsAreRejected)
+{
+    LayerStats out;
+    EXPECT_FALSE(unpackLayerStats("", out));
+    EXPECT_FALSE(unpackLayerStats("deadbeef", out));
+    EXPECT_FALSE(unpackLayerStats("zz,zz", out));
+    const ServeRequest req = decodeOrDie(
+        R"({"op":"gemm","id":1,"m":8,"k":16,"n":4})");
+    const LayerStats stats =
+        computeLayerStats(buildSystem(req.jobs[0].spec),
+                          req.jobs[0].layer);
+    std::string packed = packLayerStats(stats);
+    EXPECT_TRUE(unpackLayerStats(packed, out));
+    packed.resize(packed.size() - 17); // drop one field
+    EXPECT_FALSE(unpackLayerStats(packed, out));
+}
+
+// --- Result cache -----------------------------------------------------
+
+std::vector<ServeJob>
+distinctJobs(std::size_t count)
+{
+    std::vector<ServeJob> jobs;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string payload =
+            "{\"op\":\"gemm\",\"id\":1,\"m\":" + std::to_string(8 + i) +
+            ",\"k\":16,\"n\":4}";
+        ServeRequest req;
+        std::string error;
+        EXPECT_TRUE(decodeRequest(payload, req, error)) << error;
+        jobs.push_back(req.jobs[0]);
+    }
+    return jobs;
+}
+
+TEST(ServeResultCache, LruEvictsUnderByteBudget)
+{
+    const std::vector<ServeJob> jobs = distinctJobs(16);
+    std::vector<std::string> rendered;
+    std::vector<LayerStats> stats;
+    for (const ServeJob &job : jobs) {
+        stats.push_back(computeLayerStats(buildSystem(job.spec),
+                                          job.layer));
+        rendered.push_back(renderJobResult(job, stats.back()));
+    }
+    // Size the budget for roughly four entries.
+    const u64 per_entry =
+        u64(jobs[0].key.size() + rendered[0].size() +
+            packLayerStats(stats[0]).size());
+    ResultCache cache(4 * per_entry + per_entry / 2, "");
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        cache.insert(jobs[i], stats[i], rendered[i]);
+
+    const ResultCacheStats cs = cache.stats();
+    EXPECT_GT(cs.evictions, 0u);
+    EXPECT_LE(cs.entries, 5u);
+    EXPECT_LE(cs.bytes, 4 * per_entry + per_entry / 2);
+
+    // Most-recently-inserted survives; the very first was evicted.
+    std::string hit;
+    EXPECT_TRUE(cache.find(jobs.back(), &hit));
+    EXPECT_EQ(hit, rendered.back());
+    EXPECT_FALSE(cache.find(jobs.front(), &hit));
+}
+
+TEST(ServeResultCache, FindRefreshesLruPosition)
+{
+    const std::vector<ServeJob> jobs = distinctJobs(3);
+    std::vector<std::string> rendered;
+    std::vector<LayerStats> stats;
+    u64 bytes = 0;
+    for (const ServeJob &job : jobs) {
+        stats.push_back(computeLayerStats(buildSystem(job.spec),
+                                          job.layer));
+        rendered.push_back(renderJobResult(job, stats.back()));
+        bytes += u64(job.key.size() + rendered.back().size() +
+                     packLayerStats(stats.back()).size());
+    }
+    // Budget for exactly two of the three entries.
+    ResultCache cache(bytes * 2 / 3, "");
+    cache.insert(jobs[0], stats[0], rendered[0]);
+    cache.insert(jobs[1], stats[1], rendered[1]);
+    std::string hit;
+    ASSERT_TRUE(cache.find(jobs[0], &hit)); // 0 now most recent
+    cache.insert(jobs[2], stats[2], rendered[2]);
+    EXPECT_TRUE(cache.find(jobs[0], &hit));  // refreshed: survived
+    EXPECT_FALSE(cache.find(jobs[1], &hit)); // LRU victim
+}
+
+TEST(ServeResultCache, ZeroBudgetDisablesCaching)
+{
+    const std::vector<ServeJob> jobs = distinctJobs(1);
+    const LayerStats stats =
+        computeLayerStats(buildSystem(jobs[0].spec), jobs[0].layer);
+    ResultCache cache(0, "");
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(jobs[0], stats, renderJobResult(jobs[0], stats));
+    std::string hit;
+    EXPECT_FALSE(cache.find(jobs[0], &hit));
+}
+
+TEST(ServeResultCache, PersistenceRoundTripServesIdenticalBytes)
+{
+    const std::string path =
+        testing::TempDir() + "/test_serve_cache.ckpt";
+    std::remove(path.c_str());
+    const std::vector<ServeJob> jobs = distinctJobs(4);
+    std::vector<std::string> rendered;
+    {
+        ResultCache cache(1 << 20, path);
+        cache.load();
+        for (const ServeJob &job : jobs) {
+            const LayerStats stats =
+                computeLayerStats(buildSystem(job.spec), job.layer);
+            rendered.push_back(renderJobResult(job, stats));
+            cache.insert(job, stats, rendered.back());
+        }
+        cache.flush();
+    }
+    {
+        ResultCache cache(1 << 20, path);
+        cache.load();
+        EXPECT_EQ(cache.stats().restored, jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            std::string hit;
+            ASSERT_TRUE(cache.find(jobs[i], &hit)) << i;
+            // The restored entry re-renders from packed bits; the
+            // bytes must match the original response exactly.
+            EXPECT_EQ(hit, rendered[i]) << i;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+// --- Live daemon ------------------------------------------------------
+
+class ServeDaemonTest : public testing::Test
+{
+  protected:
+    void
+    startDaemon(const DaemonOptions &opts)
+    {
+        daemon_ = std::make_unique<Daemon>(opts);
+        std::string error;
+        ASSERT_TRUE(daemon_->start(&error)) << error;
+        runner_ = std::thread([this] { daemon_->run(); });
+    }
+
+    void
+    stopDaemon()
+    {
+        if (!daemon_)
+            return;
+        daemon_->requestStop();
+        runner_.join();
+        daemon_.reset();
+    }
+
+    void
+    TearDown() override
+    {
+        stopDaemon();
+    }
+
+    std::string
+    call(const std::string &request)
+    {
+        ServeClient client;
+        std::string error;
+        EXPECT_TRUE(client.connect(daemon_->port(), &error)) << error;
+        std::string response;
+        EXPECT_TRUE(client.call(request, &response));
+        return response;
+    }
+
+    std::unique_ptr<Daemon> daemon_;
+    std::thread runner_;
+};
+
+TEST_F(ServeDaemonTest, ColdWarmAndRestartResponsesAreByteIdentical)
+{
+    const std::string path =
+        testing::TempDir() + "/test_serve_daemon.ckpt";
+    std::remove(path.c_str());
+    const std::string request =
+        R"({"op":"sweep","id":7,"layers":"alexnet",)"
+        R"("schemes":["BP","UR"],"system":{"bits":8}})";
+
+    DaemonOptions opts;
+    opts.cache_file = path;
+    opts.quiet = true;
+    startDaemon(opts);
+    const std::string cold = call(request);
+    EXPECT_NE(cold.find("\"ok\":true"), std::string::npos);
+    const std::string warm = call(request);
+    EXPECT_EQ(cold, warm); // a cache hit must be invisible
+    stopDaemon();          // flushes the checkpoint
+
+    startDaemon(opts); // restores it
+    EXPECT_GT(daemon_->cacheStats().restored, 0u);
+    EXPECT_EQ(cold, call(request));
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeDaemonTest, BatchedAndInlinePathsAgreeByteForByte)
+{
+    const std::string request =
+        R"({"op":"layer","id":3,"layers":"conv:15,15,64,3,3,1,64",)"
+        R"("system":{"scheme":"UR","bits":8,"et_bits":6}})";
+    DaemonOptions batched;
+    batched.quiet = true;
+    startDaemon(batched);
+    const std::string via_batcher = call(request);
+    stopDaemon();
+
+    DaemonOptions inline_opts;
+    inline_opts.quiet = true;
+    inline_opts.batch = false;
+    inline_opts.cache = false;
+    startDaemon(inline_opts);
+    EXPECT_EQ(via_batcher, call(request));
+}
+
+TEST_F(ServeDaemonTest, MalformedRequestsGetErrorsAndTheDaemonSurvives)
+{
+    DaemonOptions opts;
+    opts.quiet = true;
+    startDaemon(opts);
+
+    const std::string bad_json = call("{not json");
+    EXPECT_NE(bad_json.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(bad_json.find("\"error\""), std::string::npos);
+
+    const std::string bad_op = call(R"({"op":"frobnicate","id":1})");
+    EXPECT_NE(bad_op.find("\"ok\":false"), std::string::npos);
+
+    const std::string bad_dims =
+        call(R"({"op":"gemm","id":1,"m":0,"k":4,"n":4})");
+    EXPECT_NE(bad_dims.find("\"ok\":false"), std::string::npos);
+
+    // Still serving after three rejected requests.
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(daemon_->port(), &error)) << error;
+    EXPECT_TRUE(client.ping(42));
+}
+
+} // namespace
+} // namespace usys

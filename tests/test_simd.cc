@@ -145,8 +145,12 @@ TEST(SimdThresholdPack, ParityFuzzWithTails)
 
 TEST(SimdPrefixPopcount, Parity)
 {
+    // Sizes straddle the vector-group widths (8 AVX2 / 16 AVX-512
+    // words per store in the two-pass scheme) and the 4096-word block
+    // boundary where the running offset hands over between blocks.
     Prng prng(303);
-    for (u32 nwords : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 33u, 257u}) {
+    for (u32 nwords : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u,
+                       17u, 33u, 257u, 4095u, 4096u, 4097u, 8200u}) {
         std::vector<u64> words(nwords);
         for (auto &w : words)
             w = prng.next();

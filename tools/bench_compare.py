@@ -35,7 +35,8 @@ import numbers
 import sys
 
 LOWER_BETTER = ("_us", "_ms", "_ns", "_s", "_bytes", "_cycles")
-HIGHER_BETTER = ("speedup_x", "_gmacs", "_throughput", "_utilization")
+HIGHER_BETTER = ("speedup_x", "_gmacs", "_throughput", "_utilization",
+                 ".rps", "hit_rate", "occupancy")
 DEFAULT_SKIPS = ("*.profile_overhead.*",)
 
 

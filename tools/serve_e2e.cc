@@ -1,0 +1,322 @@
+/**
+ * @file
+ * serve_e2e — end-to-end harness for the usysd daemon.
+ *
+ *   serve_e2e --daemon path/to/usysd [--clients N]
+ *             [--cache-file PATH] [--stats-json PATH]
+ *
+ * Drives a REAL daemon process (fork/exec, ephemeral port scraped from
+ * its stdout) and asserts the service contract:
+ *
+ *   1. N concurrent TCP clients each issue a mixed request set (sweeps
+ *      with overlapping configs, per-client gemms); every response must
+ *      be BYTE-identical to the result of calling the engine directly
+ *      (decodeRequest + computeLayerStats + renderResults in-process) —
+ *      batching, coalescing, and the cache must be invisible.
+ *   2. SIGTERM produces a clean exit (status 0), a flushed result-cache
+ *      checkpoint, and the requested --stats-json artifact.
+ *   3. A restarted daemon on the same --cache-file reports restored
+ *      entries via the stats op and serves responses byte-identical to
+ *      the first run's; the shutdown op then stops it cleanly.
+ *
+ * Exits 0 on success, 1 with a message on the first violated check.
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "sched/simulator.h"
+#include "serve/client.h"
+#include "serve/request.h"
+
+namespace {
+
+using namespace usys;
+
+struct DaemonProc
+{
+    pid_t pid = -1;
+    u16 port = 0;
+    FILE *out = nullptr; // daemon stdout (the port line already read)
+};
+
+/** fork/exec the daemon, scrape "usysd listening on port N". */
+DaemonProc
+spawnDaemon(const std::string &binary, const std::vector<std::string> &args)
+{
+    int fds[2];
+    fatalIf(::pipe(fds) != 0, "serve_e2e: pipe failed");
+    const pid_t pid = ::fork();
+    fatalIf(pid < 0, "serve_e2e: fork failed");
+    if (pid == 0) {
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(binary.c_str()));
+        for (const std::string &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execv(binary.c_str(), argv.data());
+        std::perror("serve_e2e: execv");
+        _exit(127);
+    }
+    ::close(fds[1]);
+    DaemonProc proc;
+    proc.pid = pid;
+    proc.out = ::fdopen(fds[0], "r");
+    fatalIf(!proc.out, "serve_e2e: fdopen failed");
+    char line[256];
+    while (std::fgets(line, sizeof(line), proc.out)) {
+        unsigned port = 0;
+        if (std::sscanf(line, "usysd listening on port %u", &port) == 1) {
+            proc.port = u16(port);
+            return proc;
+        }
+    }
+    fatal("serve_e2e: daemon exited without announcing a port");
+    return proc; // unreachable
+}
+
+/** SIGTERM (or not) + waitpid; true when the daemon exited 0. */
+bool
+stopDaemon(DaemonProc &proc, bool send_sigterm)
+{
+    if (send_sigterm)
+        ::kill(proc.pid, SIGTERM);
+    int status = 0;
+    ::waitpid(proc.pid, &status, 0);
+    if (proc.out)
+        std::fclose(proc.out);
+    proc.out = nullptr;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/**
+ * The reference response: run the daemon's own decoder, then the
+ * engine directly (no batching, no cache, no sockets).
+ */
+std::string
+referenceResponse(const std::string &payload)
+{
+    ServeRequest req;
+    std::string error;
+    fatalIf(!decodeRequest(payload, req, error),
+            "serve_e2e: reference decode failed: " + error);
+    std::vector<std::string> fragments;
+    fragments.reserve(req.jobs.size());
+    for (const ServeJob &job : req.jobs)
+        fragments.push_back(renderJobResult(
+            job, computeLayerStats(buildSystem(job.spec), job.layer)));
+    return renderResults(req.id, fragments);
+}
+
+/** The per-client request set: overlapping sweeps + a unique gemm. */
+std::vector<std::string>
+clientRequests(u32 client)
+{
+    std::vector<std::string> out;
+    {
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("op", "sweep");
+        w.field("id", u64(client) * 10 + 1);
+        w.field("layers", "alexnet");
+        w.beginArray("schemes");
+        w.value(std::string("BP"));
+        w.value(std::string("UR"));
+        w.endArray();
+        w.beginObject("system");
+        w.field("bits", i64(4 + 2 * (client % 3))); // 3-way overlap
+        w.endObject();
+        w.endObject();
+        out.push_back(w.str());
+    }
+    {
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("op", "gemm");
+        w.field("id", u64(client) * 10 + 2);
+        w.field("m", i64(8 + client));
+        w.field("k", i64(128));
+        w.field("n", i64(32));
+        w.endObject();
+        out.push_back(w.str());
+    }
+    return out;
+}
+
+/**
+ * Run every client's request set concurrently against `port`; each
+ * response is byte-compared against `expected`. Returns the observed
+ * responses (for the cross-restart identity check).
+ */
+std::vector<std::vector<std::string>>
+runClients(u16 port, u32 clients,
+           const std::vector<std::vector<std::string>> &requests,
+           const std::vector<std::vector<std::string>> &expected)
+{
+    std::vector<std::vector<std::string>> responses(clients);
+    std::vector<std::string> failure(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (u32 c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client;
+            std::string err;
+            if (!client.connect(port, &err)) {
+                failure[c] = "connect: " + err;
+                return;
+            }
+            for (std::size_t r = 0; r < requests[c].size(); ++r) {
+                std::string response;
+                if (!client.call(requests[c][r], &response)) {
+                    failure[c] = "transport error";
+                    return;
+                }
+                if (response != expected[c][r]) {
+                    failure[c] =
+                        "response differs from direct engine result\n"
+                        "  got:  " + response.substr(0, 160) +
+                        "\n  want: " + expected[c][r].substr(0, 160);
+                    return;
+                }
+                responses[c].push_back(std::move(response));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (u32 c = 0; c < clients; ++c)
+        fatalIf(!failure[c].empty(), "serve_e2e: client " +
+                                         std::to_string(c) + ": " +
+                                         failure[c]);
+    return responses;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace usys;
+
+    std::string daemon_path;
+    std::string cache_file = "serve_e2e_cache.ckpt";
+    std::string stats_json = "serve_e2e_stats.json";
+    u32 clients = 8;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatalIf(i + 1 >= argc, std::string("missing value for ") + arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--daemon") == 0)
+            daemon_path = next();
+        else if (std::strcmp(arg, "--clients") == 0)
+            clients = u32(parseIntFlag("--clients", next(), 1, 256));
+        else if (std::strcmp(arg, "--cache-file") == 0)
+            cache_file = next();
+        else if (std::strcmp(arg, "--stats-json") == 0)
+            stats_json = next();
+        else
+            fatal(std::string("serve_e2e: unknown argument ") + arg);
+    }
+    fatalIf(daemon_path.empty(), "serve_e2e: --daemon is required");
+
+    std::remove(cache_file.c_str());
+    std::remove(stats_json.c_str());
+
+    // Reference results, computed once with the engine directly.
+    std::vector<std::vector<std::string>> requests(clients), expected(
+                                                                 clients);
+    for (u32 c = 0; c < clients; ++c) {
+        requests[c] = clientRequests(c);
+        for (const std::string &payload : requests[c])
+            expected[c].push_back(referenceResponse(payload));
+    }
+
+    // Leg 1: fresh daemon; concurrent clients; byte-identity; SIGTERM.
+    DaemonProc first = spawnDaemon(
+        daemon_path, {"--port", "0", "--quiet", "--cache-file", cache_file,
+                      "--stats-json", stats_json});
+    std::printf("serve_e2e: daemon pid %d on port %u\n", int(first.pid),
+                unsigned(first.port));
+    const auto responses =
+        runClients(first.port, clients, requests, expected);
+    std::printf("serve_e2e: %u clients byte-identical to direct engine\n",
+                clients);
+    fatalIf(!stopDaemon(first, /*send_sigterm=*/true),
+            "serve_e2e: SIGTERMed daemon did not exit cleanly");
+    fatalIf(!fileExists(cache_file),
+            "serve_e2e: SIGTERM did not flush the cache checkpoint");
+    fatalIf(!fileExists(stats_json),
+            "serve_e2e: SIGTERM did not write the stats artifact");
+    std::printf("serve_e2e: SIGTERM flushed %s and %s\n",
+                cache_file.c_str(), stats_json.c_str());
+
+    // Leg 2: warm restart on the same cache file.
+    DaemonProc second = spawnDaemon(
+        daemon_path,
+        {"--port", "0", "--quiet", "--cache-file", cache_file});
+    {
+        ServeClient probe;
+        std::string err;
+        fatalIf(!probe.connect(second.port, &err),
+                "serve_e2e: restart connect: " + err);
+        std::string stats;
+        fatalIf(!probe.call("{\"op\":\"stats\",\"id\":1}", &stats),
+                "serve_e2e: stats op failed");
+        const std::size_t at = stats.find("\"restored\":");
+        fatalIf(at == std::string::npos,
+                "serve_e2e: stats op lacks a restored counter");
+        const long restored =
+            std::strtol(stats.c_str() + at + 11, nullptr, 10);
+        fatalIf(restored <= 0,
+                "serve_e2e: restarted daemon restored no cache entries: " +
+                    stats);
+        std::printf("serve_e2e: restart restored %ld cache entries\n",
+                    restored);
+    }
+    const auto warm = runClients(second.port, clients, requests, expected);
+    fatalIf(warm != responses,
+            "serve_e2e: post-restart responses differ from first run");
+    std::printf("serve_e2e: post-restart responses byte-identical\n");
+    {
+        // The shutdown op must stop the daemon as cleanly as SIGTERM.
+        ServeClient stopper;
+        std::string err;
+        fatalIf(!stopper.connect(second.port, &err),
+                "serve_e2e: shutdown connect: " + err);
+        std::string response;
+        fatalIf(!stopper.call("{\"op\":\"shutdown\",\"id\":2}", &response),
+                "serve_e2e: shutdown op failed");
+    }
+    fatalIf(!stopDaemon(second, /*send_sigterm=*/false),
+            "serve_e2e: shutdown op did not exit the daemon cleanly");
+    std::printf("serve_e2e: shutdown op exited daemon cleanly — all OK\n");
+    return 0;
+}
