@@ -24,6 +24,19 @@
  *
  * exits nonzero when full-phase throughput is below --min-speedup x
  * baseline (or hit-rate is below --min-hit-rate).
+ *
+ * --overload adds a third phase that deliberately outruns capacity:
+ * the daemon gets a tiny admission bound (--overload-queue) and a
+ * short io timeout, the cache is disabled so every admitted job costs
+ * real engine time, one extra connection sends half a frame header
+ * and goes silent (it must be reaped by the io timeout, not wedge a
+ * handler forever), and every client drives callRetry() with
+ * deterministic jittered backoff. The phase proves the hardened
+ * daemon keeps serving under pressure: every request eventually
+ * succeeds, p99 stays bounded, and the shed/io-timeout counters land
+ * in BENCH_serve.json (serve.overload.*). --require-shed turns a
+ * zero shed count or an unreaped stall into a failure (the ctest
+ * gate).
  */
 
 #include <algorithm>
@@ -223,6 +236,155 @@ runPhase(const char *name, DaemonOptions opts, u32 clients, u32 requests,
     return res;
 }
 
+/** Everything the overload phase reports beyond the latency figures. */
+struct OverloadResult
+{
+    PhaseResult phase;
+    u64 shed = 0;        // requests refused by the bounded queue
+    u64 io_timeouts = 0; // stalled connections reaped
+    u64 retries = 0;     // client attempts beyond the first
+    double shed_rate = 0.0; // shed / requests received
+};
+
+/**
+ * The overload phase: clients ≫ capacity against a shed-happy daemon
+ * plus one deliberately stalled connection. Latency is end-to-end per
+ * logical request, retries included — the number a real caller sees.
+ */
+OverloadResult
+runOverload(u32 clients, u32 requests, u64 window_us, u64 overload_queue)
+{
+    DaemonOptions opts;
+    opts.port = 0;
+    opts.quiet = true;
+    opts.batch = true;
+    opts.cache = false; // every admitted job costs real engine time
+    opts.batch_window_us = window_us;
+    opts.batch_max = 64;
+    opts.max_queued_jobs = overload_queue;
+    opts.io_timeout_ms = 250;
+
+    Daemon daemon(opts);
+    std::string error;
+    fatalIf(!daemon.start(&error),
+            std::string("serve_load: overload daemon start failed: ") +
+                error);
+    std::thread server([&daemon] { daemon.run(); });
+    const u16 port = daemon.port();
+
+    // The stalled peer: half a frame header, then silence. The daemon
+    // must reap it via SO_RCVTIMEO instead of dedicating a handler
+    // thread to it forever.
+    Socket stall = connectLoopback(port, &error);
+    fatalIf(!stall.valid(),
+            std::string("serve_load: stall connect failed: ") + error);
+    const char half_header[2] = {0x10, 0x00};
+    stall.sendAll(half_header, sizeof(half_header));
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<u64> client_retries(clients, 0);
+    std::vector<std::string> failure(clients);
+    std::atomic<u32> ready{0};
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (u32 c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client;
+            client.setIoTimeoutMs(10000);
+            client.connect(port); // failure is just the 1st retriable
+            RetryPolicy policy;
+            policy.retries = 300;
+            policy.backoff_ms = 1;
+            policy.jitter_seed = u64(c) + 1;
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            latencies[c].reserve(requests);
+            for (u32 r = 0; r < requests; ++r) {
+                const std::string request =
+                    makeColdRequest(u64(c) * requests + r + 1, c, r);
+                std::string response, err;
+                u32 attempts = 1;
+                const auto t0 = std::chrono::steady_clock::now();
+                const CallStatus st = client.callRetry(
+                    request, &response, policy, &err, &attempts);
+                const auto t1 = std::chrono::steady_clock::now();
+                client_retries[c] += attempts - 1;
+                if (st != CallStatus::Ok) {
+                    failure[c] =
+                        st == CallStatus::Exhausted
+                            ? "retries exhausted: " + err
+                            : "server error: " + response.substr(0, 200);
+                    break;
+                }
+                latencies[c].push_back(
+                    std::chrono::duration<double, std::micro>(t1 - t0)
+                        .count());
+            }
+        });
+    }
+
+    while (ready.load() < clients)
+        std::this_thread::yield();
+    const auto wall0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto &t : threads)
+        t.join();
+    const auto wall1 = std::chrono::steady_clock::now();
+
+    // The stall must have been reaped by now (clients ran well past the
+    // 250 ms timeout); poll briefly in case the phase finished fast.
+    DaemonStats ds = daemon.daemonStats();
+    for (int spin = 0; spin < 100 && ds.io_timeouts == 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ds = daemon.daemonStats();
+    }
+    const BatcherStats bstats = daemon.batcherStats();
+    daemon.requestStop();
+    server.join();
+
+    for (u32 c = 0; c < clients; ++c)
+        fatalIf(!failure[c].empty(),
+                std::string("serve_load: overload client ") +
+                    std::to_string(c) + ": " + failure[c]);
+
+    std::vector<double> all;
+    for (const auto &per_client : latencies)
+        all.insert(all.end(), per_client.begin(), per_client.end());
+    std::sort(all.begin(), all.end());
+
+    OverloadResult res;
+    res.phase.requests = all.size();
+    res.phase.wall_s =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    res.phase.rps = res.phase.wall_s > 0.0
+                        ? double(res.phase.requests) / res.phase.wall_s
+                        : 0.0;
+    res.phase.p50_us = percentile(all, 500);
+    res.phase.p99_us = percentile(all, 990);
+    res.phase.p999_us = percentile(all, 999);
+    res.phase.occupancy = bstats.occupancy();
+    res.phase.hit_rate = 0.0; // cache disabled by construction
+    res.shed = bstats.shed + ds.shed_conns;
+    res.io_timeouts = ds.io_timeouts;
+    for (const u64 r : client_retries)
+        res.retries += r;
+    res.shed_rate =
+        ds.requests > 0 ? double(bstats.shed) / double(ds.requests) : 0.0;
+
+    std::printf("overload  %7llu req in %7.3f s  %9.1f req/s  "
+                "p50 %8.1f us  p99 %8.1f us  shed %llu  "
+                "retries %llu  io_timeouts %llu\n",
+                (unsigned long long)res.phase.requests, res.phase.wall_s,
+                res.phase.rps, res.phase.p50_us, res.phase.p99_us,
+                (unsigned long long)res.shed,
+                (unsigned long long)res.retries,
+                (unsigned long long)res.io_timeouts);
+    return res;
+}
+
 } // namespace
 
 int
@@ -237,6 +399,9 @@ main(int argc, char **argv)
     std::string layers = "alexnet";
     double min_speedup = 0.0, min_hit_rate = 0.0;
     u64 window_us = 200, batch_max = 64;
+    bool overload = false, require_shed = false;
+    u32 overload_clients = 0, overload_requests = 0; // 0 = same as main
+    u64 overload_queue = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -262,6 +427,19 @@ main(int argc, char **argv)
         else if (std::strcmp(arg, "--batch-max") == 0)
             batch_max =
                 u64(parseIntFlag("--batch-max", next(), 1, 100000));
+        else if (std::strcmp(arg, "--overload") == 0)
+            overload = true;
+        else if (std::strcmp(arg, "--require-shed") == 0)
+            require_shed = true;
+        else if (std::strcmp(arg, "--overload-clients") == 0)
+            overload_clients =
+                u32(parseIntFlag("--overload-clients", next(), 1, 10000));
+        else if (std::strcmp(arg, "--overload-requests") == 0)
+            overload_requests = u32(
+                parseIntFlag("--overload-requests", next(), 1, 100000));
+        else if (std::strcmp(arg, "--overload-queue") == 0)
+            overload_queue =
+                u64(parseIntFlag("--overload-queue", next(), 1, 1000000));
         else if (std::strcmp(arg, "--min-speedup") == 0)
             min_speedup =
                 parseDoubleFlag("--min-speedup", next(), 0.0, 1000.0);
@@ -313,6 +491,12 @@ main(int argc, char **argv)
             break;
     }
 
+    OverloadResult over;
+    if (overload)
+        over = runOverload(overload_clients ? overload_clients : clients,
+                           overload_requests ? overload_requests : requests,
+                           window_us, overload_queue);
+
     StatsRegistry &reg = statsRegistry();
     reg.counter("serve.load.clients", "concurrent client connections")
         .set(clients);
@@ -343,6 +527,40 @@ main(int argc, char **argv)
         reg.scalar(slug + ".hit_rate", "result-cache hit fraction")
             .set(p.r.hit_rate);
     }
+    if (overload) {
+        const PhaseResult &p = over.phase;
+        reg.scalar("serve.overload.rps", "requests per second under overload")
+            .set(p.rps);
+        reg.scalar("serve.overload.wall_s", "overload phase wall time (s)")
+            .set(p.wall_s);
+        reg.scalar("serve.overload.p50_us",
+                   "median end-to-end latency incl. retries (us)")
+            .set(p.p50_us);
+        reg.scalar("serve.overload.p99_us",
+                   "p99 end-to-end latency incl. retries (us)")
+            .set(p.p99_us);
+        reg.scalar("serve.overload.p999_us",
+                   "p999 end-to-end latency incl. retries (us)")
+            .set(p.p999_us);
+        reg.scalar("serve.overload.occupancy",
+                   "mean jobs per admitted batch under overload")
+            .set(p.occupancy);
+        reg.scalar("serve.overload.hit_rate",
+                   "result-cache hit fraction (cache disabled: 0)")
+            .set(p.hit_rate);
+        reg.counter("serve.overload.shed_total",
+                    "requests + connections shed during the phase")
+            .set(over.shed);
+        reg.counter("serve.overload.io_timeout_total",
+                    "stalled connections reaped by the io timeout")
+            .set(over.io_timeouts);
+        reg.counter("serve.overload.retry_total",
+                    "client attempts beyond the first")
+            .set(over.retries);
+        reg.scalar("serve.overload.shed_rate",
+                   "fraction of received requests shed")
+            .set(over.shed_rate);
+    }
     finalizeBench(bench);
 
     int rc = 0;
@@ -357,6 +575,20 @@ main(int argc, char **argv)
                      "serve_load: FAIL hit rate %.2f below gate %.2f\n",
                      fast.hit_rate, min_hit_rate);
         rc = 1;
+    }
+    if (overload && require_shed) {
+        if (over.shed == 0) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL overload phase shed nothing "
+                         "(expected a nonzero shed count)\n");
+            rc = 1;
+        }
+        if (over.io_timeouts == 0) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL stalled connection was not "
+                         "reaped by the io timeout\n");
+            rc = 1;
+        }
     }
     return rc;
 }

@@ -1,10 +1,13 @@
 #include "common/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/json.h"
 #include "common/logging.h"
 
@@ -12,7 +15,8 @@ namespace usys {
 
 namespace {
 
-constexpr const char *kHeader = "usys-checkpoint v1";
+constexpr const char *kMagic = "usys-checkpoint";
+constexpr const char *kVersion = "v2";
 
 void
 checkToken(const std::string &what, const std::string &s)
@@ -34,24 +38,95 @@ ShardCheckpoint::load()
 {
     if (!enabled())
         return;
-    std::ifstream in(path_);
+    quarantined_ = false;
+    std::ifstream in(path_, std::ios::binary);
     if (!in.is_open())
         return; // fresh start
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    in.close();
+
+    // Header line: "usys-checkpoint v2 crc32c=xxxxxxxx bytes=NNN".
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string::npos) {
+        quarantine("missing header line");
+        return;
+    }
+    const std::string header = text.substr(0, nl);
+    std::istringstream hs(header);
+    std::string magic, version, crc_field, bytes_field;
+    hs >> magic >> version >> crc_field >> bytes_field;
+    if (magic != kMagic) {
+        quarantine("bad magic '" + magic + "'");
+        return;
+    }
+    if (version != kVersion) {
+        quarantine("unsupported version '" + version + "' (expected " +
+                   kVersion + ")");
+        return;
+    }
+    u32 want_crc = 0;
+    unsigned long long want_bytes = 0;
+    if (std::sscanf(crc_field.c_str(), "crc32c=%8x", &want_crc) != 1 ||
+        std::sscanf(bytes_field.c_str(), "bytes=%llu", &want_bytes) != 1) {
+        quarantine("malformed header '" + header + "'");
+        return;
+    }
+    // Body = everything after the header's newline. The byte count
+    // catches truncation with a precise message; the CRC catches it
+    // too, plus any in-place corruption.
+    const std::string body = text.substr(nl + 1);
+    if (body.size() != want_bytes) {
+        quarantine("body is " + std::to_string(body.size()) +
+                   " bytes, header says " + std::to_string(want_bytes) +
+                   " (truncated?)");
+        return;
+    }
+    const u32 got_crc = crc32c(body);
+    if (got_crc != want_crc) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "crc32c mismatch (file %08x, computed %08x)",
+                      want_crc, got_crc);
+        quarantine(msg);
+        return;
+    }
+
+    std::map<std::string, std::string> entries;
+    std::istringstream bs(body);
     std::string line;
-    fatalIf(!std::getline(in, line) || line != kHeader,
-            "checkpoint " + path_ + ": bad header (expected '" +
-                kHeader + "')");
-    while (std::getline(in, line)) {
+    while (std::getline(bs, line)) {
         if (line.empty())
             continue;
         const std::size_t tab = line.find('\t');
-        fatalIf(tab == std::string::npos,
-                "checkpoint " + path_ + ": malformed line: '" + line +
-                    "'");
-        entries_[line.substr(0, tab)] = line.substr(tab + 1);
+        if (tab == std::string::npos) {
+            // CRC passed, so this is a writer bug, not disk rot — but
+            // the recovery contract is the same: never restore it.
+            quarantine("malformed line: '" + line + "'");
+            return;
+        }
+        entries[line.substr(0, tab)] = line.substr(tab + 1);
     }
+    entries_ = std::move(entries);
     inform("checkpoint " + path_ + ": restored " +
            std::to_string(entries_.size()) + " shard(s)");
+}
+
+void
+ShardCheckpoint::quarantine(const std::string &why)
+{
+    entries_.clear();
+    quarantined_ = true;
+    const std::string dest = path_ + ".corrupt";
+    if (std::rename(path_.c_str(), dest.c_str()) == 0) {
+        warn("checkpoint " + path_ + ": " + why + " — quarantined to " +
+             dest + ", starting cold");
+    } else {
+        warn("checkpoint " + path_ + ": " + why +
+             " — quarantine rename failed (" +
+             std::string(std::strerror(errno)) + "), starting cold");
+    }
 }
 
 bool
@@ -95,15 +170,17 @@ ShardCheckpoint::replaceAll(std::map<std::string, std::string> entries)
 void
 ShardCheckpoint::persist() const
 {
-    std::string text(kHeader);
-    text += '\n';
+    std::string body;
     for (const auto &e : entries_) {
-        text += e.first;
-        text += '\t';
-        text += e.second;
-        text += '\n';
+        body += e.first;
+        body += '\t';
+        body += e.second;
+        body += '\n';
     }
-    fatalIf(!writeTextFile(path_, text),
+    char header[96];
+    std::snprintf(header, sizeof(header), "%s %s crc32c=%08x bytes=%zu\n",
+                  kMagic, kVersion, crc32c(body), body.size());
+    fatalIf(!writeTextFile(path_, header + body),
             "cannot write checkpoint: " + path_);
 }
 

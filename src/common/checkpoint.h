@@ -13,11 +13,17 @@
  *
  * File format (line-oriented, no JSON parser needed):
  *
- *     usys-checkpoint v1
+ *     usys-checkpoint v2 crc32c=xxxxxxxx bytes=NNN
  *     <key>\t<payload>
  *     ...
  *
- * Keys and payloads must not contain tabs or newlines (enforced).
+ * The header carries a CRC32C and byte count of everything after the
+ * header line, so truncation, bit flips, wrong-magic and old-version
+ * files are all detected at load. A corrupt checkpoint is never
+ * restored: it is quarantined to `<path>.corrupt` (preserving the
+ * evidence for inspection), a warning is logged, and the run proceeds
+ * as a cold start. Keys and payloads must not contain tabs or newlines
+ * (enforced).
  */
 
 #ifndef USYS_COMMON_CHECKPOINT_H
@@ -40,10 +46,15 @@ class ShardCheckpoint
 
     /**
      * Load an existing checkpoint file. Missing file is fine (fresh
-     * start); a malformed file is fatal() — a corrupt checkpoint must
-     * not silently restore garbage shard results.
+     * start). A corrupt file (truncated, bit-flipped, wrong magic,
+     * old version) must not silently restore garbage shard results:
+     * it is moved aside to `<path>.corrupt`, a warning is logged, and
+     * the store stays empty — the caller recomputes from scratch.
      */
     void load();
+
+    /** True iff the last load() quarantined a corrupt file. */
+    bool quarantined() const { return quarantined_; }
 
     bool has(const std::string &key) const;
 
@@ -84,9 +95,11 @@ class ShardCheckpoint
 
   private:
     void persist() const;
+    void quarantine(const std::string &why);
 
     std::string path_;
     std::map<std::string, std::string> entries_;
+    bool quarantined_ = false;
 };
 
 } // namespace usys

@@ -78,6 +78,32 @@ hashHex(u64 h)
     return s;
 }
 
+/**
+ * CRC32C (Castagnoli, reflected polynomial 0x82F63B78) over a byte
+ * range. Table-driven software implementation — integrity checking of
+ * checkpoint files is far off any hot path, so no SSE4.2 dispatch.
+ * Matches the RFC 3720 test vector: crc32c("123456789") == 0xE3069283.
+ * Chainable: pass the previous return value as `crc` to continue.
+ */
+inline u32
+crc32c(std::string_view bytes, u32 crc = 0)
+{
+    static const u32 *table = [] {
+        static u32 t[256];
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    u32 c = ~crc;
+    for (const char ch : bytes)
+        c = table[(c ^ u8(ch)) & 0xFF] ^ (c >> 8);
+    return ~c;
+}
+
 } // namespace usys
 
 #endif // USYS_COMMON_HASH_H

@@ -7,6 +7,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace usys {
@@ -35,23 +36,38 @@ loopbackAddr(u16 port)
 void
 Socket::close()
 {
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
-    }
+    const int fd = release();
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+Socket::setIoTimeoutMs(u64 ms)
+{
+    timeval tv{};
+    tv.tv_sec = time_t(ms / 1000);
+    tv.tv_usec = suseconds_t((ms % 1000) * 1000);
+    if (::setsockopt(fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+        return false;
+    return ::setsockopt(fd(), SOL_SOCKET, SO_SNDTIMEO, &tv,
+                        sizeof(tv)) == 0;
 }
 
 bool
 Socket::sendAll(const void *data, std::size_t n)
 {
+    timed_out_ = false;
     const char *p = static_cast<const char *>(data);
     while (n > 0) {
         // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as
         // an error on this connection, not SIGPIPE the whole daemon.
-        const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+        const ssize_t sent = ::send(fd(), p, n, MSG_NOSIGNAL);
         if (sent < 0) {
             if (errno == EINTR)
                 continue;
+            // SO_SNDTIMEO expiry: the peer stopped draining its side.
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                timed_out_ = true;
             return false;
         }
         p += sent;
@@ -63,12 +79,16 @@ Socket::sendAll(const void *data, std::size_t n)
 bool
 Socket::recvAll(void *data, std::size_t n)
 {
+    timed_out_ = false;
     char *p = static_cast<char *>(data);
     while (n > 0) {
-        const ssize_t got = ::recv(fd_, p, n, 0);
+        const ssize_t got = ::recv(fd(), p, n, 0);
         if (got < 0) {
             if (errno == EINTR)
                 continue;
+            // SO_RCVTIMEO expiry: the peer went silent mid-message.
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                timed_out_ = true;
             return false;
         }
         if (got == 0)
@@ -103,6 +123,7 @@ Socket::recvFrame(std::string &payload, bool *eof)
 {
     if (eof)
         *eof = false;
+    timed_out_ = false;
     u8 header[4];
     // Peer closing cleanly between frames shows up as EOF on the very
     // first header byte; report it distinctly so connection loops can
@@ -110,10 +131,12 @@ Socket::recvFrame(std::string &payload, bool *eof)
     char *p = reinterpret_cast<char *>(header);
     std::size_t need = 4;
     while (need > 0) {
-        const ssize_t got = ::recv(fd_, p, need, 0);
+        const ssize_t got = ::recv(fd(), p, need, 0);
         if (got < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                timed_out_ = true;
             return false;
         }
         if (got == 0) {
@@ -169,8 +192,10 @@ Listener::open(u16 port, std::string *error)
 }
 
 Socket
-Listener::accept()
+Listener::accept(int *err_out)
 {
+    if (err_out)
+        *err_out = 0;
     for (;;) {
         const int fd = ::accept(sock_.fd(), nullptr, nullptr);
         if (fd >= 0) {
@@ -182,6 +207,8 @@ Listener::accept()
         }
         if (errno == EINTR)
             continue;
+        if (err_out)
+            *err_out = errno;
         return Socket();
     }
 }

@@ -18,6 +18,7 @@
 #ifndef USYS_COMMON_SOCKET_H
 #define USYS_COMMON_SOCKET_H
 
+#include <atomic>
 #include <string>
 
 #include "common/types.h"
@@ -27,7 +28,15 @@ namespace usys {
 /** Largest frame either side will accept: 64 MiB of JSON. */
 constexpr u32 kMaxFrameBytes = 64u * 1024 * 1024;
 
-/** RAII owner of a socket fd; movable, closes on destruction. */
+/**
+ * RAII owner of a socket fd; movable, closes on destruction.
+ *
+ * The fd cell is atomic because shutdown crosses threads: the daemon's
+ * stop path closes the listener while the accept thread is still
+ * reading the fd to pass to accept(2). Relaxed ordering suffices — the
+ * kernel serialises the actual syscalls; the atomic only keeps the
+ * int itself tear- and race-free.
+ */
 class Socket
 {
   public:
@@ -35,33 +44,46 @@ class Socket
     explicit Socket(int fd) : fd_(fd) {}
     ~Socket() { close(); }
 
-    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket(Socket &&other) noexcept
+        : fd_(other.release()), timed_out_(other.timed_out_)
+    {
+        other.timed_out_ = false;
+    }
     Socket &
     operator=(Socket &&other) noexcept
     {
         if (this != &other) {
             close();
-            fd_ = other.fd_;
-            other.fd_ = -1;
+            fd_.store(other.release(), std::memory_order_relaxed);
+            timed_out_ = other.timed_out_;
+            other.timed_out_ = false;
         }
         return *this;
     }
     Socket(const Socket &) = delete;
     Socket &operator=(const Socket &) = delete;
 
-    bool valid() const { return fd_ >= 0; }
-    int fd() const { return fd_; }
+    bool valid() const { return fd() >= 0; }
+    int fd() const { return fd_.load(std::memory_order_relaxed); }
 
     /** Release ownership without closing; returns the raw fd. */
     int
     release()
     {
-        const int fd = fd_;
-        fd_ = -1;
-        return fd;
+        return fd_.exchange(-1, std::memory_order_relaxed);
     }
 
     void close();
+
+    /**
+     * Arm SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer surfaces as a
+     * failed send/recv with timedOut() set instead of blocking the
+     * handler thread forever. 0 disables (fully blocking, default).
+     */
+    bool setIoTimeoutMs(u64 ms);
+
+    /** True iff the last failed send/recv hit the io timeout. */
+    bool timedOut() const { return timed_out_; }
 
     /** Send the whole buffer, looping over partial writes. */
     bool sendAll(const void *data, std::size_t n);
@@ -78,7 +100,8 @@ class Socket
     bool recvFrame(std::string &payload, bool *eof = nullptr);
 
   private:
-    int fd_ = -1;
+    std::atomic<int> fd_{-1};
+    bool timed_out_ = false;
 };
 
 /**
@@ -96,8 +119,12 @@ class Listener
     u16 port() const { return port_; }
     int fd() const { return sock_.fd(); }
 
-    /** Block until a client connects; invalid Socket on error. */
-    Socket accept();
+    /**
+     * Block until a client connects; invalid Socket on error, with the
+     * failing errno stored in *err_out (0 on success) so callers can
+     * tell transient exhaustion (EMFILE/ENFILE) from a closed listener.
+     */
+    Socket accept(int *err_out = nullptr);
 
     /**
      * Close the listening fd (async-signal-safe enough for a SIGTERM

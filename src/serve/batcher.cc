@@ -1,9 +1,15 @@
 #include "serve/batcher.h"
 
-#include <chrono>
+#include <algorithm>
 #include <map>
 
 namespace usys {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+} // namespace
 
 Batcher::Batcher(const Options &opts, ResultCache *cache)
     : opts_(opts), cache_(cache)
@@ -36,36 +42,85 @@ Batcher::stop()
     worker_.join();
 }
 
+SubmitStatus
+Batcher::submit(std::shared_ptr<const std::vector<ServeJob>> jobs,
+                u64 deadline_ms, std::vector<std::string> &out)
+{
+    const bool has_deadline = deadline_ms != 0;
+    const auto deadline =
+        has_deadline ? clock::now() + std::chrono::milliseconds(deadline_ms)
+                     : clock::time_point::max();
+    if (!jobs || jobs->empty()) {
+        out.clear();
+        return SubmitStatus::Ok;
+    }
+    if (!opts_.enabled)
+        return computeInline(*jobs, has_deadline, deadline, out);
+
+    std::future<std::vector<std::string>> future;
+    u64 ticket = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_) {
+            // Shed at admission when the backlog bound would be
+            // exceeded — but an empty queue always admits, so a single
+            // request larger than the bound still makes progress.
+            if (opts_.max_queued_jobs != 0 && !queue_.empty() &&
+                queued_jobs_ + jobs->size() > opts_.max_queued_jobs) {
+                ++stats_.shed;
+                return SubmitStatus::Overloaded;
+            }
+            Pending p;
+            p.jobs = jobs;
+            p.ticket = ticket = next_ticket_++;
+            future = p.result.get_future();
+            queued_jobs_ += jobs->size();
+            queue_.push_back(std::move(p));
+        }
+    }
+    if (!future.valid()) {
+        // Daemon shutting down: compute inline rather than hanging the
+        // caller on a promise no worker will fulfill.
+        return computeInline(*jobs, has_deadline, deadline, out);
+    }
+    cv_.notify_all();
+    if (!has_deadline) {
+        out = future.get();
+        return SubmitStatus::Ok;
+    }
+    if (future.wait_until(deadline) == std::future_status::ready) {
+        out = future.get();
+        return SubmitStatus::Ok;
+    }
+    // Deadline passed. If the request is still queued, pull it out so
+    // the engine never sees it; if its batch is already in flight,
+    // abandon the future — the batcher's late set_value lands on a
+    // promise nobody reads, and the shared_ptr keeps the jobs alive.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = std::find_if(
+            queue_.begin(), queue_.end(),
+            [ticket](const Pending &p) { return p.ticket == ticket; });
+        if (it != queue_.end()) {
+            queued_jobs_ -= it->jobs->size();
+            queue_.erase(it);
+        }
+        ++stats_.deadline_misses;
+    }
+    return SubmitStatus::DeadlineExceeded;
+}
+
 std::vector<std::string>
 Batcher::submit(const std::vector<ServeJob> &jobs)
 {
-    if (!opts_.enabled || jobs.empty())
-        return computeInline(jobs);
-
-    std::future<std::vector<std::string>> future;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_) {
-            // Daemon shutting down: compute inline rather than hanging
-            // the caller on a promise no worker will fulfill.
-        } else {
-            Pending p;
-            p.jobs = &jobs;
-            future = p.result.get_future();
-            queue_.push_back(std::move(p));
-            queued_jobs_ += jobs.size();
-        }
-    }
-    if (!future.valid())
-        return computeInline(jobs);
-    cv_.notify_all();
-    return future.get();
+    std::vector<std::string> out;
+    submit(std::make_shared<const std::vector<ServeJob>>(jobs), 0, out);
+    return out;
 }
 
 void
 Batcher::run()
 {
-    using clock = std::chrono::steady_clock;
     for (;;) {
         std::vector<Pending> batch;
         {
@@ -158,7 +213,9 @@ Batcher::processBatch(std::vector<Pending> batch)
     }
 
     // Fan results out to duplicates, regroup per request, wake each
-    // waiter once with its full fragment list.
+    // waiter once with its full fragment list. A waiter that abandoned
+    // its future (deadline) simply never reads the value — set_value
+    // on an unobserved promise is well-defined.
     for (const auto &kv : by_key) {
         const std::size_t first = kv.second.front();
         for (std::size_t idx = 1; idx < kv.second.size(); ++idx)
@@ -182,13 +239,15 @@ Batcher::processBatch(std::vector<Pending> batch)
     stats_.simulated += miss.size();
 }
 
-std::vector<std::string>
-Batcher::computeInline(const std::vector<ServeJob> &jobs)
+SubmitStatus
+Batcher::computeInline(const std::vector<ServeJob> &jobs, bool has_deadline,
+                       std::chrono::steady_clock::time_point deadline,
+                       std::vector<std::string> &out)
 {
     // No-batch path: connection threads race here, so the engine (and
     // its stats-registry commits) are serialized by engine_mu_.
     std::lock_guard<std::mutex> engine_lock(engine_mu_);
-    std::vector<std::string> out(jobs.size());
+    out.assign(jobs.size(), std::string());
     u64 hits = 0, simulated = 0;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         std::string hit;
@@ -196,6 +255,18 @@ Batcher::computeInline(const std::vector<ServeJob> &jobs)
             out[i] = std::move(hit);
             ++hits;
             continue;
+        }
+        // The deadline gates each engine call (cache hits are ~free):
+        // a request that cannot finish in time stops burning CPU at
+        // the next job boundary.
+        if (has_deadline && clock::now() >= deadline) {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.jobs += i;
+            stats_.cache_hits += hits;
+            stats_.simulated += simulated;
+            ++stats_.deadline_misses;
+            out.clear();
+            return SubmitStatus::DeadlineExceeded;
         }
         const LayerStats stats =
             computeLayerStats(buildSystem(jobs[i].spec), jobs[i].layer);
@@ -210,7 +281,7 @@ Batcher::computeInline(const std::vector<ServeJob> &jobs)
     stats_.unique_jobs += jobs.size();
     stats_.cache_hits += hits;
     stats_.simulated += simulated;
-    return out;
+    return SubmitStatus::Ok;
 }
 
 BatcherStats

@@ -24,13 +24,25 @@
  * — the registry is not thread-safe — without a second lock. Disabled
  * batching (--no-batch) degrades submit() to a mutex-serialized inline
  * compute, preserving that invariant.
+ *
+ * Overload control (PR 9): the queue is bounded by max_queued_jobs
+ * (0 = unbounded). A request that would push the backlog past the
+ * bound is shed immediately with SubmitStatus::Overloaded — unless the
+ * queue is empty, in which case it is always admitted so an oversized
+ * single request still makes progress. Each submit may carry a compute
+ * deadline; a waiter whose deadline passes abandons its queue slot (or,
+ * if its batch is already running, abandons the future — the shared_ptr
+ * job ownership makes the late set_value harmless) and gets
+ * SubmitStatus::DeadlineExceeded.
  */
 
 #ifndef USYS_SERVE_BATCHER_H
 #define USYS_SERVE_BATCHER_H
 
+#include <chrono>
 #include <condition_variable>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,6 +61,8 @@ struct BatcherStats
     u64 coalesced = 0;     // jobs - unique_jobs
     u64 cache_hits = 0;
     u64 simulated = 0;     // jobs that reached the engine
+    u64 shed = 0;          // requests refused: queue bound exceeded
+    u64 deadline_misses = 0; // requests whose compute deadline passed
 
     /** Mean jobs per engine batch (the occupancy the bench reports). */
     double
@@ -56,6 +70,14 @@ struct BatcherStats
     {
         return batches ? double(jobs) / double(batches) : 0.0;
     }
+};
+
+/** Outcome of one submit(): only Ok fills the fragment list. */
+enum class SubmitStatus
+{
+    Ok,
+    Overloaded,       // shed at admission; retriable after backoff
+    DeadlineExceeded, // compute deadline passed before completion
 };
 
 class Batcher
@@ -66,6 +88,7 @@ class Batcher
         bool enabled = true;
         u64 window_us = 200; // admission window after the first job
         u32 max_batch = 64;  // close the batch early at this many jobs
+        u64 max_queued_jobs = 0; // shed above this backlog; 0 = unbounded
     };
 
     /** @param cache may be null (caching disabled). */
@@ -76,9 +99,16 @@ class Batcher
     void stop();
 
     /**
-     * Compute (or fetch) rendered result fragments for `jobs`, in job
-     * order. Blocks until every fragment is available. Thread-safe.
+     * Compute (or fetch) rendered result fragments for `*jobs`, in job
+     * order, into `out`. Blocks until every fragment is available, the
+     * request is shed, or `deadline_ms` (0 = none) elapses. The jobs
+     * vector is shared-owned so an abandoned (deadline-exceeded) entry
+     * stays valid while the batcher finishes with it. Thread-safe.
      */
+    SubmitStatus submit(std::shared_ptr<const std::vector<ServeJob>> jobs,
+                        u64 deadline_ms, std::vector<std::string> &out);
+
+    /** Convenience overload: no deadline, result by value (tests). */
     std::vector<std::string> submit(const std::vector<ServeJob> &jobs);
 
     BatcherStats stats() const;
@@ -89,14 +119,17 @@ class Batcher
     // per-job promises dominated the batch path under load.
     struct Pending
     {
-        const std::vector<ServeJob> *jobs;
+        std::shared_ptr<const std::vector<ServeJob>> jobs;
         std::promise<std::vector<std::string>> result;
+        u64 ticket = 0; // lets a timed-out waiter find + remove itself
     };
 
     void run();
     void processBatch(std::vector<Pending> batch);
-    std::vector<std::string>
-    computeInline(const std::vector<ServeJob> &jobs);
+    SubmitStatus
+    computeInline(const std::vector<ServeJob> &jobs, bool has_deadline,
+                  std::chrono::steady_clock::time_point deadline,
+                  std::vector<std::string> &out);
 
     const Options opts_;
     ResultCache *const cache_;
@@ -105,6 +138,7 @@ class Batcher
     std::condition_variable cv_;
     std::vector<Pending> queue_;
     std::size_t queued_jobs_ = 0; // sum of jobs across queue_
+    u64 next_ticket_ = 1;
     bool stopping_ = false;
     std::thread worker_;
     BatcherStats stats_;

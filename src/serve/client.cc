@@ -1,14 +1,50 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
 #include "common/json.h"
 
 namespace usys {
 
+namespace {
+
+/** Delay before retry attempt `attempt` (1-based): equal-jitter over
+ *  an exponentially growing, 10s-capped base. Deterministic in
+ *  (seed, attempt) so tests replay identical schedules. */
+u64
+backoffDelayMs(const RetryPolicy &policy, u32 attempt)
+{
+    if (policy.backoff_ms == 0)
+        return 0;
+    const u32 shift = std::min(attempt - 1, 10u);
+    const u64 d =
+        std::min(policy.backoff_ms << shift, u64(10'000));
+    const u64 jitter =
+        hashMix(policy.jitter_seed ^ u64(attempt)) % (d / 2 + 1);
+    return d / 2 + jitter;
+}
+
+} // namespace
+
 bool
 ServeClient::connect(u16 port, std::string *error)
 {
+    port_ = port;
     sock_ = connectLoopback(port, error);
+    if (sock_.valid() && io_timeout_ms_ > 0)
+        sock_.setIoTimeoutMs(io_timeout_ms_);
     return sock_.valid();
+}
+
+void
+ServeClient::setIoTimeoutMs(u64 ms)
+{
+    io_timeout_ms_ = ms;
+    if (sock_.valid() && ms > 0)
+        sock_.setIoTimeoutMs(ms);
 }
 
 bool
@@ -19,6 +55,51 @@ ServeClient::call(const std::string &request, std::string *response)
     if (!sock_.sendFrame(request))
         return false;
     return sock_.recvFrame(*response);
+}
+
+CallStatus
+ServeClient::callRetry(const std::string &request, std::string *response,
+                       const RetryPolicy &policy, std::string *error,
+                       u32 *attempts_out)
+{
+    std::string last_error = "no attempt made";
+    for (u32 attempt = 0; attempt <= policy.retries; ++attempt) {
+        if (attempts_out)
+            *attempts_out = attempt + 1;
+        if (attempt > 0) {
+            const u64 delay = backoffDelayMs(policy, attempt);
+            if (delay > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        if (!sock_.valid()) {
+            std::string conn_error;
+            if (!connect(port_, &conn_error)) {
+                // Daemon restarting or briefly out of fds: retriable.
+                last_error = "connect: " + conn_error;
+                continue;
+            }
+        }
+        if (!call(request, response)) {
+            // Transport failure mid-exchange; this connection is dead.
+            // Requests are idempotent, so reconnect-and-resend is safe.
+            last_error = "transport failure (connection lost)";
+            sock_.close();
+            continue;
+        }
+        if (response->find("\"ok\":true") != std::string::npos)
+            return CallStatus::Ok;
+        // Server said no. The daemon's compact rendering makes the
+        // retriable flag a fixed byte pattern — no JSON parse needed.
+        if (response->find("\"retriable\":true") != std::string::npos) {
+            last_error = "server overloaded: " + *response;
+            continue;
+        }
+        return CallStatus::ServerError;
+    }
+    if (error)
+        *error = last_error;
+    return CallStatus::Exhausted;
 }
 
 bool

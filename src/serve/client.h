@@ -4,6 +4,14 @@
  * exchange length-prefixed JSON frames, one response per request.
  * Blocking; one in-flight request per client. The load bench opens
  * one ServeClient per simulated client thread.
+ *
+ * callRetry() layers capped jittered-exponential retry on top: a
+ * transport failure (daemon restarting, connection reset) or a
+ * response carrying `"retriable":true` (overloaded daemon shedding
+ * load) reconnects and resends up to the policy's attempt budget.
+ * Requests are idempotent simulations, so resending is always safe.
+ * The jitter is deterministic — seeded per attempt from the policy
+ * seed — so tests replay the exact same schedule.
  */
 
 #ifndef USYS_SERVE_CLIENT_H
@@ -15,6 +23,23 @@
 
 namespace usys {
 
+/** Capped jittered-exponential retry schedule. */
+struct RetryPolicy
+{
+    u32 retries = 0;    // extra attempts after the first (0 = no retry)
+    u64 backoff_ms = 0; // base delay; attempt k waits in [d/2, d] for
+                        // d = min(backoff_ms << k, 10s). 0 = no sleep.
+    u64 jitter_seed = 1; // deterministic jitter stream
+};
+
+/** Outcome of a callRetry() exchange. */
+enum class CallStatus
+{
+    Ok,          // response received with "ok":true
+    ServerError, // response received: ok:false and not retriable
+    Exhausted,   // retriable failures outlived the attempt budget
+};
+
 class ServeClient
 {
   public:
@@ -23,11 +48,27 @@ class ServeClient
 
     bool connected() const { return sock_.valid(); }
 
+    /** Bound each send/recv on this connection (reapplied on
+     *  reconnect). 0 = blocking forever (default). */
+    void setIoTimeoutMs(u64 ms);
+
     /**
      * Send one request frame and block for the response frame. False
      * on any transport failure (the connection is then unusable).
      */
     bool call(const std::string &request, std::string *response);
+
+    /**
+     * call() with reconnect + capped jittered-exponential retry on
+     * transport failures and `"retriable":true` responses. On Ok or
+     * ServerError `*response` holds the final response; on Exhausted
+     * `*error` describes the last failure. `*attempts_out` (optional)
+     * reports how many attempts were made.
+     */
+    CallStatus callRetry(const std::string &request, std::string *response,
+                         const RetryPolicy &policy,
+                         std::string *error = nullptr,
+                         u32 *attempts_out = nullptr);
 
     /** Convenience: {"op":"ping","id":id} round-trip. */
     bool ping(u64 id = 0);
@@ -36,6 +77,8 @@ class ServeClient
 
   private:
     Socket sock_;
+    u16 port_ = 0;       // remembered for callRetry() reconnects
+    u64 io_timeout_ms_ = 0;
 };
 
 } // namespace usys

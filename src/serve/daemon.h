@@ -43,6 +43,13 @@ struct DaemonOptions
     u64 cache_mb = 64;
     std::string cache_file;   // empty = no persistence
     bool quiet = false;       // suppress per-connection logging
+
+    // Overload hardening (all 0 = disabled, matching the PR 8 behavior
+    // so unit tests that exercise only the happy path are unaffected).
+    u64 io_timeout_ms = 0;       // SO_RCVTIMEO/SO_SNDTIMEO per socket
+    u32 max_conns = 0;           // refuse connections beyond this count
+    u64 max_queued_jobs = 0;     // batcher backlog bound (load shedding)
+    u64 request_deadline_ms = 0; // default compute deadline
 };
 
 /** Daemon request counters (beyond batcher/cache stats). */
@@ -51,6 +58,9 @@ struct DaemonStats
     u64 connections = 0;
     u64 requests = 0;
     u64 errors = 0; // malformed frames / decode failures answered
+    u64 shed_conns = 0;     // connections refused at --max-conns
+    u64 io_timeouts = 0;    // connections reaped by the io timeout
+    u64 accept_retries = 0; // transient accept() failures survived
 };
 
 class Daemon
@@ -79,11 +89,19 @@ class Daemon
 
     ResultCacheStats cacheStats() const { return cache_->stats(); }
     BatcherStats batcherStats() const { return batcher_->stats(); }
+    DaemonStats
+    daemonStats() const
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        return stats_;
+    }
 
   private:
     void handleConnection(Socket sock);
     std::string handleRequest(const std::string &payload,
                               bool *stop_after);
+    void reapFinishedHandlers();
+    void publishCounters();
 
     const DaemonOptions opts_;
     Listener listener_;
@@ -94,6 +112,7 @@ class Daemon
 
     mutable std::mutex conn_mu_;
     std::vector<std::thread> threads_;
+    std::vector<std::thread::id> done_ids_; // handlers ready to join
     std::vector<int> open_fds_; // shutdown() targets on stop
     DaemonStats stats_;
 };

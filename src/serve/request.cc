@@ -385,6 +385,12 @@ decodeRequest(const std::string &payload, ServeRequest &out,
     out.op = root.getString("op", "");
     out.id = u64(root.getInt("id", 0));
     out.jobs.clear();
+    const i64 deadline = root.getInt("deadline_ms", 0);
+    if (deadline < 0 || deadline > 3600 * 1000) {
+        error = "deadline_ms out of range [0, 3600000]";
+        return false;
+    }
+    out.deadline_ms = u64(deadline);
 
     if (out.op == "ping" || out.op == "stats" || out.op == "shutdown")
         return true;
@@ -626,11 +632,20 @@ renderPong(u64 id)
 std::string
 renderError(u64 id, const std::string &message)
 {
+    return renderErrorCode(id, "bad_request", message, false);
+}
+
+std::string
+renderErrorCode(u64 id, const std::string &code,
+                const std::string &message, bool retriable)
+{
     JsonWriter w(0);
     w.beginObject();
     w.field("id", id);
     w.field("ok", false);
     w.field("error", message);
+    w.field("code", code);
+    w.field("retriable", retriable);
     w.endObject();
     return w.str();
 }

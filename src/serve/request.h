@@ -76,6 +76,7 @@ struct ServeRequest
 {
     std::string op;            // validated: one of the six ops
     u64 id = 0;                // echoed in the response
+    u64 deadline_ms = 0;       // compute deadline; 0 = daemon default
     std::vector<ServeJob> jobs; // compute ops only
 };
 
@@ -120,8 +121,22 @@ std::string renderResults(u64 id, const std::vector<std::string> &fragments);
 /** {"id":N,"ok":true,"pong":true} */
 std::string renderPong(u64 id);
 
-/** {"id":N,"ok":false,"error":"..."} */
+/**
+ * {"id":N,"ok":false,"error":"...","code":"bad_request","retriable":false}
+ * Bad-request shorthand: the frame was understood but is invalid, and
+ * resending it unchanged can never succeed.
+ */
 std::string renderError(u64 id, const std::string &message);
+
+/**
+ * The general structured error frame:
+ * {"id":N,"ok":false,"error":msg,"code":code,"retriable":bool}.
+ * `code` is a stable machine-readable tag (bad_request | overloaded |
+ * deadline_exceeded); `retriable` tells clients whether backing off
+ * and resending the identical request may succeed.
+ */
+std::string renderErrorCode(u64 id, const std::string &code,
+                            const std::string &message, bool retriable);
 
 } // namespace usys
 

@@ -7,10 +7,16 @@
  *               [--layers SPECS] [--schemes BP,UR,...]
  *               [--scheme TAG] [--bits N] [--et-bits N]
  *               [--preset edge|cloud] [--sram auto|on|off]
- *               [--m M --k K --n N] [--id N]
+ *               [--m M --k K --n N] [--id N] [--deadline-ms N]
+ *               [--retries N] [--backoff-ms N]
  *
  * Builds one request (or sends --json verbatim), prints the response
- * JSON on stdout, exits 0 when the response says ok:true.
+ * JSON on stdout. --retries layers capped jittered-exponential retry
+ * over connect failures and retriable (`overloaded`) responses.
+ *
+ * Exit codes: 0 response ok:true; 1 terminal transport/connect
+ * failure; 2 terminal server error (ok:false, not retriable);
+ * 3 retriable failures outlived the retry budget.
  */
 
 #include <cstdio>
@@ -36,6 +42,7 @@ main(int argc, char **argv)
     std::string preset;
     std::string sram;
     i64 bits = 0, et_bits = -1, m = 0, k = 0, n = 0, id = 0;
+    i64 deadline_ms = 0, retries = 0, backoff_ms = 50;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -72,6 +79,12 @@ main(int argc, char **argv)
             n = parseIntFlag("--n", next(), 1, 1 << 20);
         else if (std::strcmp(arg, "--id") == 0)
             id = parseIntFlag("--id", next(), 0, i64(1) << 62);
+        else if (std::strcmp(arg, "--deadline-ms") == 0)
+            deadline_ms = parseIntFlag("--deadline-ms", next(), 0, 3600000);
+        else if (std::strcmp(arg, "--retries") == 0)
+            retries = parseIntFlag("--retries", next(), 0, 1000);
+        else if (std::strcmp(arg, "--backoff-ms") == 0)
+            backoff_ms = parseIntFlag("--backoff-ms", next(), 0, 60000);
         else
             fatal(std::string("usys_client: unknown argument ") + arg);
     }
@@ -83,6 +96,8 @@ main(int argc, char **argv)
         w.beginObject();
         w.field("op", op);
         w.field("id", u64(id));
+        if (deadline_ms > 0)
+            w.field("deadline_ms", deadline_ms);
         if (op == "gemm") {
             w.field("m", m);
             w.field("k", k);
@@ -124,15 +139,40 @@ main(int argc, char **argv)
 
     ServeClient client;
     std::string error;
-    if (!client.connect(u16(port), &error)) {
-        std::fprintf(stderr, "usys_client: %s\n", error.c_str());
-        return 1;
+    if (retries == 0) {
+        // No retry budget: fail fast on any transport problem.
+        if (!client.connect(u16(port), &error)) {
+            std::fprintf(stderr, "usys_client: %s\n", error.c_str());
+            return 1;
+        }
+        std::string response;
+        if (!client.call(request, &response)) {
+            std::fprintf(stderr, "usys_client: transport error\n");
+            return 1;
+        }
+        std::printf("%s\n", response.c_str());
+        return response.find("\"ok\":true") != std::string::npos ? 0 : 2;
     }
+
+    RetryPolicy policy;
+    policy.retries = u32(retries);
+    policy.backoff_ms = u64(backoff_ms);
+    policy.jitter_seed = u64(id) + 1;
+    // Prime port_ for callRetry()'s reconnects; a failed first connect
+    // is just the first retriable failure.
+    client.connect(u16(port));
     std::string response;
-    if (!client.call(request, &response)) {
-        std::fprintf(stderr, "usys_client: transport error\n");
-        return 1;
+    switch (client.callRetry(request, &response, policy, &error)) {
+      case CallStatus::Ok:
+        std::printf("%s\n", response.c_str());
+        return 0;
+      case CallStatus::ServerError:
+        std::printf("%s\n", response.c_str());
+        return 2;
+      case CallStatus::Exhausted:
+      default:
+        std::fprintf(stderr, "usys_client: retries exhausted: %s\n",
+                     error.c_str());
+        return 3;
     }
-    std::printf("%s\n", response.c_str());
-    return response.find("\"ok\":true") != std::string::npos ? 0 : 2;
 }

@@ -4,6 +4,8 @@
  *
  *   usysd [--port P] [--cache-mb N] [--cache-file PATH]
  *         [--batch-window-us N] [--batch-max N] [--no-batch] [--no-cache]
+ *         [--io-timeout-ms N] [--max-conns N] [--max-queued-jobs N]
+ *         [--request-deadline-ms N]
  *         [shared bench flags: --stats-json/--profile-json/--metrics-out/
  *          --threads/--simd/...]
  *
@@ -11,7 +13,14 @@
  * "usysd listening on port <P>" on stdout (and flushes) so wrappers
  * can scrape it — serve tests never hardcode ports. Environment
  * defaults (flags win): USYS_SERVE_BATCH_WINDOW_US,
- * USYS_SERVE_BATCH_MAX, USYS_SERVE_CACHE_MB.
+ * USYS_SERVE_BATCH_MAX, USYS_SERVE_CACHE_MB, USYS_IO_TIMEOUT_MS.
+ *
+ * Overload hardening: per-socket io timeouts (default 30 s) reap
+ * silent peers, --max-conns refuses connections past the cap with a
+ * retriable `overloaded` frame, --max-queued-jobs bounds the batcher
+ * backlog (shedding instead of queueing unboundedly), and
+ * --request-deadline-ms bounds compute time per request unless the
+ * request carries its own `deadline_ms`.
  *
  * SIGTERM/SIGINT stop the accept loop; the daemon drains in-flight
  * connections, flushes the result cache to --cache-file, and writes
@@ -67,6 +76,11 @@ main(int argc, char **argv)
     opts.batch_window_us = envU64("USYS_SERVE_BATCH_WINDOW_US", 200);
     opts.batch_max = u32(envU64("USYS_SERVE_BATCH_MAX", 64));
     opts.cache_mb = envU64("USYS_SERVE_CACHE_MB", 64);
+    // The daemon BINARY defaults to a 30s io timeout — a production
+    // daemon must never hold a thread hostage to a silent peer. The
+    // DaemonOptions struct default stays 0 (off) so in-process unit
+    // tests keep fully blocking semantics unless they opt in.
+    opts.io_timeout_ms = envU64("USYS_IO_TIMEOUT_MS", 30000);
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -88,6 +102,18 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--batch-max") == 0) {
             opts.batch_max =
                 u32(parseIntFlag("--batch-max", next(), 1, 100000));
+        } else if (std::strcmp(arg, "--io-timeout-ms") == 0) {
+            opts.io_timeout_ms = u64(
+                parseIntFlag("--io-timeout-ms", next(), 0, 86400000));
+        } else if (std::strcmp(arg, "--max-conns") == 0) {
+            opts.max_conns =
+                u32(parseIntFlag("--max-conns", next(), 0, 1000000));
+        } else if (std::strcmp(arg, "--max-queued-jobs") == 0) {
+            opts.max_queued_jobs = u64(
+                parseIntFlag("--max-queued-jobs", next(), 0, 100000000));
+        } else if (std::strcmp(arg, "--request-deadline-ms") == 0) {
+            opts.request_deadline_ms = u64(parseIntFlag(
+                "--request-deadline-ms", next(), 0, 3600000));
         } else if (std::strcmp(arg, "--no-batch") == 0) {
             opts.batch = false;
         } else if (std::strcmp(arg, "--no-cache") == 0) {

@@ -17,14 +17,21 @@ set(stats ${WORK_DIR}/BENCH_serve.json)
 # Closed-loop throughput on a busy single-core host is noisy, so the
 # bench re-measures up to --attempts times and reports the best pair;
 # a real regression fails every attempt.
+#
+# --overload then drives a third phase: clients well past the admission
+# bound plus a deliberately stalled connection. --require-shed turns it
+# into a gate — the daemon must actually shed (nonzero shed count) and
+# reap the stalled peer (nonzero io timeout count), with every logical
+# request still completing through client retry.
 execute_process(
     COMMAND ${BENCH} --stats-json ${stats} --clients 64 --requests 8
             --batch-max 512 --attempts 3 --min-speedup 2
-            --min-hit-rate 0.5
+            --min-hit-rate 0.5 --overload --require-shed
     RESULT_VARIABLE rc OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "serve_load failed (${rc}) — client error, "
-                        "speedup below 2x, or cache hit rate below 0.5")
+                        "speedup below 2x, cache hit rate below 0.5, "
+                        "or overload phase did not shed/reap")
 endif()
 
 execute_process(

@@ -11,6 +11,7 @@
 
 #include "common/cli.h"
 #include "common/fixed_point.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/executor.h"
@@ -256,6 +257,28 @@ TEST(Stats, RmseTrackerMergeMatchesSinglePass)
     EXPECT_NEAR(merged.normalizedRmse(), whole.normalizedRmse(), 1e-12);
     EXPECT_NEAR(merged.meanError(), whole.meanError(), 1e-12);
     EXPECT_DOUBLE_EQ(merged.maxAbsError(), whole.maxAbsError());
+}
+
+TEST(Hash, Crc32cMatchesCastagnoliVectors)
+{
+    // RFC 3720 appendix B test vector.
+    EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+    EXPECT_EQ(crc32c(""), 0u);
+    // All-zero runs are the classic "plain sum misses it" case.
+    EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+
+    // Chaining: feeding the running crc back in continues the stream.
+    const std::string doc = "usystolic checkpoint body\n";
+    for (std::size_t cut = 0; cut <= doc.size(); ++cut)
+        EXPECT_EQ(crc32c(std::string_view(doc).substr(cut),
+                         crc32c(std::string_view(doc).substr(0, cut))),
+                  crc32c(doc))
+            << "cut at " << cut;
+
+    // A single flipped bit anywhere changes the checksum.
+    std::string flipped = doc;
+    flipped[doc.size() / 2] ^= 0x01;
+    EXPECT_NE(crc32c(flipped), crc32c(doc));
 }
 
 TEST(Table, NumberFormatting)

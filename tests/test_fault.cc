@@ -522,6 +522,15 @@ tempPath(const std::string &stem)
     return ::testing::TempDir() + stem;
 }
 
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
 TEST(Checkpoint, PackedFieldsRoundTripExactly)
 {
     const double doubles[] = {0.0, -0.0, 1.0, -1.5, 0.1, 1e300,
@@ -574,24 +583,102 @@ TEST(Checkpoint, DisabledIsInert)
     EXPECT_FALSE(off.has("k"));
 }
 
-TEST(Checkpoint, MalformedFileIsFatal)
+TEST(Checkpoint, InvalidKeysAreFatal)
 {
-    const std::string bad_header = tempPath("ckpt_bad_header");
-    ASSERT_TRUE(writeTextFile(bad_header, "not-a-checkpoint\n"));
-    ShardCheckpoint c1(bad_header);
-    EXPECT_EXIT(c1.load(), ::testing::ExitedWithCode(1), "");
-
-    const std::string bad_line = tempPath("ckpt_bad_line");
-    ASSERT_TRUE(writeTextFile(bad_line,
-                              "usys-checkpoint v1\nno-tab-here\n"));
-    ShardCheckpoint c2(bad_line);
-    EXPECT_EXIT(c2.load(), ::testing::ExitedWithCode(1), "");
-
-    ShardCheckpoint c3(tempPath("ckpt_key"));
-    EXPECT_EXIT(c3.record("bad\tkey", "v"),
+    ShardCheckpoint c(tempPath("ckpt_key"));
+    EXPECT_EXIT(c.record("bad\tkey", "v"),
                 ::testing::ExitedWithCode(1), "");
-    std::remove(bad_header.c_str());
-    std::remove(bad_line.c_str());
+}
+
+/**
+ * Corrupt `path` must quarantine, not kill: load() moves the file to
+ * `<path>.corrupt`, starts cold, and the checkpoint stays usable.
+ */
+void
+expectQuarantine(const std::string &path)
+{
+    const std::string corrupt = path + ".corrupt";
+    std::remove(corrupt.c_str());
+
+    ShardCheckpoint ckpt(path);
+    ckpt.load();
+    EXPECT_TRUE(ckpt.quarantined()) << path;
+    EXPECT_EQ(ckpt.size(), 0u);
+    EXPECT_FALSE(fileExists(path)) << "corrupt file left in place";
+    EXPECT_TRUE(fileExists(corrupt)) << "no quarantine file";
+
+    // Cold-start recovery: the same instance records and persists.
+    ckpt.record("fresh", "after recovery");
+    ShardCheckpoint reader(path);
+    reader.load();
+    EXPECT_FALSE(reader.quarantined());
+    EXPECT_EQ(reader.find("fresh"), "after recovery");
+
+    std::remove(path.c_str());
+    std::remove(corrupt.c_str());
+}
+
+/** A valid v2 checkpoint file's raw bytes, for targeted corruption. */
+std::string
+validCheckpointBytes(const std::string &path)
+{
+    std::remove(path.c_str());
+    ShardCheckpoint writer(path);
+    writer.load();
+    writer.record("ur-r1", "payload one");
+    writer.record("bp-r0", "payload two");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, got);
+    std::fclose(f);
+    EXPECT_GT(bytes.size(), 32u);
+    return bytes;
+}
+
+TEST(Checkpoint, CorruptFilesAreQuarantinedNotFatal)
+{
+    const std::string path = tempPath("ckpt_corrupt");
+    const std::string good = validCheckpointBytes(path);
+    const std::size_t header_end = good.find('\n') + 1;
+    ASSERT_GT(header_end, 1u);
+
+    // Wrong magic.
+    ASSERT_TRUE(writeTextFile(path, "not-a-checkpoint v2\n"));
+    expectQuarantine(path);
+
+    // Old (pre-CRC) version header.
+    ASSERT_TRUE(writeTextFile(path,
+                              "usys-checkpoint v1\nur-r1\tpayload\n"));
+    expectQuarantine(path);
+
+    // Malformed header: no crc/bytes fields.
+    ASSERT_TRUE(writeTextFile(path, "usys-checkpoint v2\nk\tv\n"));
+    expectQuarantine(path);
+
+    // Truncation: body shorter than the header's byte count.
+    ASSERT_TRUE(writeTextFile(
+        path, good.substr(0, header_end + (good.size() - header_end) / 2)));
+    expectQuarantine(path);
+
+    // Single bit flip in the body: caught by the CRC.
+    std::string flipped = good;
+    flipped[header_end + (flipped.size() - header_end) / 2] ^= 0x01;
+    ASSERT_TRUE(writeTextFile(path, flipped));
+    expectQuarantine(path);
+
+    // And the pristine bytes still load — the checks above were not
+    // rejecting everything indiscriminately.
+    ASSERT_TRUE(writeTextFile(path, good));
+    ShardCheckpoint ok(path);
+    ok.load();
+    EXPECT_FALSE(ok.quarantined());
+    EXPECT_EQ(ok.size(), 2u);
+    EXPECT_EQ(ok.find("ur-r1"), "payload one");
+    std::remove(path.c_str());
 }
 
 // --- Resilience shards -----------------------------------------------

@@ -4,13 +4,17 @@
  * cache LRU/persistence, and byte-identity through a live daemon.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/json_parse.h"
+#include "common/socket.h"
 #include "sched/simulator.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
@@ -342,6 +346,251 @@ TEST_F(ServeDaemonTest, BatchedAndInlinePathsAgreeByteForByte)
     inline_opts.cache = false;
     startDaemon(inline_opts);
     EXPECT_EQ(via_batcher, call(request));
+}
+
+// --- Robustness: error frames, shedding, deadlines, timeouts ----------
+
+TEST(ServeErrorFrames, CarryCodeAndRetriableFields)
+{
+    // The wire format is load-bearing: the client library detects
+    // retriable responses by byte pattern, not by JSON parse.
+    EXPECT_EQ(renderErrorCode(7, "overloaded", "queue full", true),
+              R"({"id":7,"ok":false,"error":"queue full",)"
+              R"("code":"overloaded","retriable":true})");
+    EXPECT_EQ(renderErrorCode(9, "deadline_exceeded", "too slow", false),
+              R"({"id":9,"ok":false,"error":"too slow",)"
+              R"("code":"deadline_exceeded","retriable":false})");
+    // Plain renderError is the bad_request shorthand.
+    EXPECT_EQ(renderError(3, "nope"),
+              renderErrorCode(3, "bad_request", "nope", false));
+}
+
+TEST(ServeRequestDecode, DeadlineMsIsBoundsChecked)
+{
+    ServeRequest req;
+    std::string error;
+    EXPECT_TRUE(decodeRequest(
+        R"({"op":"ping","id":1,"deadline_ms":2500})", req, error));
+    EXPECT_EQ(req.deadline_ms, 2500u);
+    EXPECT_FALSE(decodeRequest(
+        R"({"op":"ping","id":1,"deadline_ms":-1})", req, error));
+    EXPECT_NE(error.find("deadline_ms"), std::string::npos);
+    EXPECT_FALSE(decodeRequest(
+        R"({"op":"ping","id":1,"deadline_ms":3600001})", req, error));
+}
+
+TEST(ServeJsonParse, NestingDepthIsBounded)
+{
+    const auto nested = [](std::size_t n) {
+        std::string doc(n, '[');
+        doc.append(n, ']');
+        return doc;
+    };
+    EXPECT_TRUE(parseJson(nested(64)).ok);  // the documented limit
+    EXPECT_TRUE(parseJson(nested(65)).ok);  // exact boundary
+    const JsonParseResult deep = parseJson(nested(66));
+    EXPECT_FALSE(deep.ok);
+    EXPECT_NE(deep.error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ServeBatcher, BoundedQueueShedsWithOverloaded)
+{
+    Batcher::Options opts;
+    opts.enabled = true;
+    opts.window_us = 500000; // hold the first batch open half a second
+    opts.max_batch = 1000;
+    opts.max_queued_jobs = 1;
+    Batcher batcher(opts, nullptr);
+    batcher.start();
+
+    // A background submitter parks one job in the admission queue,
+    // where it sits for the full window. If a probe (below) happens to
+    // park first, the submitter itself is shed — it retries until the
+    // queue is free, so exactly one of the two always occupies it.
+    const auto jobs = std::make_shared<const std::vector<ServeJob>>(
+        distinctJobs(1));
+    std::vector<std::string> first_out;
+    std::thread submitter([&] {
+        SubmitStatus status;
+        do {
+            first_out.clear();
+            status = batcher.submit(jobs, 0, first_out);
+            if (status == SubmitStatus::Overloaded)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+        } while (status == SubmitStatus::Overloaded);
+        EXPECT_EQ(status, SubmitStatus::Ok);
+    });
+
+    // Probe until the parked job makes the queue non-empty: then our
+    // one extra job exceeds the bound and must be shed. A probe that
+    // races ahead of the submitter is admitted alone (empty queue
+    // always admits) and exits via its 1ms deadline — just retry.
+    const auto probe = std::make_shared<const std::vector<ServeJob>>(
+        distinctJobs(1));
+    bool shed = false;
+    for (int attempt = 0; attempt < 2000 && !shed; ++attempt) {
+        std::vector<std::string> out;
+        shed = batcher.submit(probe, 1, out) == SubmitStatus::Overloaded;
+    }
+    EXPECT_TRUE(shed);
+    EXPECT_GE(batcher.stats().shed, 1u);
+
+    submitter.join();
+    ASSERT_EQ(first_out.size(), 1u); // the parked request still completed
+    EXPECT_NE(first_out[0].find("\"layer\""), std::string::npos)
+        << first_out[0];
+    batcher.stop();
+}
+
+TEST(ServeBatcher, InlineComputeHonorsDeadline)
+{
+    Batcher::Options opts;
+    opts.enabled = false; // inline path: deadline gates each engine call
+    Batcher batcher(opts, nullptr);
+
+    ServeRequest req;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(
+        R"({"op":"sweep","id":1,"layers":"alexnet",)"
+        R"("schemes":["BP","UR"]})", req, error)) << error;
+    ASSERT_GT(req.jobs.size(), 10u);
+
+    // One analytic job is microseconds; thousands guarantee the 1ms
+    // deadline passes at some job boundary. The abort then makes the
+    // request cheap again: compute stops at that boundary, so the test
+    // costs ~1ms of engine time no matter how long the list is.
+    std::vector<ServeJob> many;
+    while (many.size() < 5000)
+        many.insert(many.end(), req.jobs.begin(), req.jobs.end());
+
+    std::vector<std::string> out;
+    const SubmitStatus status = batcher.submit(
+        std::make_shared<const std::vector<ServeJob>>(std::move(many)), 1,
+        out);
+    EXPECT_EQ(status, SubmitStatus::DeadlineExceeded);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(batcher.stats().deadline_misses, 1u);
+}
+
+TEST_F(ServeDaemonTest, RequestDeadlineProducesStructuredError)
+{
+    DaemonOptions opts;
+    opts.quiet = true;
+    opts.cache = false;
+    // Hold the admission window open far past the 1ms request deadline
+    // so the request deterministically expires while parked.
+    opts.batch_window_us = 500000;
+    opts.request_deadline_ms = 1;
+    startDaemon(opts);
+    const std::string response = call(
+        R"({"op":"sweep","id":11,"layers":"alexnet",)"
+        R"("schemes":["BP","UR"]})");
+    EXPECT_NE(response.find("\"code\":\"deadline_exceeded\""),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"retriable\":false"), std::string::npos);
+    // The daemon survives and serves the next request normally.
+    const std::string pong = call(R"({"op":"ping","id":12})");
+    EXPECT_NE(pong.find("\"pong\":true"), std::string::npos);
+    EXPECT_GE(daemon_->batcherStats().deadline_misses, 1u);
+}
+
+TEST_F(ServeDaemonTest, ConnectionCapShedsWithRetriableError)
+{
+    DaemonOptions opts;
+    opts.quiet = true;
+    opts.max_conns = 1;
+    startDaemon(opts);
+
+    ServeClient first;
+    std::string error;
+    ASSERT_TRUE(first.connect(daemon_->port(), &error)) << error;
+    ASSERT_TRUE(first.ping(1)); // guarantees the fd is registered
+
+    // Second connection is accepted only to be told to go away.
+    Socket second = connectLoopback(daemon_->port(), &error);
+    ASSERT_TRUE(second.valid()) << error;
+    std::string frame;
+    ASSERT_TRUE(second.recvFrame(frame));
+    EXPECT_NE(frame.find("\"code\":\"overloaded\""), std::string::npos)
+        << frame;
+    EXPECT_NE(frame.find("\"retriable\":true"), std::string::npos);
+    EXPECT_GE(daemon_->daemonStats().shed_conns, 1u);
+
+    // The admitted client is unaffected.
+    EXPECT_TRUE(first.ping(2));
+}
+
+TEST_F(ServeDaemonTest, SilentClientIsReapedByIoTimeout)
+{
+    DaemonOptions opts;
+    opts.quiet = true;
+    opts.io_timeout_ms = 100;
+    startDaemon(opts);
+
+    std::string error;
+    Socket silent = connectLoopback(daemon_->port(), &error);
+    ASSERT_TRUE(silent.valid()) << error;
+    const char half_header[2] = {0x08, 0x00}; // promise, then silence
+    ASSERT_TRUE(silent.sendAll(half_header, sizeof(half_header)));
+
+    // The daemon's recv deadline fires and it closes the connection:
+    // we observe the FIN (EOF), not our own much-longer timeout.
+    silent.setIoTimeoutMs(5000);
+    char byte;
+    EXPECT_FALSE(silent.recvAll(&byte, 1));
+    EXPECT_FALSE(silent.timedOut());
+    for (int i = 0; i < 100 && daemon_->daemonStats().io_timeouts == 0;
+         ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(daemon_->daemonStats().io_timeouts, 1u);
+
+    // A well-behaved client still gets service.
+    ServeClient client;
+    ASSERT_TRUE(client.connect(daemon_->port(), &error)) << error;
+    EXPECT_TRUE(client.ping(5));
+}
+
+TEST_F(ServeDaemonTest, CallRetryClassifiesOutcomes)
+{
+    DaemonOptions opts;
+    opts.quiet = true;
+    startDaemon(opts);
+    const u16 port = daemon_->port();
+
+    RetryPolicy policy;
+    policy.retries = 2;
+    policy.backoff_ms = 1;
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(port, &error)) << error;
+
+    // Success on the first attempt.
+    std::string response;
+    u32 attempts = 0;
+    EXPECT_EQ(client.callRetry(R"({"op":"ping","id":1})", &response,
+                               policy, &error, &attempts),
+              CallStatus::Ok);
+    EXPECT_EQ(attempts, 1u);
+
+    // A bad_request is terminal: no retry despite the budget.
+    EXPECT_EQ(client.callRetry(R"({"op":"frobnicate","id":2})", &response,
+                               policy, &error, &attempts),
+              CallStatus::ServerError);
+    EXPECT_EQ(attempts, 1u);
+    EXPECT_NE(response.find("\"retriable\":false"), std::string::npos);
+
+    // A dead daemon exhausts the transport-retry budget.
+    stopDaemon();
+    ServeClient orphan;
+    orphan.connect(port); // may fail; callRetry reconnects regardless
+    EXPECT_EQ(orphan.callRetry(R"({"op":"ping","id":3})", &response,
+                               policy, &error, &attempts),
+              CallStatus::Exhausted);
+    EXPECT_EQ(attempts, policy.retries + 1);
+    EXPECT_FALSE(error.empty());
 }
 
 TEST_F(ServeDaemonTest, MalformedRequestsGetErrorsAndTheDaemonSurvives)

@@ -15,7 +15,9 @@ A gated metric regresses when its relative change in the "worse"
 direction exceeds the threshold (default 0.25 = 25%). Keys matching
 neither suffix list are reported when they change but never gate, as
 are keys whose baseline value is 0. `kernel.profile_overhead.*` is
-skipped by default (A/A noise, not a signal).
+skipped by default (A/A noise, not a signal), as is `*.shed_rate` —
+the overload phase sheds as much as the retry storm asks it to, so
+the rate measures scheduling luck, not daemon quality.
 
 Options:
   --threshold F        default relative-change gate (0.25)
@@ -37,7 +39,7 @@ import sys
 LOWER_BETTER = ("_us", "_ms", "_ns", "_s", "_bytes", "_cycles")
 HIGHER_BETTER = ("speedup_x", "_gmacs", "_throughput", "_utilization",
                  ".rps", "hit_rate", "occupancy")
-DEFAULT_SKIPS = ("*.profile_overhead.*",)
+DEFAULT_SKIPS = ("*.profile_overhead.*", "*.shed_rate")
 
 
 def flatten(node, prefix=""):

@@ -18,6 +18,15 @@
  *   3. A restarted daemon on the same --cache-file reports restored
  *      entries via the stats op and serves responses byte-identical to
  *      the first run's; the shutdown op then stops it cleanly.
+ *   4. Chaos leg: a daemon with a short io timeout survives garbage
+ *      frames, an oversized length prefix, a truncated frame, and a
+ *      client that goes silent mid-header (reaped by the io timeout,
+ *      observed both as a closed socket and in the stats counters) —
+ *      and keeps serving byte-identical responses throughout. Then
+ *      SIGKILL mid-flight + restart on the same cache file must again
+ *      be byte-identical, and a deliberately corrupted checkpoint must
+ *      be quarantined to <cache>.corrupt with the daemon starting cold
+ *      (restored == 0) yet still byte-identical.
  *
  * Exits 0 on success, 1 with a message on the first violated check.
  */
@@ -35,9 +44,12 @@
 
 #include <unistd.h>
 
+#include <fstream>
+
 #include "common/cli.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/socket.h"
 #include "sched/simulator.h"
 #include "serve/client.h"
 #include "serve/request.h"
@@ -216,6 +228,65 @@ fileExists(const std::string &path)
     return f != nullptr;
 }
 
+/** SIGKILL + waitpid; true when the daemon died by that signal. */
+bool
+killDaemon(DaemonProc &proc)
+{
+    ::kill(proc.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(proc.pid, &status, 0);
+    if (proc.out)
+        std::fclose(proc.out);
+    proc.out = nullptr;
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/** Raw 4-byte little-endian frame header for a claimed length. */
+void
+putHeader(char (&hdr)[4], u32 len)
+{
+    hdr[0] = char(len & 0xFF);
+    hdr[1] = char((len >> 8) & 0xFF);
+    hdr[2] = char((len >> 16) & 0xFF);
+    hdr[3] = char((len >> 24) & 0xFF);
+}
+
+/** The daemon must still answer a ping after each abuse. */
+void
+expectAlive(u16 port, const char *after)
+{
+    ServeClient probe;
+    std::string err;
+    fatalIf(!probe.connect(port, &err),
+            std::string("serve_e2e: daemon unreachable after ") + after +
+                ": " + err);
+    fatalIf(!probe.ping(99), std::string("serve_e2e: ping failed after ") +
+                                 after);
+}
+
+/** Read an integer counter out of a compact stats response. */
+long
+scrapeCounter(const std::string &stats, const std::string &field)
+{
+    const std::string needle = "\"" + field + "\":";
+    const std::size_t at = stats.find(needle);
+    fatalIf(at == std::string::npos,
+            "serve_e2e: stats op lacks a " + field + " counter: " + stats);
+    return std::strtol(stats.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string
+statsOp(u16 port)
+{
+    ServeClient probe;
+    std::string err;
+    fatalIf(!probe.connect(port, &err), "serve_e2e: stats connect: " + err);
+    std::string stats;
+    fatalIf(!probe.call("{\"op\":\"stats\",\"id\":7}", &stats),
+            "serve_e2e: stats op failed");
+    return stats;
+}
+
 } // namespace
 
 int
@@ -317,6 +388,166 @@ main(int argc, char **argv)
     }
     fatalIf(!stopDaemon(second, /*send_sigterm=*/false),
             "serve_e2e: shutdown op did not exit the daemon cleanly");
-    std::printf("serve_e2e: shutdown op exited daemon cleanly — all OK\n");
+    std::printf("serve_e2e: shutdown op exited daemon cleanly\n");
+
+    // Leg 3 (chaos): hostile frames, a silent peer, SIGKILL mid-flight,
+    // and a corrupted checkpoint — the daemon must shrug all of it off
+    // and keep serving byte-identical responses.
+    DaemonProc chaos = spawnDaemon(
+        daemon_path, {"--port", "0", "--quiet", "--cache-file", cache_file,
+                      "--io-timeout-ms", "300"});
+    std::printf("serve_e2e: chaos daemon pid %d on port %u\n",
+                int(chaos.pid), unsigned(chaos.port));
+    {
+        // Garbage bytes: not even a sane header (decodes to ~2.6 GiB).
+        std::string err;
+        Socket raw = connectLoopback(chaos.port, &err);
+        fatalIf(!raw.valid(), "serve_e2e: garbage connect: " + err);
+        const char junk[8] = {'\x9c', '\x8f', '\x7a', '\x9e',
+                              'j',    'u',    'n',    'k'};
+        raw.sendAll(junk, sizeof(junk));
+        raw.setIoTimeoutMs(5000);
+        char byte;
+        fatalIf(raw.recvAll(&byte, 1),
+                "serve_e2e: daemon answered a garbage frame instead of "
+                "closing the connection");
+        fatalIf(raw.timedOut(),
+                "serve_e2e: daemon did not close the garbage connection");
+    }
+    expectAlive(chaos.port, "garbage frame");
+    {
+        // Oversized length prefix: one past the frame cap.
+        std::string err;
+        Socket raw = connectLoopback(chaos.port, &err);
+        fatalIf(!raw.valid(), "serve_e2e: oversize connect: " + err);
+        char hdr[4];
+        putHeader(hdr, kMaxFrameBytes + 1);
+        raw.sendAll(hdr, sizeof(hdr));
+        raw.setIoTimeoutMs(5000);
+        char byte;
+        fatalIf(raw.recvAll(&byte, 1),
+                "serve_e2e: daemon answered an oversized frame");
+        fatalIf(raw.timedOut(),
+                "serve_e2e: daemon did not close the oversized connection");
+    }
+    expectAlive(chaos.port, "oversized frame");
+    {
+        // Truncated frame: header promises 100 bytes, 10 arrive, close.
+        std::string err;
+        Socket raw = connectLoopback(chaos.port, &err);
+        fatalIf(!raw.valid(), "serve_e2e: truncated connect: " + err);
+        char hdr[4];
+        putHeader(hdr, 100);
+        raw.sendAll(hdr, sizeof(hdr));
+        raw.sendAll("0123456789", 10);
+        raw.close();
+    }
+    expectAlive(chaos.port, "truncated frame");
+    {
+        // Silent client: half a header, then nothing. The io timeout
+        // must reap the connection — observed as a FIN on our side
+        // (recv returns EOF, not our own 5 s timeout).
+        std::string err;
+        Socket raw = connectLoopback(chaos.port, &err);
+        fatalIf(!raw.valid(), "serve_e2e: silent connect: " + err);
+        char hdr[4];
+        putHeader(hdr, 16);
+        raw.sendAll(hdr, 2);
+        raw.setIoTimeoutMs(5000);
+        char byte;
+        fatalIf(raw.recvAll(&byte, 1),
+                "serve_e2e: daemon sent data to a silent client");
+        fatalIf(raw.timedOut(),
+                "serve_e2e: silent client was not reaped by the io "
+                "timeout within 5s");
+    }
+    expectAlive(chaos.port, "silent client");
+    {
+        const std::string stats = statsOp(chaos.port);
+        const long reaped = scrapeCounter(stats, "io_timeouts");
+        fatalIf(reaped < 1,
+                "serve_e2e: stats do not record the io-timeout reap: " +
+                    stats);
+        std::printf("serve_e2e: chaos frames survived; io_timeouts=%ld\n",
+                    reaped);
+    }
+    // Chaos daemon must still be byte-identical after all that abuse.
+    const auto chaos_resp =
+        runClients(chaos.port, clients, requests, expected);
+    fatalIf(chaos_resp != responses,
+            "serve_e2e: chaos-leg responses differ from first run");
+
+    // SIGKILL mid-flight: a client hammers the daemon while it dies.
+    std::thread hammer([&] {
+        ServeClient client;
+        if (!client.connect(chaos.port))
+            return;
+        for (u32 r = 0; r < 10000; ++r) {
+            JsonWriter w(0);
+            w.beginObject();
+            w.field("op", "gemm");
+            w.field("id", u64(9000 + r));
+            w.field("m", i64(8 + (r % 8)));
+            w.field("k", i64(96));
+            w.field("n", i64(24));
+            w.endObject();
+            std::string response;
+            if (!client.call(w.str(), &response))
+                return; // daemon died mid-exchange: expected
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fatalIf(!killDaemon(chaos), "serve_e2e: SIGKILL did not take");
+    hammer.join();
+    std::printf("serve_e2e: daemon SIGKILLed mid-flight\n");
+
+    // Restart on the same cache file: the checkpoint written by the
+    // last clean shutdown must load (atomic writes — SIGKILL cannot
+    // tear it) and responses must again be byte-identical.
+    DaemonProc revived = spawnDaemon(
+        daemon_path,
+        {"--port", "0", "--quiet", "--cache-file", cache_file});
+    const auto revived_resp =
+        runClients(revived.port, clients, requests, expected);
+    fatalIf(revived_resp != responses,
+            "serve_e2e: post-SIGKILL-restart responses differ");
+    std::printf("serve_e2e: post-SIGKILL restart byte-identical\n");
+    fatalIf(!stopDaemon(revived, /*send_sigterm=*/true),
+            "serve_e2e: revived daemon did not exit cleanly");
+
+    // Corrupted checkpoint: flip one byte in the body. The next daemon
+    // must quarantine it, start cold, and still serve byte-identically.
+    {
+        std::ifstream in(cache_file, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+        fatalIf(bytes.size() < 64, "serve_e2e: cache file too small");
+        bytes[bytes.size() / 2] ^= 0x01;
+        std::ofstream outf(cache_file,
+                           std::ios::binary | std::ios::trunc);
+        outf.write(bytes.data(), std::streamsize(bytes.size()));
+    }
+    const std::string corrupt_file = cache_file + ".corrupt";
+    std::remove(corrupt_file.c_str());
+    DaemonProc cold = spawnDaemon(
+        daemon_path,
+        {"--port", "0", "--quiet", "--cache-file", cache_file});
+    {
+        const std::string stats = statsOp(cold.port);
+        fatalIf(scrapeCounter(stats, "restored") != 0,
+                "serve_e2e: corrupted checkpoint was restored: " + stats);
+        fatalIf(!fileExists(corrupt_file),
+                "serve_e2e: corrupted checkpoint was not quarantined to " +
+                    corrupt_file);
+    }
+    const auto cold_resp = runClients(cold.port, clients, requests, expected);
+    fatalIf(cold_resp != responses,
+            "serve_e2e: cold-start responses differ from first run");
+    fatalIf(!stopDaemon(cold, /*send_sigterm=*/true),
+            "serve_e2e: cold daemon did not exit cleanly");
+    std::remove(corrupt_file.c_str());
+    std::printf("serve_e2e: corrupted checkpoint quarantined, cold start "
+                "byte-identical — all OK\n");
     return 0;
 }
