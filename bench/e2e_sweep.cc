@@ -158,7 +158,8 @@ serializeOutcome(const JobOutcome &out)
     for (const u64 v :
          {d.folds, d.mac_slots, d.fold_cycles, d.bitstream_cycles,
           d.faults_weight_reg, d.faults_activation, d.faults_weight_stream,
-          d.faults_accumulator, d.faults_dram,
+          d.faults_accumulator, d.faults_dram, d.sparsity_zero_acts,
+          d.sparsity_zero_weights, d.sparsity_skippable_macs,
           u64(d.m_rows_samples.size())}) {
         p += ' ';
         p += CK::packU64(v);
@@ -185,7 +186,7 @@ deserializeOutcome(const std::string &payload)
         fields.push_back(payload.substr(pos, sp - pos));
         pos = sp + 1;
     }
-    fatalIf(fields.size() < 11,
+    fatalIf(fields.size() < 14,
             "e2e checkpoint payload: too few fields");
     JobOutcome out;
     out.checksum = i64(CK::unpackU64(fields[0]));
@@ -199,13 +200,16 @@ deserializeOutcome(const std::string &payload)
     d.faults_weight_stream = CK::unpackU64(fields[7]);
     d.faults_accumulator = CK::unpackU64(fields[8]);
     d.faults_dram = CK::unpackU64(fields[9]);
-    const u64 n_samples = CK::unpackU64(fields[10]);
-    fatalIf(fields.size() != 11 + n_samples,
+    d.sparsity_zero_acts = CK::unpackU64(fields[10]);
+    d.sparsity_zero_weights = CK::unpackU64(fields[11]);
+    d.sparsity_skippable_macs = CK::unpackU64(fields[12]);
+    const u64 n_samples = CK::unpackU64(fields[13]);
+    fatalIf(fields.size() != 14 + n_samples,
             "e2e checkpoint payload: sample count mismatch");
     d.m_rows_samples.reserve(n_samples);
     for (u64 i = 0; i < n_samples; ++i)
         d.m_rows_samples.push_back(
-            CK::unpackDouble(fields[11 + std::size_t(i)]));
+            CK::unpackDouble(fields[14 + std::size_t(i)]));
     return out;
 }
 
@@ -297,7 +301,10 @@ main(int argc, char **argv)
         ckpt.load();
     std::vector<u64> pending;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-        const std::string key = "job" + std::to_string(j);
+        // ".s" marks the sparsity-census payload layout: entries from
+        // pre-census binaries miss and recompute instead of crashing
+        // the field-count check.
+        const std::string key = "job" + std::to_string(j) + ".s";
         if (resume && ckpt.has(key))
             serial_out[j] = deserializeOutcome(ckpt.find(key));
         else
@@ -314,7 +321,7 @@ main(int argc, char **argv)
     i64 computed = 0;
     for (const u64 j : pending) {
         runJob(jobs[j], serial_out[j]);
-        ckpt.record("job" + std::to_string(j),
+        ckpt.record("job" + std::to_string(j) + ".s",
                     serializeOutcome(serial_out[j]));
         ++computed;
         progress.update(u64(computed));

@@ -27,6 +27,13 @@
  * against the legacy unblocked path on a 64x64 8-bit UR tile, records
  * panel.gemm.* stats, and with --min-panel-speedup X exits nonzero
  * when blocking falls short of the floor.
+ *
+ * A fourth section times the sparsity subsystem (DESIGN.md §16):
+ * dense-vs-sparse packed folds at 0/50/90% activation sparsity on a
+ * 64x64 8-bit UR tile, asserting bit-identical outputs first, and
+ * records sparsity.s{0,50,90}.* stats. --min-sparse-speedup X gates
+ * the 90% point; the gate self-skips when the fold is too fast to
+ * time reliably on a starved host.
  */
 
 #include <algorithm>
@@ -115,6 +122,7 @@ main(int argc, char **argv)
 
     double min_speedup = 0.0, min_simd_speedup = 0.0;
     double min_gemm_row_speedup = 0.0, min_panel_speedup = 0.0;
+    double min_sparse_speedup = 0.0;
     double max_profile_overhead_pct = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
@@ -135,6 +143,11 @@ main(int argc, char **argv)
                     "--min-panel-speedup requires a value");
             min_panel_speedup = parseDoubleFlag("--min-panel-speedup",
                                                 argv[++i], 0.0, 1e6);
+        } else if (std::strcmp(argv[i], "--min-sparse-speedup") == 0) {
+            fatalIf(i + 1 >= argc,
+                    "--min-sparse-speedup requires a value");
+            min_sparse_speedup = parseDoubleFlag("--min-sparse-speedup",
+                                                 argv[++i], 0.0, 1e6);
         } else if (std::strcmp(argv[i], "--max-profile-overhead-pct") ==
                    0) {
             fatalIf(i + 1 >= argc,
@@ -160,6 +173,10 @@ main(int argc, char **argv)
         {"ut", {Scheme::USystolicTemporal, bits, 0}, 5},
         {"ug", {Scheme::UgemmHybrid, bits, 0}, 3},
         {"bs", {Scheme::BinarySerial, bits, 0}, 20},
+        {"tub", {Scheme::TubGemm, bits, 0}, 5},
+        // tuGEMM's scalar engine walks 2^(2(N-1)) cycles per fold — a
+        // single rep keeps the bench's wall time sane.
+        {"tu", {Scheme::TuGemm, bits, 0}, 1},
     };
 
     StatsRegistry &reg = statsRegistry();
@@ -281,6 +298,8 @@ main(int argc, char **argv)
     const SimdKernels *best = avx512Kernels();
     if (!best)
         best = avx2Kernels();
+    if (!best)
+        best = neonKernels();
     const bool have_simd = best != nullptr;
     reg.counter("simd.avx2_available",
                 "1 when the AVX2 kernel table is usable on this host")
@@ -288,8 +307,12 @@ main(int argc, char **argv)
     reg.counter("simd.avx512_available",
                 "1 when the AVX-512 kernel table is usable on this host")
         .set(u64(avx512Kernels() != nullptr));
+    reg.counter("simd.neon_available",
+                "1 when the NEON kernel table is usable on this host")
+        .set(u64(neonKernels() != nullptr));
     reg.counter("simd.active_level",
-                "dispatched SIMD tier (0 generic, 1 avx2, 2 avx512)")
+                "dispatched SIMD tier (0 generic, 1 avx2, 2 avx512, "
+                "3 neon)")
         .set(u64(simdLevel()));
 
     double popcount_speedup = 1.0;
@@ -472,7 +495,124 @@ main(int argc, char **argv)
                     panel_speedup, panelBudgetKb());
     }
 
+    // ---- Sparsity: dense vs zero-skipping packed folds ----------------
+    // Activation sparsity is what the plans compact (weights stay
+    // dense, mirroring ReLU-fed layers). Outputs must be bit-identical
+    // before either number is recorded — zero skipping is an exactness-
+    // preserving optimization, never an approximation.
+    double sparse_speedup_90 = 1.0;
+    double dense90_us = 0.0;
+    {
+        ScopedTimer timer("perf_smoke_sparsity", "bench");
+        USYS_PROF_SCOPE("perf.sparsity");
+        // Tall fold (256 input rows on a 64x64 tile): the MAC loop the
+        // plans compact dominates the activation-independent weight
+        // staging, as in real im2col layers where M >> R.
+        const int sdim = 64;
+        const int srows = 256;
+        Prng prng(57);
+        const auto weights = randomCodes(sdim, sdim, prng);
+        ArrayConfig scfg;
+        scfg.rows = sdim;
+        scfg.cols = sdim;
+        scfg.kernel = {Scheme::USystolicRate, bits, 0};
+        const PackedArray packed(scfg);
+        FoldStatsDelta scratch;
+        const bool was_sparse = sparseEnabled();
+        const bool was_zskip = zeroSkipEnabled();
+
+        const struct
+        {
+            const char *tag;
+            u64 pct;
+        } levels[] = {{"s0", 0}, {"s50", 50}, {"s90", 90}};
+
+        // The dense leg disables BOTH zero-exploitation gates — the
+        // per-stream ones==0 skip and the plan compaction — so the
+        // ratio prices the whole sparsity subsystem, not just the plan
+        // layered over the legacy skip.
+        const auto setDense = [](bool dense) {
+            setSparseEnabled(!dense);
+            setZeroSkipEnabled(!dense);
+        };
+
+        std::printf("\n%-16s %14s %14s %10s\n", "sparsity",
+                    "dense us/fold", "sparse us/fold", "speedup");
+        for (const auto &lv : levels) {
+            auto input = randomCodes(srows, sdim, prng);
+            for (int r = 0; r < srows; ++r)
+                for (int c = 0; c < sdim; ++c)
+                    if (prng.below(100) < lv.pct)
+                        input(r, c) = 0;
+
+            setDense(false);
+            const auto sparse_out =
+                packed.runFold(input, weights, &scratch);
+            setDense(true);
+            const auto dense_out =
+                packed.runFold(input, weights, &scratch);
+            fatalIf(!(sparse_out.output == dense_out.output) ||
+                        sparse_out.cycles != dense_out.cycles,
+                    std::string("sparse/dense mismatch at ") + lv.tag);
+
+            // Interleaved min-of-chunks (see the profiler guard): both
+            // variants sample every point of the turbo decay.
+            double dense_us = 1e300, sparse_us = 1e300;
+            for (int t = 0; t < 7; ++t) {
+                setDense(true);
+                dense_us = std::min(
+                    dense_us,
+                    chunkUs(
+                        [&] { packed.runFold(input, weights, &scratch); },
+                        3));
+                setDense(false);
+                sparse_us = std::min(
+                    sparse_us,
+                    chunkUs(
+                        [&] { packed.runFold(input, weights, &scratch); },
+                        3));
+            }
+            const double speedup = dense_us / sparse_us;
+            if (std::strcmp(lv.tag, "s90") == 0) {
+                sparse_speedup_90 = speedup;
+                dense90_us = dense_us;
+            }
+            const std::string slug = std::string("sparsity.") + lv.tag;
+            reg.scalar(slug + ".dense_us",
+                       "256x64x64 8-bit UR fold, zero exploitation off")
+                .set(dense_us);
+            reg.scalar(slug + ".sparse_us",
+                       "256x64x64 8-bit UR fold, zero skipping enabled")
+                .set(sparse_us);
+            reg.scalar(slug + ".speedup_x",
+                       "dense/sparse fold-time ratio")
+                .set(speedup);
+            std::printf("%-16s %14.2f %14.2f %9.1fx\n", lv.tag, dense_us,
+                        sparse_us, speedup);
+        }
+        setSparseEnabled(was_sparse);
+        setZeroSkipEnabled(was_zskip);
+    }
+
     finalizeBench(opts);
+
+    if (min_sparse_speedup > 0.0) {
+        // A starved/overloaded host can squeeze the 64x64 fold below
+        // reliable timer resolution; the gate self-skips there the way
+        // the SIMD gates skip on generic-only hosts.
+        if (dense90_us < 5.0) {
+            std::printf("perf_smoke: sparse speedup gate skipped — "
+                        "dense fold too fast to time reliably "
+                        "(%.2f us)\n",
+                        dense90_us);
+        } else if (sparse_speedup_90 < min_sparse_speedup) {
+            std::fprintf(stderr,
+                         "perf_smoke: 90%% sparse speedup %.1fx below "
+                         "required %.1fx\n",
+                         sparse_speedup_90, min_sparse_speedup);
+            return 1;
+        }
+    }
 
     if (min_simd_speedup > 0.0) {
         if (!have_simd) {

@@ -34,6 +34,14 @@ FoldStatsDelta::addFaults(const FoldFaultCounts &counts)
 }
 
 void
+FoldStatsDelta::addSparsity(const SparsityCensus &census)
+{
+    sparsity_zero_acts += census.zero_acts;
+    sparsity_zero_weights += census.zero_weights;
+    sparsity_skippable_macs += census.skippable_macs;
+}
+
+void
 FoldStatsDelta::merge(const FoldStatsDelta &other)
 {
     folds += other.folds;
@@ -48,6 +56,9 @@ FoldStatsDelta::merge(const FoldStatsDelta &other)
     faults_weight_stream += other.faults_weight_stream;
     faults_accumulator += other.faults_accumulator;
     faults_dram += other.faults_dram;
+    sparsity_zero_acts += other.sparsity_zero_acts;
+    sparsity_zero_weights += other.sparsity_zero_weights;
+    sparsity_skippable_macs += other.sparsity_skippable_macs;
 }
 
 void
@@ -81,6 +92,20 @@ FoldStatsDelta::flush(const KernelConfig &kern) const
                     "accumulator fault events") += faults_accumulator;
         reg.counter(slug + ".faults_dram",
                     "DRAM read-word fault events") += faults_dram;
+    }
+    // Pure data properties of the operand tiles: identical whether the
+    // sparse paths executed or not, and omitted entirely on fully-dense
+    // runs so pre-existing dumps are unchanged.
+    if (sparsity_zero_acts || sparsity_zero_weights) {
+        reg.counter(slug + ".sparsity_zero_acts",
+                    "zero-valued activation elements streamed") +=
+            sparsity_zero_acts;
+        reg.counter(slug + ".sparsity_zero_weights",
+                    "zero-valued stationary weight elements") +=
+            sparsity_zero_weights;
+        reg.counter(slug + ".sparsity_skippable_macs",
+                    "MAC slots elidable by zero-stream skipping") +=
+            sparsity_skippable_macs;
     }
 }
 
@@ -130,6 +155,7 @@ SystolicArray::runFold(const Matrix<i32> &input,
     FoldStatsDelta local;
     FoldStatsDelta &delta = stats ? *stats : local;
     delta.add(m_rows, rows, cols, cycles, trace_len);
+    delta.addSparsity(foldSparsityCensus(kern, input, weights));
 
     const FaultPlan *plan = cfg_.faults.enabled() ? &cfg_.faults : nullptr;
     if (plan)
@@ -274,15 +300,26 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
     // legacy unblocked behavior end to end.
     const bool panel = panelGemmEnabled();
     std::vector<Matrix<i32>> a_tiles;
+    std::vector<SparsityPlan> a_plans;
+    // Sparsity plans compact each staged A-tile's nonzero indices once,
+    // shared read-only across every column shard that reuses the tile.
+    // They encode skips the engine may take, never stats it must book,
+    // so building them only when consumed keeps dumps unchanged.
+    const bool want_plans =
+        panel && packed && sparseEnabled() && zeroSkipEnabled();
     if (panel) {
         USYS_PROF_SCOPE("gemm.stage_a");
         a_tiles.reserve(k_tiles);
+        if (want_plans)
+            a_plans.resize(k_tiles);
         for (u64 kt = 0; kt < k_tiles; ++kt) {
             const int k0 = int(kt) * rows;
             Matrix<i32> t(m_rows, rows, 0);
             for (int m = 0; m < m_rows; ++m)
                 for (int r = 0; r < rows && k0 + r < k_dim; ++r)
                     t(m, r) = (*pa)(m, k0 + r);
+            if (want_plans)
+                a_plans[kt].build(t);
             a_tiles.push_back(std::move(t));
         }
     }
@@ -322,9 +359,12 @@ SystolicGemm::run(const Matrix<i32> &a, const Matrix<i32> &b,
             // Global fold index: the coordinate every per-fold fault
             // site hashes, identical under any tile schedule.
             const u64 tile = ti * k_tiles + kt;
+            const SparsityPlan *sparsity =
+                want_plans ? &a_plans[kt] : nullptr;
             const auto fold =
                 packed ? packed_array.runFold(in, w_tile,
-                                              &deltas[ti], tile)
+                                              &deltas[ti], tile,
+                                              sparsity)
                        : scalar_array.runFold(in, w_tile,
                                               &deltas[ti], tile);
             tile_cycles[ti] += fold.cycles;

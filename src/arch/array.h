@@ -24,6 +24,7 @@
 #include "common/matrix.h"
 #include "common/types.h"
 #include "arch/scheme.h"
+#include "arch/sparsity.h"
 #include "fault/fault.h"
 
 namespace usys {
@@ -77,11 +78,22 @@ struct FoldStatsDelta
     u64 faults_accumulator = 0;
     u64 faults_dram = 0;
 
+    // Value-sparsity census of the operand tiles (pure data properties,
+    // booked by every engine whether or not the skips execute; flush()
+    // emits arch.<kern>.sparsity_* only when any zero operand was seen,
+    // so fully-dense stats dumps are unchanged).
+    u64 sparsity_zero_acts = 0;
+    u64 sparsity_zero_weights = 0;
+    u64 sparsity_skippable_macs = 0;
+
     /** Record one fold's contribution. */
     void add(int m_rows, int rows, int cols, Cycles cycles, u32 trace_len);
 
     /** Record one fold's analytic fault census. */
     void addFaults(const FoldFaultCounts &counts);
+
+    /** Record one fold's operand-sparsity census. */
+    void addSparsity(const SparsityCensus &census);
 
     /** Total fault events across all sites. */
     u64

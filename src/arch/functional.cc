@@ -109,6 +109,11 @@ GemmExecutor::singleProduct(i32 a, i32 b) const
     switch (cfg_.scheme) {
       case Scheme::BinaryParallel:
       case Scheme::BinarySerial:
+      case Scheme::TubGemm:
+      case Scheme::TuGemm:
+        // The temporal-unary schemes are exact: the staircase stream
+        // asserts exactly |a| bits and each contributes the full signed
+        // weight (tubGEMM) or |w| of the held cycles (tuGEMM).
         return i64(a) * b;
       case Scheme::USystolicRate: {
         const SignMag sa = toSignMag(a);
@@ -142,7 +147,11 @@ GemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b) const
     Matrix<i64> out(m_rows, n_dim, 0);
 
     if (cfg_.scheme == Scheme::BinaryParallel ||
-        cfg_.scheme == Scheme::BinarySerial) {
+        cfg_.scheme == Scheme::BinarySerial ||
+        cfg_.scheme == Scheme::TubGemm ||
+        cfg_.scheme == Scheme::TuGemm) {
+        // Exact-product schemes: a plain integer GEMM (referenceGemm
+        // already zero-skips per element and runs row-parallel).
         return referenceGemm(a, b);
     }
 
@@ -213,7 +222,10 @@ GemmExecutor::run(const Matrix<i32> &a, const Matrix<i32> &b,
 double
 GemmExecutor::resultScale() const
 {
-    return isUnary(cfg_.scheme) ? double(u64(1) << (cfg_.bits - 1)) : 1.0;
+    // Only the comparator/RNG weight schemes accumulate rate counts
+    // that need the 2^(N-1) rescale; tubGEMM/tuGEMM are exact.
+    return hasWeightBsg(cfg_.scheme) ? double(u64(1) << (cfg_.bits - 1))
+                                     : 1.0;
 }
 
 } // namespace usys

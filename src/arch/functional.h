@@ -51,8 +51,9 @@ class GemmExecutor
 
     /**
      * Factor converting accumulator units to exact-product units:
-     * value_exact ~= acc * resultScale(). 1 for binary schemes,
-     * 2^(N-1) for the unary schemes.
+     * value_exact ~= acc * resultScale(). 1 for the exact schemes
+     * (binary, tubGEMM, tuGEMM), 2^(N-1) for the rate-counting
+     * weight-BSG schemes.
      */
     double resultScale() const;
 

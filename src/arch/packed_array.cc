@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,12 +15,40 @@
 #include "common/profiler.h"
 #include "common/simd.h"
 #include "arch/pe.h"
+#include "arch/sparsity.h"
 #include "unary/bitstream.h"
 #include "unary/sobol.h"
+
+// Under the memory-checking sanitizers, poison every reused arena
+// buffer with 0xA5 between resize and the staging writes. Any read of a
+// slot the current fold did not stage then returns a loud, deterministic
+// garbage value instead of silently reusing a previous fold's data —
+// the instrumentation that settled the tsan_test_packed_array flake
+// investigation (DESIGN.md §16). Release builds compile this out.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define USYS_POISON_ARENAS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define USYS_POISON_ARENAS 1
+#endif
+#endif
 
 namespace usys {
 
 namespace {
+
+template <typename T>
+inline void
+poisonArena(std::vector<T> &v)
+{
+#ifdef USYS_POISON_ARENAS
+    if (!v.empty())
+        std::memset(static_cast<void *>(v.data()), 0xA5,
+                    v.size() * sizeof(T));
+#else
+    (void)v;
+#endif
+}
 
 /**
  * Packed threshold-comparison stream with per-word prefix popcounts:
@@ -43,10 +72,12 @@ struct PackedStream
         const u32 nwords = (n + 63) / 64;
         const SimdKernels &simd = simdKernels();
         words.resize(nwords);
+        poisonArena(words);
         if (n)
             simd.thresholdPackWords(values.data(), n, threshold,
                                     words.data());
         prefix.resize(nwords + 1);
+        poisonArena(prefix);
         simd.prefixPopcount(words.data(), nwords, prefix.data());
     }
 
@@ -190,6 +221,7 @@ struct FoldScratch
     std::map<OnesMemoKey, std::vector<i64>> ones_memos;
     std::vector<std::unique_ptr<PackedStream>> stream_pool;
     CountTableArena tables;
+    SparsityPlan plan; // standalone folds' own nonzero-index plan
 
     // Panel staging buffers (capacity reused across folds).
     std::vector<u32> in_ones;          // per (m, r) delivered ones
@@ -314,7 +346,8 @@ PackedArray::PackedArray(const ArrayConfig &cfg)
 
 SystolicArray::FoldResult
 PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
-                     FoldStatsDelta *stats, u64 tile) const
+                     FoldStatsDelta *stats, u64 tile,
+                     const SparsityPlan *sparsity) const
 {
     USYS_PROF_SCOPE("fold.packed");
     const int rows = cfg_.rows;
@@ -338,6 +371,7 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
     FoldStatsDelta local;
     FoldStatsDelta &delta = stats ? *stats : local;
     delta.add(m_rows, rows, cols, cycles, trace_len);
+    delta.addSparsity(foldSparsityCensus(kern, input, weights));
 
     // Fault plan: the census is analytic (coordinate enumeration), so
     // it matches SystolicArray's by construction; the event *effects*
@@ -383,6 +417,27 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         ip = &ifaulted;
     }
 
+    // Nonzero-index plan for the activation side: the sparse paths below
+    // iterate only compacted nonzero columns per input row. An active
+    // ActivationStream fault plan can turn a zero operand into a nonzero
+    // contribution, so the plan is consumed only when that site is idle;
+    // uGEMM-H never consumes one (its bipolar bias makes zero operands
+    // contribute — the carve-out in foldSparsityCensus).
+    const bool sparse = sparseEnabled() && zeroSkipEnabled() &&
+                        kern.scheme != Scheme::UgemmHybrid;
+    const SparsityPlan *sp = nullptr;
+    if (sparse && !fa) {
+        if (sparsity) {
+            sp = sparsity;
+        } else {
+            SparsityPlan &own = foldScratch().plan;
+            own.build(input);
+            sp = &own;
+        }
+        if (!sp->anyZero())
+            sp = nullptr; // fully dense tile: compaction is pure cost
+    }
+
     const int shift =
         (kern.scheme == Scheme::USystolicRate && kern.et_bits > 0)
             ? kern.bits - kern.et_bits
@@ -407,6 +462,22 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             USYS_PROF_SCOPE("fold.packed.mac");
             const bool zskip = zeroSkipEnabled();
             const SimdKernels &simd = simdKernels();
+            if (sp) {
+                // Compacted iteration: only the plan's nonzero columns
+                // are touched, so row skipping costs no branch per
+                // element (sp is null when activation faults corrupt
+                // the staged codes the plan was built from).
+                for (int m = 0; m < m_rows; ++m) {
+                    const u32 *idx = sp->rowIdx(m);
+                    const u32 cnt = sp->rowCount(m);
+                    for (u32 i = 0; i < cnt; ++i) {
+                        const int r = int(idx[i]);
+                        simd.gemmRowI32(&out(m, 0), &(*wp)(r, 0),
+                                        (*ip)(m, r), cols);
+                    }
+                }
+                break;
+            }
             for (int m = 0; m < m_rows; ++m)
                 for (int r = 0; r < rows; ++r) {
                     const i32 a = (*ip)(m, r);
@@ -433,6 +504,80 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         break;
       }
 
+      case Scheme::TubGemm:
+      case Scheme::TuGemm: {
+        // Both temporal-unary schemes reduce to an exact integer GEMM
+        // once the activation's delivered ones-count is staged: the
+        // staircase stream of |a| asserts exactly |a| of its 2^(N-1)
+        // window bits, so fault-free staging is the identity and no
+        // stream words are ever materialized (the stream-generation
+        // level of zero skipping). tubGEMM adds the binary weight value
+        // per asserted bit; tuGEMM ANDs in the weight staircase, which
+        // matches |w| of the held cycles per asserted bit — either way
+        // the MAC is (+/- ones) * w, exactly.
+        const u32 awin = activationWindow(kern);
+        const int rng_bits = kern.bits - 1;
+        auto staged_ones = [&](int m, int r) -> i64 {
+            const SignMag in = toSignMag(input(m, r));
+            u32 ones = in.magnitude;
+            if (fa)
+                if (const auto af =
+                        plan->activationStream(tile, m, r, awin)) {
+                    TemporalBsg gen(in.magnitude, rng_bits);
+                    ones = u32(onesInWindow(gen, awin, &*af));
+                }
+            return in.negative ? -i64(ones) : i64(ones);
+        };
+
+        if (panelGemmEnabled() && !fo) {
+            // Fast path gate is wider than UR/UT's: activation faults
+            // fold into the staged ones-count and no weight stream
+            // exists to fault, so only a live accumulator site forces
+            // the per-MAC loop below.
+            USYS_PROF_SCOPE("fold.packed.mac");
+            const bool zskip = zeroSkipEnabled();
+            const SimdKernels &simd = simdKernels();
+            if (sp) {
+                for (int m = 0; m < m_rows; ++m) {
+                    const u32 *idx = sp->rowIdx(m);
+                    const u32 cnt = sp->rowCount(m);
+                    for (u32 i = 0; i < cnt; ++i) {
+                        const int r = int(idx[i]);
+                        simd.gemmRowI32(&out(m, 0), &(*wp)(r, 0),
+                                        i32(staged_ones(m, r)), cols);
+                    }
+                }
+                break;
+            }
+            for (int m = 0; m < m_rows; ++m)
+                for (int r = 0; r < rows; ++r) {
+                    const i64 a = staged_ones(m, r);
+                    if (zskip && a == 0)
+                        continue;
+                    simd.gemmRowI32(&out(m, 0), &(*wp)(r, 0), i32(a),
+                                    cols);
+                }
+            break;
+        }
+
+        for (int m = 0; m < m_rows; ++m) {
+            for (int r = 0; r < rows; ++r) {
+                const i64 a = staged_ones(m, r);
+                for (int c = 0; c < cols; ++c) {
+                    i64 contrib = a * i64((*wp)(r, c));
+                    // Accumulator site: per-MAC signed OREG
+                    // contribution, pre-merge — same point as finishMac.
+                    if (fo)
+                        if (const auto f = plan->accumulator(
+                                tile, m, r, c, acc_width))
+                            contrib = f->applyToInt(contrib, acc_width);
+                    out(m, c) += contrib;
+                }
+            }
+        }
+        break;
+      }
+
       case Scheme::USystolicRate:
       case Scheme::USystolicTemporal: {
         const bool rate = kern.scheme == Scheme::USystolicRate;
@@ -448,6 +593,11 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
         std::vector<i64> &ones_memo = scratch.onesMemo(
             rate ? 0 : 1, rng_bits, mul, std::size_t(maxAbs(input)) + 1);
         auto ones_of = [&](u32 iabs) -> u32 {
+            // Zero-magnitude streams are all-zero by construction (the
+            // comparator threshold is 0), so never materialize their
+            // RNG words — the stream-generation level of zero skipping.
+            if (iabs == 0)
+                return 0;
             i64 &slot = ones_memo[iabs];
             if (slot < 0) {
                 if (rate) {
@@ -483,16 +633,37 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
             std::vector<i64> &in_neg = scratch.in_neg;
             in_ones.resize(std::size_t(m_rows) * rows);
             in_neg.resize(std::size_t(m_rows) * rows);
+            poisonArena(in_ones);
+            poisonArena(in_neg);
             {
                 USYS_PROF_SCOPE("fold.packed.stage");
-                for (int m = 0; m < m_rows; ++m)
-                    for (int r = 0; r < rows; ++r) {
-                        const SignMag in = toSignMag(input(m, r));
-                        in_ones[std::size_t(m) * rows + r] =
-                            ones_of(in.magnitude);
-                        in_neg[std::size_t(m) * rows + r] =
-                            in.negative ? -1 : 0;
+                if (sp) {
+                    // Compacted staging: zero operands never reach the
+                    // ones memo (their slots stay unstaged; the MAC
+                    // loop below walks the same plan, so they are
+                    // never read either).
+                    for (int m = 0; m < m_rows; ++m) {
+                        const u32 *idx = sp->rowIdx(m);
+                        const u32 cnt = sp->rowCount(m);
+                        for (u32 i = 0; i < cnt; ++i) {
+                            const int r = int(idx[i]);
+                            const SignMag in = toSignMag(input(m, r));
+                            in_ones[std::size_t(m) * rows + r] =
+                                ones_of(in.magnitude);
+                            in_neg[std::size_t(m) * rows + r] =
+                                in.negative ? -1 : 0;
+                        }
                     }
+                } else {
+                    for (int m = 0; m < m_rows; ++m)
+                        for (int r = 0; r < rows; ++r) {
+                            const SignMag in = toSignMag(input(m, r));
+                            in_ones[std::size_t(m) * rows + r] =
+                                ones_of(in.magnitude);
+                            in_neg[std::size_t(m) * rows + r] =
+                                in.negative ? -1 : 0;
+                        }
+                }
             }
 
             CountTableArena &arena = scratch.tables;
@@ -528,6 +699,8 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
                 std::vector<i64> &wneg = scratch.grid_neg;
                 wtbl.resize(std::size_t(rows) * pcols);
                 wneg.resize(std::size_t(rows) * pcols);
+                poisonArena(wtbl);
+                poisonArena(wneg);
                 for (int cl = 0; cl < pcols; ++cl)
                     for (int r = 0; r < rows; ++r) {
                         wtbl[std::size_t(r) * pcols + cl] =
@@ -539,7 +712,14 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
                 USYS_PROF_SCOPE("fold.packed.mac");
                 for (int m = 0; m < m_rows; ++m) {
                     i64 *out_row = &out(m, c0);
-                    for (int r = 0; r < rows; ++r) {
+                    // Compacted iteration when a plan is live; the
+                    // ones == 0 check stays either way — an early-
+                    // terminated window can deliver zero 1s even for a
+                    // nonzero magnitude.
+                    const u32 *idx = sp ? sp->rowIdx(m) : nullptr;
+                    const u32 cnt = sp ? sp->rowCount(m) : u32(rows);
+                    for (u32 i = 0; i < cnt; ++i) {
+                        const int r = sp ? int(idx[i]) : int(i);
                         const u32 ones =
                             in_ones[std::size_t(m) * rows + r];
                         // All-zero input stream: every count is 0.
@@ -587,6 +767,12 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
                 } else {
                     ones = ones_of(in.magnitude);
                 }
+                // Zero delivered ones: every count is 0 and weight-
+                // stream faults only cover indices below the ones-count,
+                // so the whole column sweep contributes exactly nothing
+                // — unless an accumulator fault could still fire on it.
+                if (sparse && !fo && ones == 0)
+                    continue;
                 for (int c = 0; c < cols; ++c) {
                     const SignMag w = toSignMag((*wp)(r, c));
                     i64 count =
@@ -660,6 +846,7 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
 
             std::vector<u32> &in_ones = scratch.in_ones;
             in_ones.resize(std::size_t(m_rows) * rows);
+            poisonArena(in_ones);
             {
                 USYS_PROF_SCOPE("fold.packed.stage");
                 for (int m = 0; m < m_rows; ++m)
@@ -699,6 +886,8 @@ PackedArray::runFold(const Matrix<i32> &input, const Matrix<i32> &weights,
                 std::vector<const u32 *> &wtbl0 = scratch.grid_b;
                 wtbl1.resize(std::size_t(rows) * pcols);
                 wtbl0.resize(std::size_t(rows) * pcols);
+                poisonArena(wtbl1);
+                poisonArena(wtbl0);
                 for (int cl = 0; cl < pcols; ++cl)
                     for (int r = 0; r < rows; ++r) {
                         wtbl1[std::size_t(r) * pcols + cl] =

@@ -58,11 +58,19 @@ class PackedArray
      *        accumulates the registry delta for a later ordered flush()
      * @param tile fold index for fault-site resolution (SystolicGemm
      *        numbers folds ti * k_tiles + kt; standalone folds use 0)
+     * @param sparsity optional pre-built nonzero-index plan of `input`
+     *        (SystolicGemm builds one per staged A-tile and shares it
+     *        across column shards). Null means the fold builds its own
+     *        when the sparse paths are enabled. Plans encode skips the
+     *        engine may take, never results — outputs, cycles, stats,
+     *        and the fault census are bit-identical with or without one.
      */
     SystolicArray::FoldResult runFold(const Matrix<i32> &input,
                                       const Matrix<i32> &weights,
                                       FoldStatsDelta *stats = nullptr,
-                                      u64 tile = 0) const;
+                                      u64 tile = 0,
+                                      const SparsityPlan *sparsity =
+                                          nullptr) const;
 
     const ArrayConfig &config() const { return cfg_; }
 

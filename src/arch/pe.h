@@ -122,6 +122,31 @@ class RowFrontEnd
                 ++consumed_;
             break;
           }
+          case Scheme::TubGemm: {
+            // Temporal activation stream against a binary weight: same
+            // staircase as UT, no weight-side RNG at all.
+            const u32 period = u32(1) << (cfg_.bits - 1);
+            bool ibit = cnt_ >= period - iabs_;
+            ++cnt_;
+            if (sfault_ && sfault_->covers(phase))
+                ibit = sfault_->corruptBit(ibit, phase);
+            lane.ibit = ibit;
+            break;
+          }
+          case Scheme::TuGemm: {
+            // Both operands temporal: each of the P activation-stream
+            // bits is held for the P cycles of one weight-staircase
+            // sweep, so the activation stream index is phase / P (and
+            // that index is the fault coordinate — activationWindow()
+            // returns P for tuGEMM).
+            const u32 period = u32(1) << (cfg_.bits - 1);
+            const u32 idx = phase >> (cfg_.bits - 1);
+            bool ibit = idx >= period - iabs_;
+            if (sfault_ && sfault_->covers(idx))
+                ibit = sfault_->corruptBit(ibit, idx);
+            lane.ibit = ibit;
+            break;
+          }
           case Scheme::UgemmHybrid: {
             bool ibit = irng_.next() < ioffset_;
             if (sfault_ && sfault_->covers(phase))
@@ -251,6 +276,24 @@ class PeCore
                 ++oreg_;
             break;
           }
+          case Scheme::TubGemm:
+            // The binary weight value enters the accumulator whole on
+            // every asserted activation bit: oreg = ones(a) * w exactly,
+            // in 2^(N-1) cycles. No comparator, no weight stream.
+            if (lane.ibit)
+                oreg_ += wvalue_;
+            break;
+          case Scheme::TuGemm: {
+            // Deterministic weight staircase: bit j of the weight
+            // stream is set for the last |w| positions of the period,
+            // ANDed with the held activation bit. Sign is resolved per
+            // asserted product bit (both operand signs are known).
+            const u32 period = u32(1) << (cfg_.bits - 1);
+            const u32 j = phase & (period - 1);
+            if (lane.ibit && j >= period - wabs_)
+                oreg_ += (lane.isign != wsign_) ? -1 : 1;
+            break;
+          }
         }
     }
 
@@ -266,6 +309,10 @@ class PeCore
     {
         i64 value = oreg_;
         if (cfg_.scheme == Scheme::BinarySerial && (input_sign != wsign_))
+            value = -value;
+        // tubGEMM accumulates ones(a) * w (weight sign already in), so
+        // only the activation sign flips the finished product.
+        if (cfg_.scheme == Scheme::TubGemm && input_sign)
             value = -value;
         if (cfg_.scheme == Scheme::UgemmHybrid) {
             // Bipolar count -> signed scaled product (x*w / 2^(N-1)).

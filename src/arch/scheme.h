@@ -12,6 +12,15 @@
  *   USystolicTemporal same but temporal-coded input (no early termination)
  *   UgemmHybrid      uGEMM-H baseline: bipolar uMUL on signed data,
  *                    2^N mul cycles, double area
+ *   TubGemm          tubGEMM (Vellaisamy et al.): temporal-unary
+ *                    activation x binary weight — the weight register adds
+ *                    its full signed value on every asserted input bit, so
+ *                    a MAC is exact in 2^(N-1) cycles and a zero-magnitude
+ *                    activation stream costs nothing
+ *   TuGemm           tuGEMM (Nair et al.): both operands temporal-coded,
+ *                    fully serial AND of two deterministic staircase
+ *                    streams — exact |a|*|w| in 2^(2(N-1)) cycles with no
+ *                    RNG at all
  */
 
 #ifndef USYS_ARCH_SCHEME_H
@@ -32,9 +41,11 @@ enum class Scheme
     USystolicRate,
     USystolicTemporal,
     UgemmHybrid,
+    TubGemm,
+    TuGemm,
 };
 
-/** Short tag used in experiment tables (BP/BS/UR/UT/UG). */
+/** Short tag used in experiment tables (BP/BS/UR/UT/UG/TUB/TU). */
 inline const char *
 schemeTag(Scheme s)
 {
@@ -44,13 +55,29 @@ schemeTag(Scheme s)
       case Scheme::USystolicRate: return "UR";
       case Scheme::USystolicTemporal: return "UT";
       case Scheme::UgemmHybrid: return "UG";
+      case Scheme::TubGemm: return "TUB";
+      case Scheme::TuGemm: return "TU";
     }
     return "?";
 }
 
-/** True for the unary schemes (uSystolic and uGEMM-H). */
+/** True for the schemes that stream unary activations. */
 inline bool
 isUnary(Scheme s)
+{
+    return s == Scheme::USystolicRate || s == Scheme::USystolicTemporal ||
+           s == Scheme::UgemmHybrid || s == Scheme::TubGemm ||
+           s == Scheme::TuGemm;
+}
+
+/**
+ * True for the schemes whose weight operand is a comparator-generated
+ * bitstream (C-BSG with an RNG behind it). tubGEMM keeps the weight
+ * binary and tuGEMM's weight staircase is a deterministic counter, so
+ * neither has a weight-stream fault site or the 2^(N-1) result rescale.
+ */
+inline bool
+hasWeightBsg(Scheme s)
 {
     return s == Scheme::USystolicRate || s == Scheme::USystolicTemporal ||
            s == Scheme::UgemmHybrid;
@@ -96,6 +123,10 @@ struct KernelConfig
             return u32(1) << (bits - 1);
           case Scheme::UgemmHybrid:
             return u32(1) << bits;
+          case Scheme::TubGemm:
+            return u32(1) << (bits - 1);
+          case Scheme::TuGemm:
+            return u32(1) << (2 * (bits - 1));
         }
         return 1;
     }

@@ -21,6 +21,7 @@ namespace {
 bool g_packed_engine = true;
 bool g_panel_gemm = true;
 bool g_zero_skip = true;
+bool g_sparse = true;
 u32 g_panel_kb_override = 0;
 
 /**
@@ -156,6 +157,18 @@ setZeroSkipEnabled(bool on)
     g_zero_skip = on;
 }
 
+bool
+sparseEnabled()
+{
+    return g_sparse;
+}
+
+void
+setSparseEnabled(bool on)
+{
+    g_sparse = on;
+}
+
 u32
 panelBudgetKb()
 {
@@ -249,6 +262,10 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
             setZeroSkipEnabled(false);
         } else if (std::strcmp(arg, "--zero-skip") == 0) {
             setZeroSkipEnabled(true);
+        } else if (std::strcmp(arg, "--no-sparse") == 0) {
+            setSparseEnabled(false);
+        } else if (std::strcmp(arg, "--sparse") == 0) {
+            setSparseEnabled(true);
         } else if (std::strcmp(arg, "--panel-kb") == 0) {
             setPanelBudgetKb(u32(parseIntFlag(
                 "--panel-kb", value("--panel-kb"), 16, 1048576)));
@@ -294,7 +311,8 @@ parseBenchArgs(int *argc, char **argv, const std::string &bench)
            (packedEngineEnabled() ? "on" : "off") + " panel=" +
            (panelGemmEnabled() ? std::to_string(panelBudgetKb()) + "KB"
                                : "off") +
-           " zero-skip=" + (zeroSkipEnabled() ? "on" : "off"));
+           " zero-skip=" + (zeroSkipEnabled() ? "on" : "off") +
+           " sparse=" + (sparseEnabled() ? "on" : "off"));
     return opts;
 }
 

@@ -15,6 +15,10 @@
  *                         overrides USYS_L2_KB and the sysfs L2 probe
  *   --no-zero-skip        disable the zero-magnitude stream fast path
  *   --zero-skip           re-enable zero-stream skipping (the default)
+ *   --no-sparse           disable the sparsity plans (compacted
+ *                         nonzero-index iteration); per-element
+ *                         zero-skip checks remain
+ *   --sparse              re-enable sparsity plans (the default)
  *   --threads <n>         executor thread count (0 = auto: USYS_THREADS
  *                         env, else hardware_concurrency())
  *   --simd <mode>         SIMD kernel tier: auto (default; best the CPU
@@ -162,6 +166,20 @@ bool zeroSkipEnabled();
 
 /** Override the zero-skip gate (tests and CLI flag handling). */
 void setZeroSkipEnabled(bool on);
+
+/**
+ * Gate for the sparsity-plan layer above zero skipping (DESIGN.md §16):
+ * per staged activation tile, a compacted nonzero-index plan that the
+ * packed fold iterates instead of testing every element for zero. Only
+ * consulted while zero skipping itself is enabled. Defaults to on;
+ * --no-sparse falls back to the per-element checks. Plans never change
+ * results, stats, or the fault census — they only reorder skipped work
+ * out of the loops.
+ */
+bool sparseEnabled();
+
+/** Override the sparsity-plan gate (tests and CLI flag handling). */
+void setSparseEnabled(bool on);
 
 /**
  * Per-worker panel arena budget in KiB. Resolution order: --panel-kb

@@ -290,7 +290,10 @@ Executor::inParallelRegion()
 u64
 Executor::stealCount() const
 {
-    // Read-only peek; a pool restart resets the count.
+    // Read-only peek; a pool restart resets the count. The lock only
+    // fences against setThreads() deleting the pool mid-read — the
+    // counter loads themselves stay relaxed.
+    std::lock_guard<std::mutex> lock(mu_);
     return pool_ ? pool_->steals.load(std::memory_order_relaxed) : 0;
 }
 
@@ -300,6 +303,7 @@ Executor::workerCounters() const
     // Same read-only peek contract as stealCount(): relaxed loads of
     // owner-written counters, tolerating concurrent updates.
     std::vector<WorkerCounters> out;
+    std::lock_guard<std::mutex> lock(mu_);
     if (!pool_)
         return out;
     out.reserve(pool_->nthreads);
@@ -318,6 +322,7 @@ Executor::workerCounters() const
 void
 Executor::mergeTaskLatency(Histogram &dst) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!pool_)
         return;
     for (const auto &st : pool_->slot_stats)

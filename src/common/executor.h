@@ -127,7 +127,10 @@ class Executor
     struct Pool;
     Pool *pool(); // started lazily under mu_
 
-    std::mutex mu_;
+    // mutable: the const telemetry peeks (stealCount, workerCounters,
+    // mergeTaskLatency) must hold it too, or a concurrent setThreads()
+    // pool teardown turns their reads into use-after-free.
+    mutable std::mutex mu_;
     Pool *pool_ = nullptr;
     unsigned explicit_threads_ = 0;
 };

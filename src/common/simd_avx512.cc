@@ -29,13 +29,28 @@
 namespace usys {
 namespace {
 
+// GCC 12's TSan pass miscompiles these kernels at -O2: the inserted
+// __tsan_read/__tsan_write calls force ZMM/mask-register spills, and
+// reloaded __mmask16 values come back holding stack-address fragments
+// (observed directly in thresholdPackWords: with threshold 0 the packed
+// word's bits 16..47 contained half a stack pointer — DESIGN.md §16).
+// The kernels are synchronization-free leaf code over caller-owned
+// buffers, so skipping instrumentation inside them costs no real race
+// coverage: every buffer they touch is also read/written by
+// instrumented caller code.
+#if defined(__SANITIZE_THREAD__)
+#define USYS_AVX512_NO_TSAN __attribute__((no_sanitize("thread")))
+#else
+#define USYS_AVX512_NO_TSAN
+#endif
+
 /**
  * Bulk popcount via VPOPCNTDQ: one instruction per 8 words replaces
  * the whole AVX2 Harley-Seal adder tree. Two accumulators cover the
  * instruction latency; per-lane u64 counters cannot overflow for any
  * realizable buffer size.
  */
-u64
+USYS_AVX512_NO_TSAN u64
 popcountWordsAvx512(const u64 *words, std::size_t n)
 {
     const __m512i *v = reinterpret_cast<const __m512i *>(words);
@@ -59,7 +74,7 @@ popcountWordsAvx512(const u64 *words, std::size_t n)
     return sum;
 }
 
-void
+USYS_AVX512_NO_TSAN void
 thresholdPackWordsAvx512(const u32 *values, u32 n, u32 threshold, u64 *out)
 {
     // Native unsigned compare into a mask register: each vector yields
@@ -95,7 +110,7 @@ thresholdPackWordsAvx512(const u32 *values, u32 n, u32 threshold, u64 *out)
     }
 }
 
-void
+USYS_AVX512_NO_TSAN void
 prefixPopcountAvx512(const u64 *words, u32 nwords, u32 *prefix)
 {
     // Two-pass block-offset scheme. Pass 1 stores the independent
@@ -151,7 +166,7 @@ prefixPopcountAvx512(const u64 *words, u32 nwords, u32 *prefix)
     }
 }
 
-void
+USYS_AVX512_NO_TSAN void
 axpyF32Avx512(float *c, const float *b, float a, int n)
 {
     const __m512 va = _mm512_set1_ps(a);
@@ -166,7 +181,7 @@ axpyF32Avx512(float *c, const float *b, float a, int n)
         c[j] += a * b[j];
 }
 
-void
+USYS_AVX512_NO_TSAN void
 gemmRowI32Avx512(i64 *c, const i32 *b, i32 a, int n)
 {
     // vpmuldq multiplies the low signed 32 bits of each 64-bit lane:

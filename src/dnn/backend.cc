@@ -98,12 +98,18 @@ gemmWithMode(const MatF &a, const MatF &b, const NumericConfig &cfg)
         return dequantizeAcc(referenceGemm(qa, qb), sa * sb);
       case NumericMode::UnaryRate:
       case NumericMode::UnaryTemporal:
-      case NumericMode::UgemmH: {
+      case NumericMode::UgemmH:
+      case NumericMode::TubGemm:
+      case NumericMode::TuGemm: {
         Scheme scheme = Scheme::USystolicRate;
         if (cfg.mode == NumericMode::UnaryTemporal)
             scheme = Scheme::USystolicTemporal;
         if (cfg.mode == NumericMode::UgemmH)
             scheme = Scheme::UgemmHybrid;
+        if (cfg.mode == NumericMode::TubGemm)
+            scheme = Scheme::TubGemm;
+        if (cfg.mode == NumericMode::TuGemm)
+            scheme = Scheme::TuGemm;
         GemmExecutor exec({scheme, cfg.ebt, 0});
         const auto acc = exec.run(qa, qb);
         return dequantizeAcc(acc, sa * sb * exec.resultScale());

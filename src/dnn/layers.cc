@@ -362,6 +362,21 @@ Sequential::forwardMixed(const Tensor &x,
 }
 
 Tensor
+Sequential::forwardMeasuringSparsity(const Tensor &x,
+                                     const NumericConfig &cfg,
+                                     std::vector<double> *gemm_input_zero_frac)
+{
+    Tensor cur = x;
+    for (auto &layer : layers_) {
+        const std::string kind = layer->name();
+        if (kind == "conv" || kind == "linear" || kind == "residual")
+            gemm_input_zero_frac->push_back(cur.zeroFraction());
+        cur = layer->forward(cur, cfg);
+    }
+    return cur;
+}
+
+Tensor
 Sequential::backward(const Tensor &grad_out)
 {
     Tensor g = grad_out;

@@ -143,6 +143,18 @@ class Sequential : public Layer
     Tensor forwardMixed(const Tensor &x,
                         const std::vector<NumericConfig> &configs);
 
+    /**
+     * Forward pass that also measures the input zero fraction of every
+     * GEMM sublayer (conv/linear), in network order — the real
+     * ReLU-induced activation sparsity a zero-stream-skipping array
+     * would see on this batch. Residual blocks report one entry per
+     * block (the block input's zero fraction, covering its inner
+     * convolutions). Appends to `gemm_input_zero_frac`.
+     */
+    Tensor forwardMeasuringSparsity(const Tensor &x,
+                                    const NumericConfig &cfg,
+                                    std::vector<double> *gemm_input_zero_frac);
+
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
 };

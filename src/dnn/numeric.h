@@ -12,6 +12,10 @@
  * UnaryTemporal  same with temporal-coded inputs (no early termination).
  * UgemmH     uGEMM-H bipolar unary GEMM (2^n cycles) — identical
  *            resolution to UnaryRate, double the hardware/latency.
+ * TubGemm    tubGEMM: temporal-unary activation x binary weight, exact
+ *            n-bit products (2^(n-1) cycles).
+ * TuGemm     tuGEMM: fully temporal unary, exact n-bit products
+ *            (2^(2(n-1)) cycles).
  */
 
 #ifndef USYS_DNN_NUMERIC_H
@@ -32,6 +36,8 @@ enum class NumericMode
     UnaryRate,
     UnaryTemporal,
     UgemmH,
+    TubGemm,
+    TuGemm,
 };
 
 /** Mode plus effective bitwidth (EBT) n. */
@@ -62,6 +68,10 @@ struct NumericConfig
             return "uSystolic-temporal-" + std::to_string(ebt);
           case NumericMode::UgemmH:
             return "uGEMM-H-" + std::to_string(ebt);
+          case NumericMode::TubGemm:
+            return "tubGEMM-" + std::to_string(ebt);
+          case NumericMode::TuGemm:
+            return "tuGEMM-" + std::to_string(ebt);
         }
         return "?";
     }

@@ -69,6 +69,22 @@ class Tensor
         std::fill(data_.begin(), data_.end(), 0.0f);
     }
 
+    /**
+     * Fraction of elements that are exactly zero. Post-ReLU this is the
+     * activation sparsity the zero-stream-skipping schemes exploit
+     * (GemmLayer::act_sparsity).
+     */
+    double
+    zeroFraction() const
+    {
+        if (data_.empty())
+            return 0.0;
+        std::size_t zeros = 0;
+        for (const float v : data_)
+            zeros += (v == 0.0f);
+        return double(zeros) / double(data_.size());
+    }
+
   private:
     std::size_t
     idx(int n, int c, int h, int w) const

@@ -5,6 +5,7 @@
 
 #include "common/event_trace.h"
 #include "common/stats_registry.h"
+#include "dnn/models.h"
 #include "workloads/alexnet.h"
 #include "workloads/systems.h"
 
@@ -37,7 +38,44 @@ paperCandidates(int bits)
     cands.push_back({"Unary-128c", {Scheme::USystolicRate, bits, 8},
                      false});
     cands.push_back({"uGEMM-H", {Scheme::UgemmHybrid, bits, 0}, false});
+    // Exact-product temporal schemes: tubGEMM (unary activation x binary
+    // weight) and tuGEMM (fully temporal). Labels deliberately do not
+    // start with "Unary" — headlineSummary()'s uSystolic filter keys on
+    // that prefix.
+    cands.push_back({"tubGEMM", {Scheme::TubGemm, bits, 0}, false});
+    cands.push_back({"tuGEMM", {Scheme::TuGemm, bits, 0}, false});
     return cands;
+}
+
+std::vector<double>
+measuredAlexnetSparsity()
+{
+    // Deterministic synthetic batch through the scaled AlexLite model:
+    // random weights already yield the ~half-negative pre-activations
+    // whose ReLU zeros the unary arrays skip. Fixed seeds keep every
+    // caller (benches, tests, usim) byte-reproducible.
+    auto model = buildAlexLite(10, 0x5eedu);
+    Prng rng(0xa1e7u);
+    Tensor x(8, 1, 16, 16);
+    for (auto &v : x.raw())
+        v = float(rng.uniform());
+    std::vector<double> frac;
+    model->forwardMeasuringSparsity(x, NumericConfig{}, &frac);
+    return frac;
+}
+
+std::vector<GemmLayer>
+alexnetLayersMeasuredSparsity()
+{
+    auto layers = alexnetLayers();
+    const auto frac = measuredAlexnetSparsity();
+    fatalIf(frac.size() != layers.size(),
+            "measured sparsity does not align with the AlexNet layers");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        layers[i].act_sparsity = frac[i];
+        layers[i].check();
+    }
+    return layers;
 }
 
 std::vector<Candidate>
@@ -91,6 +129,8 @@ fig11Area(bool edge, int bits)
         {"UG", Scheme::UgemmHybrid, false},
         {"UR", Scheme::USystolicRate, false},
         {"UT", Scheme::USystolicTemporal, false},
+        {"TUB", Scheme::TubGemm, false},
+        {"TU", Scheme::TuGemm, false},
     };
 
     std::vector<AreaRow> rows;
@@ -221,13 +261,15 @@ recordInstrumentedSweep(bool edge, int bits)
         {"ug", Scheme::UgemmHybrid, false},
         {"ur", Scheme::USystolicRate, false},
         {"ut", Scheme::USystolicTemporal, false},
+        {"tub", Scheme::TubGemm, false},
+        {"tu", Scheme::TuGemm, false},
     };
 
     StatsRegistry &reg = statsRegistry();
     const auto layers = alexnetLayers();
 
     // Batch the whole scheme x layer grid into one simulateLayerBatch
-    // call, so the executor fans out over all 5 * layers points at once
+    // call, so the executor fans out over all 7 * layers points at once
     // instead of joining at every scheme boundary.
     std::vector<LayerJob> jobs;
     for (const auto &e : entries) {

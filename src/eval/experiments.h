@@ -33,9 +33,24 @@ struct Candidate
 /**
  * The Figure 10-14 candidate list at a given bitwidth: Binary Parallel,
  * Binary Serial (both with SRAM), Unary-32c/64c/128c (rate-coded early
- * termination, no SRAM), uGEMM-H (no SRAM).
+ * termination, no SRAM), uGEMM-H, tubGEMM, tuGEMM (no SRAM).
  */
 std::vector<Candidate> paperCandidates(int bits);
+
+/**
+ * Per-GEMM-layer input zero fraction of the AlexNet workload, measured
+ * from a forward pass of the scaled AlexLite model (src/dnn) on a
+ * deterministic synthetic batch: real ReLU-induced activation sparsity,
+ * layer-aligned with alexnetLayers() (5 conv + 3 fc).
+ */
+std::vector<double> measuredAlexnetSparsity();
+
+/**
+ * alexnetLayers() with GemmLayer::act_sparsity filled in from
+ * measuredAlexnetSparsity() — the sparsity-aware workload the roofline
+ * model (simulateLayerBatch) credits with zero-stream skipping.
+ */
+std::vector<GemmLayer> alexnetLayersMeasuredSparsity();
 
 /** SRAM-ablation variants used by Figure 10 (binary without SRAM, etc.). */
 std::vector<Candidate> bandwidthCandidates(int bits);
@@ -96,8 +111,8 @@ struct Headline
 Headline headlineSummary();
 
 /**
- * Simulate AlexNet on all five computing schemes (BP/BS/UG/UR/UT, unary
- * designs without SRAM) and record per-layer compute/stall/DRAM/energy
+ * Simulate AlexNet on all seven computing schemes (BP/BS/UG/UR/UT/TUB/TU,
+ * unary designs without SRAM) and record per-layer compute/stall/DRAM/energy
  * statistics under `sim.<scheme>.layer<i>.*` in the global registry,
  * plus per-scheme `runtime_s`/`energy_uj` rollups. This is the
  * machine-readable backbone of `headline_summary --stats-json`.

@@ -176,7 +176,9 @@ countFoldFaults(const FaultPlan &plan, const KernelConfig &kern,
                 if (plan.activationStream(tile, m, r, window))
                     ++counts.activation;
     }
-    if (plan.rates.weight_stream > 0.0 && isUnary(kern.scheme)) {
+    // tubGEMM/tuGEMM have no C-BSG weight comparator, so the
+    // WeightStream site does not exist for them.
+    if (plan.rates.weight_stream > 0.0 && hasWeightBsg(kern.scheme)) {
         const u32 window = kern.mulCycles();
         for (int m = 0; m < m_rows; ++m)
             for (int r = 0; r < rows; ++r)

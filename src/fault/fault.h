@@ -232,6 +232,10 @@ activationWindow(const KernelConfig &kern)
         return u32(kern.bits);
       case Scheme::BinarySerial:
         return u32(kern.bits - 1);
+      case Scheme::TuGemm:
+        // The activation stream has 2^(N-1) bits; each is merely *held*
+        // for one weight-staircase sweep of the 2^(2(N-1))-cycle MAC.
+        return u32(1) << (kern.bits - 1);
       default:
         return kern.mulCycles();
     }

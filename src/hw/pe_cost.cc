@@ -42,6 +42,12 @@ congestionExponent(Scheme s)
       case Scheme::UgemmHybrid: return 0.22;
       case Scheme::USystolicRate:
       case Scheme::USystolicTemporal: return 0.20;
+      // tubGEMM routes a full binary weight bus into the adder, so it
+      // congests slightly faster than the single-wire unary lanes;
+      // tuGEMM is pure counters and single-wire streams — the least
+      // congestion-prone datapath of the seven.
+      case Scheme::TubGemm: return 0.21;
+      case Scheme::TuGemm: return 0.19;
     }
     return 0.22;
 }
@@ -164,6 +170,66 @@ peCost(const KernelConfig &kern, bool leftmost)
         ge.acc = adderGe(acc_bits) + regGe(acc_bits) + 8.0; // offset sub
         cost.e_mac_finish_pj =
             addOpPj(acc_bits) + regWritePj(acc_bits) + addOpPj(acc_bits);
+        break;
+      }
+      case Scheme::TubGemm: {
+        // Temporal-unary activation x binary weight: a staircase
+        // counter + magnitude comparator generate the input stream
+        // (leftmost column only); every PE then adds its full signed
+        // weight into a 2N-bit OREG on asserted bits. No RNGs anywhere.
+        const int acc_bits = 2 * bits;
+        if (leftmost) {
+            ge.ireg = regGe(mag) + regGe(1) + regGe(1); // IABS+ISIGN+IDFF
+            ge.mul = counterGe(mag) + comparatorGe(mag) + bits * kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                0.3 * regWritePj(mag) + // staircase counter advance
+                cmpOpPj(mag) +          // C-I threshold
+                regWritePj(1) +         // IDFF
+                bits * kGateOpPj +
+                kEnableDensity *
+                    (addOpPj(acc_bits) + regWritePj(acc_bits));
+        } else {
+            ge.ireg = regGe(2); // IDFF + ISIGN pipeline
+            ge.mul = bits * kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                regWritePj(1) + bits * kGateOpPj +
+                kEnableDensity *
+                    (addOpPj(acc_bits) + regWritePj(acc_bits));
+        }
+        ge.wreg = regGe(bits); // binary signed weight, no split
+        ge.acc = adderGe(acc_bits) + regGe(acc_bits) + kXor2Ge;
+        cost.e_mac_finish_pj = addOpPj(acc_bits) + regWritePj(acc_bits);
+        break;
+      }
+      case Scheme::TuGemm: {
+        // Fully temporal: deterministic staircase counters on both
+        // operands, an AND, and a +/-1 OREG — the smallest PE of the
+        // seven, paid for with 2^(2(N-1)) mul cycles.
+        if (leftmost) {
+            ge.ireg = regGe(mag) + regGe(1) + regGe(1);
+            // Input staircase (held per weight sweep) + weight sweep
+            // counter + both magnitude comparators + AND.
+            ge.mul = 2 * counterGe(mag) + 2 * comparatorGe(mag) +
+                     kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                0.3 * regWritePj(mag) + // weight sweep counter
+                cmpOpPj(mag) +          // C-W sweep threshold
+                kEnableDensity * cmpOpPj(mag) + // C-I (held bit)
+                regWritePj(1) + kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        } else {
+            ge.ireg = regGe(2);
+            ge.mul = counterGe(mag) + comparatorGe(mag) + kAnd2Ge;
+            cost.e_mul_cycle_pj =
+                0.3 * regWritePj(mag) + regWritePj(1) +
+                kEnableDensity * cmpOpPj(mag) + kGateOpPj +
+                0.25 * regWritePj(int(kOregToggleBits));
+        }
+        ge.wreg = regGe(mag) + regGe(1); // WABS + WSIGN
+        const int acc_bits = bits + kUnaryAccHeadroom;
+        ge.acc = adderGe(acc_bits) + regGe(acc_bits) + kXor2Ge +
+                 2 * kMux2Ge;
+        cost.e_mac_finish_pj = addOpPj(acc_bits) + regWritePj(acc_bits);
         break;
       }
     }

@@ -41,6 +41,15 @@ struct GemmLayer
     int stride = 1;
     int oc = 1;                 // output channels
 
+    /**
+     * Fraction of this layer's input activations that are zero
+     * (ReLU-induced; measured or assumed). Consumed by the roofline
+     * model: the zero-stream-skipping schemes neither energize MAC
+     * slots for zero activations nor re-stream their bytes. 0 models a
+     * dense layer (the default — existing dumps are unchanged).
+     */
+    double act_sparsity = 0.0;
+
     /** Output feature-map height (OH = (IH - WH) / S + 1). */
     int oh() const { return (ih - wh) / stride + 1; }
     /** Output feature-map width. */
@@ -66,6 +75,8 @@ struct GemmLayer
         fatalIf(ih < wh || iw < ww, "GemmLayer: window exceeds input");
         fatalIf(stride < 1, "GemmLayer: bad stride");
         fatalIf(ic < 1 || oc < 1, "GemmLayer: bad channel counts");
+        fatalIf(act_sparsity < 0.0 || act_sparsity > 1.0,
+                "GemmLayer: act_sparsity outside [0, 1]");
         if (type == GemmType::MatMul) {
             fatalIf(wh != 1 || ww != 1 || iw != 1 || stride != 1,
                     "GemmLayer: matmul uses the 1x1-conv encoding");

@@ -24,6 +24,22 @@ computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
     const i64 rows = sys.array.rows;
     const i64 cols = sys.array.cols;
 
+    // ReLU-induced activation sparsity: the zero-stream-skipping
+    // schemes neither energize MAC slots for zero activations nor
+    // re-stream their bytes (zero-run compression on the im2col
+    // stream). uGEMM-H is carved out — its bipolar bias makes zero
+    // operands cost full streams. 0 leaves every number unchanged.
+    const Scheme sch = sys.array.kernel.scheme;
+    const double zskip_frac =
+        (sparseEnabled() && zeroSkipEnabled() && isUnary(sch) &&
+         sch != Scheme::UgemmHybrid)
+            ? layer.act_sparsity
+            : 0.0;
+    s.sparsity_frac = zskip_frac;
+    const auto derate = [&](u64 bytes) {
+        return u64(std::llround(double(bytes) * (1.0 - zskip_frac)));
+    };
+
     // --- Array-interface traffic -------------------------------------
     // Weights: one padded R x C tile per fold, streamed exactly once
     // (weight stationary).
@@ -33,7 +49,7 @@ computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
     // (the im2col expansion; the same input element re-enters once per
     // N-fold and once per window position).
     s.array_bytes[VarIfm] =
-        u64(s.tiling.folds) * u64(s.tiling.m) * rows * in_b;
+        derate(u64(s.tiling.folds) * u64(s.tiling.m) * rows * in_b);
     // OFM: partial sums across K folds stay in the (unevaluated) edge
     // accumulators (Section IV); final outputs leave once.
     s.array_bytes[VarOfm] =
@@ -48,9 +64,10 @@ computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
         s.dram_bytes[VarWeight] = unique_w;
         // IFM: one cold pass if it fits the buffer, otherwise each
         // N-fold group re-streams it.
-        s.dram_bytes[VarIfm] = unique_i <= sys.sram.bytes
-                                   ? unique_i
-                                   : unique_i * u64(s.tiling.folds_n);
+        s.dram_bytes[VarIfm] =
+            derate(unique_i <= sys.sram.bytes
+                       ? unique_i
+                       : unique_i * u64(s.tiling.folds_n));
         s.dram_bytes[VarOfm] = unique_o;
     } else {
         // Crawling bytes: the array interfaces feed straight from DRAM.
@@ -79,7 +96,8 @@ computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
 
     const double folds = double(s.tiling.folds);
     const double w_tile_bytes = double(rows) * cols * in_b;
-    const double i_fold_bytes = double(s.tiling.m) * rows * in_b;
+    const double i_fold_bytes =
+        double(s.tiling.m) * rows * in_b * (1.0 - zskip_frac);
     const double o_fold_bytes = double(s.array_bytes[VarOfm]) / folds;
 
     const double preload_ideal = double(rows);
@@ -106,8 +124,10 @@ computeLayerStats(const SystemConfig &sys, const GemmLayer &layer)
     s.sram_bw_gbps = double(s.sram_total_bytes) / s.runtime_s * 1e-9;
     s.dram_bw_gbps = double(s.dram_total_bytes) / s.runtime_s * 1e-9;
 
-    s.active_mac_slots = u64(s.tiling.folds) * rows * cols *
-                         u64(s.tiling.m);
+    // A zero activation's whole stream window is gated: no BSG words,
+    // no comparator toggles, no OREG increments in any column it feeds.
+    s.active_mac_slots = derate(u64(s.tiling.folds) * rows * cols *
+                                u64(s.tiling.m));
     s.throughput_gmacs = double(layer.macs()) / s.runtime_s * 1e-9;
     s.gemm_per_s = 1.0 / s.runtime_s;
 
@@ -207,6 +227,11 @@ recordLayerStats(StatsRegistry &reg, const std::string &prefix,
         .set(s.tiling.utilization);
     reg.scalar(prefix + ".throughput_gmacs", "real MACs per second, G")
         .set(s.throughput_gmacs);
+    // Only on sparsity-modeled runs, so dense dumps stay unchanged.
+    if (s.sparsity_frac > 0.0)
+        reg.scalar(prefix + ".sparsity_frac",
+                   "activation fraction gated off by zero skipping")
+            .set(s.sparsity_frac);
 }
 
 } // namespace usys

@@ -54,8 +54,11 @@ struct SystemConfig
     int
     outBytes() const
     {
-        return isUnary(array.kernel.scheme) ? elemBytes()
-                                            : 2 * elemBytes();
+        // The rate-counting weight-BSG schemes use uSystolic's reduced
+        // N-bit accumulation; the exact schemes (binary, tubGEMM,
+        // tuGEMM) write full 2N-bit products.
+        return hasWeightBsg(array.kernel.scheme) ? elemBytes()
+                                                 : 2 * elemBytes();
     }
 };
 
@@ -79,7 +82,8 @@ struct LayerStats
     double sram_bw_gbps = 0.0; // achieved, averaged over runtime
     double dram_bw_gbps = 0.0;
 
-    u64 active_mac_slots = 0;  // folds * R * C * M (includes padding)
+    u64 active_mac_slots = 0;  // energized MAC slots (sparsity-gated)
+    double sparsity_frac = 0.0;    // activation fraction gated off
     double throughput_gmacs = 0.0; // real MACs / runtime
     double gemm_per_s = 0.0;       // layer executions per second
 };

@@ -27,6 +27,8 @@ parseSchemeTag(const std::string &tag, Scheme &out)
     if (t == "UR") { out = Scheme::USystolicRate; return true; }
     if (t == "UT") { out = Scheme::USystolicTemporal; return true; }
     if (t == "UG") { out = Scheme::UgemmHybrid; return true; }
+    if (t == "TUB") { out = Scheme::TubGemm; return true; }
+    if (t == "TU") { out = Scheme::TuGemm; return true; }
     return false;
 }
 
@@ -101,7 +103,7 @@ decodeSystemSpec(const JsonValue *obj, ServeSystemSpec &out,
         const std::string scheme = obj->getString("scheme", "UR");
         if (!parseSchemeTag(scheme, out.scheme)) {
             error = "unknown scheme '" + scheme +
-                    "' (expected BP|BS|UR|UT|UG)";
+                    "' (expected BP|BS|UR|UT|UG|TUB|TU)";
             return false;
         }
         out.preset = obj->getString("preset", out.preset);

@@ -43,8 +43,9 @@ if(NOT rc EQUAL 0)
 endif()
 
 # Publish the validated artifact at the repo root so the checked-in
-# benchmark record tracks the tested binary.
-if(DEFINED REPO_ROOT)
+# benchmark record tracks the tested binary — release trees only;
+# sanitized timings must not become the committed record.
+if(DEFINED REPO_ROOT AND NOT SANITIZED)
     execute_process(
         COMMAND ${CMAKE_COMMAND} -E copy_if_different ${stats}
                 ${REPO_ROOT}/BENCH_serve.json

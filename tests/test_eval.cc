@@ -53,14 +53,37 @@ TEST(Workloads, MlperfSuiteDiversity)
 TEST(Eval, CandidateListMatchesPaper)
 {
     const auto cands = paperCandidates(8);
-    ASSERT_EQ(cands.size(), 6u);
+    ASSERT_EQ(cands.size(), 8u);
     EXPECT_EQ(cands[0].label, "Binary Parallel");
     EXPECT_TRUE(cands[0].with_sram);
     EXPECT_EQ(cands[2].kern.macCycles(), 33u);  // Unary-32c
     EXPECT_EQ(cands[4].kern.macCycles(), 129u); // Unary-128c
     EXPECT_FALSE(cands[4].with_sram);
     EXPECT_EQ(cands[5].kern.macCycles(), 257u); // uGEMM-H
-    EXPECT_EQ(bandwidthCandidates(8).size(), 8u);
+    EXPECT_EQ(cands[6].label, "tubGEMM");
+    EXPECT_EQ(cands[6].kern.macCycles(), 129u); // 2^(N-1) + 1
+    EXPECT_FALSE(cands[6].with_sram);
+    EXPECT_EQ(cands[7].label, "tuGEMM");
+    EXPECT_EQ(cands[7].kern.macCycles(), 16385u); // 2^(2(N-1)) + 1
+    EXPECT_EQ(bandwidthCandidates(8).size(), 10u);
+}
+
+TEST(Eval, MeasuredSparsityAlignsWithAlexnet)
+{
+    const auto frac = measuredAlexnetSparsity();
+    ASSERT_EQ(frac.size(), alexnetLayers().size());
+    // Conv1 sees the raw input (uniform positives: dense); every later
+    // layer sits behind a ReLU and must show real zeros (the pools
+    // after Conv1/Conv2 keep per-window maxima, thinning the density).
+    EXPECT_LT(frac[0], 0.05);
+    for (std::size_t i = 1; i < frac.size(); ++i)
+        EXPECT_GT(frac[i], 0.1) << "layer " << i;
+    // Determinism: a second measurement reproduces bit-identically.
+    EXPECT_EQ(measuredAlexnetSparsity(), frac);
+
+    const auto layers = alexnetLayersMeasuredSparsity();
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        EXPECT_EQ(layers[i].act_sparsity, frac[i]);
 }
 
 TEST(Eval, Fig11SramDominatesEdgeTotals)

@@ -103,7 +103,13 @@ INSTANTIATE_TEST_SUITE_P(
         PackedCase{Scheme::USystolicTemporal, 4, 0, 3, 5},
         PackedCase{Scheme::UgemmHybrid, 7, 0, 4, 4},
         PackedCase{Scheme::UgemmHybrid, 8, 0, 2, 3},
-        PackedCase{Scheme::UgemmHybrid, 4, 0, 4, 4}));
+        PackedCase{Scheme::UgemmHybrid, 4, 0, 4, 4},
+        PackedCase{Scheme::TubGemm, 8, 0, 4, 4},
+        PackedCase{Scheme::TubGemm, 4, 0, 3, 5},
+        // tuGEMM at small bits: the scalar referee walks the full
+        // 2^(2(N-1))-cycle square period per MAC.
+        PackedCase{Scheme::TuGemm, 4, 0, 4, 4},
+        PackedCase{Scheme::TuGemm, 5, 0, 3, 3}));
 
 TEST(PackedArray, MatchesRtlRefereeAcrossEbt)
 {
@@ -117,6 +123,8 @@ TEST(PackedArray, MatchesRtlRefereeAcrossEbt)
         {Scheme::UgemmHybrid, 8, 0, 4, 4},
         {Scheme::BinarySerial, 8, 0, 4, 4},
         {Scheme::BinaryParallel, 8, 0, 4, 4},
+        {Scheme::TubGemm, 8, 0, 4, 4},
+        {Scheme::TuGemm, 4, 0, 4, 4},
     };
     for (const auto &[scheme, bits, et_bits, rows, cols] : cases) {
         ArrayConfig cfg;
@@ -186,20 +194,22 @@ class PackedFlagGuard
     bool saved_;
 };
 
-/** Saves and restores the panel-GEMM knobs (DESIGN.md §13). The budget
- * override is reset to 0 = auto, the process-start state. */
+/** Saves and restores the panel-GEMM and sparsity knobs (DESIGN.md §13,
+ * §16). The budget override is reset to 0 = auto, the process-start
+ * state. */
 class PanelFlagsGuard
 {
   public:
     PanelFlagsGuard()
         : packed_(packedEngineEnabled()), panel_(panelGemmEnabled()),
-          zskip_(zeroSkipEnabled())
+          zskip_(zeroSkipEnabled()), sparse_(sparseEnabled())
     {}
     ~PanelFlagsGuard()
     {
         setPackedEngineEnabled(packed_);
         setPanelGemmEnabled(panel_);
         setZeroSkipEnabled(zskip_);
+        setSparseEnabled(sparse_);
         setPanelBudgetKb(0);
     }
 
@@ -207,6 +217,7 @@ class PanelFlagsGuard
     bool packed_;
     bool panel_;
     bool zskip_;
+    bool sparse_;
 };
 
 TEST(SystolicGemm, PackedAndScalarEnginesAgreeIncludingStats)
@@ -328,6 +339,174 @@ TEST(SystolicGemm, ZeroSkipOnOffIdenticalWithZeroHeavyOperands)
         EXPECT_EQ(skipped.acc, full.acc) << kern.name();
         EXPECT_EQ(skipped.cycles, full.cycles) << kern.name();
         EXPECT_EQ(skipped_dump, full_dump) << kern.name();
+    }
+}
+
+TEST(SystolicGemm, SparseVsDenseBitExactAllSchemesAcrossThreads)
+{
+    // The sparsity subsystem (DESIGN.md §16) is a pure perf lever:
+    // with zero-heavy operands every scheme must produce identical
+    // outputs, cycle counts, and stats dumps — census counters
+    // included — whether the plans are built or not, at any thread
+    // count. The census is recorded unconditionally, so the dumps are
+    // comparable across the toggle.
+    PanelFlagsGuard guard;
+    setPackedEngineEnabled(true);
+    setPanelGemmEnabled(true);
+    setZeroSkipEnabled(true);
+    Executor &ex = Executor::global();
+    const unsigned saved_threads = ex.threads();
+
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    for (const KernelConfig kern :
+         {KernelConfig{Scheme::BinaryParallel, 8, 0},
+          KernelConfig{Scheme::BinarySerial, 8, 0},
+          KernelConfig{Scheme::USystolicRate, 8, 6},
+          KernelConfig{Scheme::USystolicTemporal, 8, 0},
+          KernelConfig{Scheme::UgemmHybrid, 7, 0},
+          KernelConfig{Scheme::TubGemm, 8, 0},
+          KernelConfig{Scheme::TuGemm, 4, 0}}) {
+        cfg.kernel = kern;
+        Prng prng(u64(int(kern.scheme)) + 5000);
+        auto a = randomMatrix(6, 10, kern.bits, prng);
+        auto b = randomMatrix(10, 9, kern.bits, prng);
+        // ~60% activation zeros plus a few weight zeros: both census
+        // sides and the plan compaction fire.
+        for (int r = 0; r < a.rows(); ++r)
+            for (int c = 0; c < a.cols(); ++c)
+                if (prng.below(100) < 60)
+                    a(r, c) = 0;
+        for (int c = 0; c < b.cols(); c += 3)
+            b(1, c) = 0;
+
+        setSparseEnabled(false);
+        statsRegistry().reset();
+        const auto dense = SystolicGemm(cfg).run(a, b);
+        const std::string dense_dump = statsRegistry().dumpText();
+
+        setSparseEnabled(true);
+        for (unsigned nthreads : {1u, 3u}) {
+            ex.setThreads(nthreads);
+            statsRegistry().reset();
+            const auto sparse = SystolicGemm(cfg).run(a, b);
+            const std::string sparse_dump = statsRegistry().dumpText();
+            EXPECT_EQ(sparse.acc, dense.acc)
+                << kern.name() << " t" << nthreads;
+            EXPECT_EQ(sparse.cycles, dense.cycles)
+                << kern.name() << " t" << nthreads;
+            EXPECT_EQ(sparse_dump, dense_dump)
+                << kern.name() << " t" << nthreads;
+        }
+    }
+    ex.setThreads(saved_threads);
+}
+
+TEST(SystolicGemm, SparseAndZeroSkipOptOutsAllAgree)
+{
+    // All four {sparse, zero-skip} combinations — the --no-sparse /
+    // --no-zero-skip CLI opt-outs — must agree bit for bit, including
+    // the stats dumps, on every scheme.
+    PanelFlagsGuard guard;
+    setPackedEngineEnabled(true);
+    setPanelGemmEnabled(true);
+    ArrayConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    for (const KernelConfig kern :
+         {KernelConfig{Scheme::USystolicRate, 8, 0},
+          KernelConfig{Scheme::UgemmHybrid, 7, 0},
+          KernelConfig{Scheme::TubGemm, 8, 0},
+          KernelConfig{Scheme::TuGemm, 4, 0}}) {
+        cfg.kernel = kern;
+        Prng prng(u64(int(kern.scheme)) + 6000);
+        auto a = randomMatrix(5, 12, kern.bits, prng);
+        auto b = randomMatrix(12, 9, kern.bits, prng);
+        for (int r = 0; r < a.rows(); ++r)
+            for (int c = 0; c < a.cols(); c += 2)
+                a(r, c) = 0;
+
+        std::string ref_dump;
+        SystolicGemm::RunResult ref{};
+        bool have_ref = false;
+        for (const bool sparse : {false, true}) {
+            for (const bool zskip : {false, true}) {
+                setSparseEnabled(sparse);
+                setZeroSkipEnabled(zskip);
+                statsRegistry().reset();
+                const auto out = SystolicGemm(cfg).run(a, b);
+                const std::string dump = statsRegistry().dumpText();
+                if (!have_ref) {
+                    ref = out;
+                    ref_dump = dump;
+                    have_ref = true;
+                    continue;
+                }
+                EXPECT_EQ(out.acc, ref.acc)
+                    << kern.name() << " sparse=" << sparse
+                    << " zskip=" << zskip;
+                EXPECT_EQ(out.cycles, ref.cycles)
+                    << kern.name() << " sparse=" << sparse
+                    << " zskip=" << zskip;
+                EXPECT_EQ(dump, ref_dump)
+                    << kern.name() << " sparse=" << sparse
+                    << " zskip=" << zskip;
+            }
+        }
+    }
+}
+
+TEST(PackedArray, SparsePlansPreserveFaultCensus)
+{
+    // Same contract as PanelAndZeroSkipPreserveFaultCensus, but across
+    // the sparsity toggle: plan-compacted folds must report the exact
+    // same fault census as dense folds for the schemes that consume
+    // plans and for UG (which must never consume them — its bipolar
+    // encoding gives zero-valued operands half-density streams).
+    PanelFlagsGuard guard;
+    setPanelGemmEnabled(true);
+    setZeroSkipEnabled(true);
+    for (const Scheme scheme :
+         {Scheme::USystolicRate, Scheme::UgemmHybrid, Scheme::TubGemm}) {
+        ArrayConfig cfg;
+        cfg.rows = 4;
+        cfg.cols = 4;
+        cfg.kernel = {scheme, scheme == Scheme::UgemmHybrid ? 7 : 8, 0};
+        cfg.faults.seed = 77;
+        cfg.faults.rates.weight_reg = 0.3;
+        cfg.faults.rates.dram_word = 0.2;
+        Prng prng(u64(int(scheme)) + 7000);
+        auto input = randomMatrix(6, cfg.rows, cfg.kernel.bits, prng);
+        auto weights =
+            randomMatrix(cfg.rows, cfg.cols, cfg.kernel.bits, prng);
+        for (int r = 0; r < input.rows(); ++r)
+            input(r, r % cfg.rows) = 0;
+
+        SystolicArray::FoldResult ref;
+        FoldStatsDelta ref_delta;
+        bool have_ref = false;
+        for (const bool sparse : {false, true}) {
+            setSparseEnabled(sparse);
+            FoldStatsDelta delta;
+            const auto out =
+                PackedArray(cfg).runFold(input, weights, &delta);
+            ASSERT_GT(delta.faultTotal(), 0u);
+            if (!have_ref) {
+                ref = out;
+                ref_delta = delta;
+                have_ref = true;
+                continue;
+            }
+            EXPECT_EQ(out.output, ref.output) << schemeTag(scheme);
+            EXPECT_EQ(out.cycles, ref.cycles) << schemeTag(scheme);
+            EXPECT_EQ(delta.faults_weight_reg,
+                      ref_delta.faults_weight_reg) << schemeTag(scheme);
+            EXPECT_EQ(delta.faults_dram, ref_delta.faults_dram)
+                << schemeTag(scheme);
+            EXPECT_EQ(delta.faultTotal(), ref_delta.faultTotal())
+                << schemeTag(scheme);
+        }
     }
 }
 

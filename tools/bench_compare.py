@@ -17,7 +17,11 @@ neither suffix list are reported when they change but never gate, as
 are keys whose baseline value is 0. `kernel.profile_overhead.*` is
 skipped by default (A/A noise, not a signal), as is `*.shed_rate` —
 the overload phase sheds as much as the retry storm asks it to, so
-the rate measures scheduling luck, not daemon quality.
+the rate measures scheduling luck, not daemon quality — and
+`*.sparsity_frac`, which echoes the workload's configured activation
+sparsity rather than measuring performance. The `sparsity.*.speedup_x`
+ratios gate like any other speedup; callers typically skip the s0
+point (dense input, ~1.0x by construction, pure A/A noise).
 
 Options:
   --threshold F        default relative-change gate (0.25)
@@ -39,7 +43,8 @@ import sys
 LOWER_BETTER = ("_us", "_ms", "_ns", "_s", "_bytes", "_cycles")
 HIGHER_BETTER = ("speedup_x", "_gmacs", "_throughput", "_utilization",
                  ".rps", "hit_rate", "occupancy")
-DEFAULT_SKIPS = ("*.profile_overhead.*", "*.shed_rate")
+DEFAULT_SKIPS = ("*.profile_overhead.*", "*.shed_rate",
+                 "*.sparsity_frac")
 
 
 def flatten(node, prefix=""):

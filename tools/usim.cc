@@ -21,6 +21,7 @@
 #include "common/logging.h"
 #include "common/simd.h"
 #include "common/table.h"
+#include "eval/experiments.h"
 #include "eval/network.h"
 #include "hw/energy.h"
 #include "sched/trace.h"
@@ -37,7 +38,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: usim [options] --layers SPEC\n"
-        "  --scheme bp|bs|ur|ut|ug   computing scheme (default ur)\n"
+        "  --scheme bp|bs|ur|ut|ug|tubgemm|tugemm\n"
+        "                            computing scheme (default ur)\n"
         "  --bits N                  data bitwidth (default 8)\n"
         "  --ebt n                   early-termination EBT (ur only)\n"
         "  --rows R --cols C         array shape (overrides preset)\n"
@@ -49,9 +51,15 @@ usage()
         "  --panel-kb N              panel arena budget in KiB (default:\n"
         "                            USYS_L2_KB, else detected L2)\n"
         "  --no-zero-skip            disable the zero-stream fast path\n"
+        "  --no-sparse               disable sparsity exploitation "
+        "(census stays)\n"
+        "  --sparsity F|measured     activation sparsity: F in [0,1] for\n"
+        "                            every layer, or 'measured' to use the\n"
+        "                            AlexLite-measured per-layer fractions\n"
+        "                            (alexnet spec only)\n"
         "  --threads N               executor thread count (0 = auto:\n"
         "                            USYS_THREADS, else all cores)\n"
-        "  --simd auto|avx512|avx2|generic\n"
+        "  --simd auto|avx512|avx2|neon|generic\n"
         "                            SIMD kernel tier (overrides "
         "USYS_SIMD)\n"
         "  --csv                     machine-readable output\n"
@@ -75,6 +83,10 @@ parseScheme(const std::string &tag)
         return Scheme::USystolicTemporal;
     if (tag == "ug")
         return Scheme::UgemmHybrid;
+    if (tag == "tub" || tag == "tubgemm")
+        return Scheme::TubGemm;
+    if (tag == "tu" || tag == "tugemm")
+        return Scheme::TuGemm;
     fatal("unknown scheme: " + tag);
 }
 
@@ -87,6 +99,8 @@ main(int argc, char **argv)
     int bits = 8, ebt = 0, rows = 0, cols = 0;
     bool edge = true, trace = false, csv = false, network = false;
     int sram_override = -1; // -1 auto, 0 off, 1 on
+    double sparsity = -1.0; // -1 = dense (leave act_sparsity alone)
+    bool measured_sparsity = false;
     std::string layer_spec;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +139,22 @@ main(int argc, char **argv)
                 parseIntFlag("--panel-kb", next().c_str(), 16, 1048576)));
         else if (arg == "--no-zero-skip")
             setZeroSkipEnabled(false);
+        else if (arg == "--no-sparse")
+            setSparseEnabled(false);
+        else if (arg == "--sparsity") {
+            const std::string v = next();
+            if (v == "measured") {
+                measured_sparsity = true;
+            } else {
+                try {
+                    sparsity = std::stod(v);
+                } catch (...) {
+                    fatal("--sparsity expects a fraction or 'measured'");
+                }
+                fatalIf(sparsity < 0.0 || sparsity > 1.0,
+                        "--sparsity outside [0, 1]");
+            }
+        }
         else if (arg == "--threads") {
             const i64 n =
                 parseIntFlag("--threads", next().c_str(), 0, 4096);
@@ -144,6 +174,18 @@ main(int argc, char **argv)
     if (layer_spec.empty())
         usage();
 
+    std::vector<GemmLayer> layers;
+    if (measured_sparsity) {
+        fatalIf(layer_spec != "alexnet",
+                "--sparsity measured requires --layers alexnet");
+        layers = alexnetLayersMeasuredSparsity();
+    } else {
+        layers = parseLayerList(layer_spec);
+        if (sparsity >= 0.0)
+            for (auto &layer : layers)
+                layer.act_sparsity = sparsity;
+    }
+
     KernelConfig kern{scheme, bits, ebt};
     kern.check();
     const bool with_sram =
@@ -156,7 +198,7 @@ main(int argc, char **argv)
         sys.array.cols = cols;
 
     if (network) {
-        const auto net = simulateNetwork(sys, parseLayerList(layer_spec));
+        const auto net = simulateNetwork(sys, layers);
         std::printf("network: %zu layers, runtime %.2f ms, on-chip %.1f "
                     "uJ, DRAM %.1f uJ, total %.1f uJ, %.2f MB of "
                     "inter-layer activations kept on-chip\n",
@@ -180,7 +222,7 @@ main(int argc, char **argv)
                         "overhead %", "DRAM GB/s", "on-chip uJ",
                         "total uJ"});
     double total_runtime = 0.0, total_onchip = 0.0, total_uj = 0.0;
-    for (const auto &layer : parseLayerList(layer_spec)) {
+    for (const auto &layer : layers) {
         const auto stats = simulateLayer(sys, layer);
         const auto energy = layerEnergy(sys, stats);
         double runtime = stats.runtime_s, ovh = stats.overhead_pct,
